@@ -1,0 +1,49 @@
+"""E20 (validation at scale): sampler edge marginals vs leverage scores.
+
+Paper context: Lemma 6's uniformity guarantee is only *checkable* by
+enumeration on tiny graphs. The Matrix-Tree corollary P(e in T) =
+w(e) R_eff(e) (leverage scores; see repro.graphs.electrical) gives a
+closed-form marginal on any graph, so the sampler can be validated far
+beyond enumeration range. Measured: max/mean deviation of Theorem-1
+sampler edge frequencies from the exact leverage scores on a 24-vertex
+wheel (~1e9 spanning trees), against the binomial noise scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import graphs
+from repro.analysis import leverage_score_deviation
+from repro.core import CongestedCliqueTreeSampler, SamplerConfig
+from repro.graphs import count_spanning_trees
+
+N_TREES = 500
+
+
+def test_leverage_score_marginals(benchmark, report):
+    g = graphs.wheel_graph(24)
+    rng = np.random.default_rng(424242)
+    sampler = CongestedCliqueTreeSampler(g, SamplerConfig(ell=1 << 12))
+    stats = {}
+
+    def experiment():
+        trees = sampler.sample_trees(N_TREES, rng)
+        stats.update(leverage_score_deviation(g, trees))
+        return stats
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [
+        f"wheel(24): {count_spanning_trees(g):.2e} spanning trees "
+        f"(enumeration impossible); {N_TREES} sampled trees",
+        f"max |freq - leverage| = {stats['max_abs_deviation']:.4f}",
+        f"mean |freq - leverage| = {stats['mean_abs_deviation']:.4f}",
+        f"binomial noise scale  = {stats['max_noise_scale']:.4f}",
+        "shape check: marginals within a few noise scales of the "
+        "Matrix-Tree closed form -- uniformity validated beyond "
+        "enumeration range",
+    ]
+    report("E20 / edge marginals vs leverage scores (validation at scale)", lines)
+    assert stats["max_abs_deviation"] < 5 * stats["max_noise_scale"]
+    assert stats["mean_abs_deviation"] < 2 * stats["max_noise_scale"]

@@ -1,0 +1,57 @@
+"""E3 (Theorem 2): doubling-walk round complexity in both regimes.
+
+Paper claim: a length-tau walk costs O((tau/n) log tau log n) rounds when
+tau = Omega(n / log n), and O(log tau) rounds when tau = O(n / log n).
+Measured: simulated Lenzen-converted rounds across a tau sweep on an
+expander, with the long-regime growth ratio and short-regime flatness
+reported.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import graphs
+from repro.core import theorem2_rounds
+from repro.walks import doubling_random_walk
+
+N = 64
+TAUS_SHORT = [2, 4, 8]
+TAUS_LONG = [128, 256, 512, 1024, 2048]
+
+
+def test_theorem2_regimes(benchmark, report, rng):
+    g = graphs.random_regular_graph(N, 4, rng=rng)
+    measured = {}
+
+    def experiment():
+        for tau in TAUS_SHORT + TAUS_LONG:
+            measured[tau] = doubling_random_walk(g, tau, rng).rounds
+        return measured
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [
+        f"n = {N} expander",
+        f"{'tau':>6s} {'rounds':>8s} {'model O~':>9s}  regime",
+    ]
+    for tau in TAUS_SHORT + TAUS_LONG:
+        regime = "short (log tau)" if tau <= N / math.log2(N) else "long ((tau/n)·logs)"
+        lines.append(
+            f"{tau:>6d} {measured[tau]:>8d} {theorem2_rounds(N, tau):>9.0f}  {regime}"
+        )
+    long_growth = measured[TAUS_LONG[-1]] / measured[TAUS_LONG[0]]
+    tau_growth = TAUS_LONG[-1] / TAUS_LONG[0]
+    lines += [
+        f"long-regime growth: rounds x{long_growth:.1f} for tau x{tau_growth:.0f} "
+        "(claim: ~linear in tau, up to log factors)",
+        f"short-regime rounds stay within a small polylog envelope: "
+        f"{[measured[t] for t in TAUS_SHORT]}",
+    ]
+    report("E3 / Theorem 2: doubling-walk rounds", lines)
+    # Long regime roughly linear in tau (allow 3x slack for log factors).
+    assert tau_growth / 3 < long_growth < tau_growth * 3
+    # Short regime: far below one round per walk step.
+    assert measured[8] < measured[2048] / 10

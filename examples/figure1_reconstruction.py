@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 1: midpoint multiset + matching walk reconstruction.
+
+Figure 1 shows one level of the walk-filling process: the leader holds
+W_i = (1, 3, 2, 1, 3, 2, 1, 2, 3) (start-end pairs (1,3), (3,2), (2,1),
+(1,2) with repeats), the M_{p,q} machines generate midpoint sequences
+Pi_{p,q}, and instead of shipping the sequences, the leader receives only
+the *multiset* of midpoints and re-samples their placement by drawing a
+weighted perfect matching between midpoints and midpoint positions.
+
+This script executes exactly that level on a 5-vertex graph, prints the
+sequences the machines generated, the compressed multiset the leader
+receives, the sampled contingency table (the class-compressed form of the
+matching), and the reconstructed walk -- then verifies over many trials
+that reconstruction preserves the walk distribution (Lemma 3).
+
+Run:  python examples/figure1_reconstruction.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro import graphs
+from repro.core.midpoints import MidpointBank
+from repro.core.placement import place_midpoints
+from repro.core.truncation import LevelView
+from repro.linalg import PowerLadder
+from repro.walks.fill import PartialWalk, _fill_level
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    graph = graphs.complete_graph(5)
+    ladder = PowerLadder(graph.transition_matrix(), 8)
+    spacing = 4
+    half = ladder.power(spacing // 2)
+
+    # The figure's partial walk (field-renamed to 0-based vertices).
+    w_i = PartialWalk(spacing, [1, 3, 2, 1, 3, 2, 1, 2, 3])
+    pairs = Counter(w_i.pairs())
+    print("W_i =", w_i.vertices)
+    print("start-end pair counts c_pq:", dict(pairs), "\n")
+
+    bank = MidpointBank(dict(pairs), half, rng)
+    for pair in pairs:
+        print(f"  Pi_{pair} = {[int(v) for v in bank.sequence(pair)]}")
+    view = LevelView(w_i, bank)
+    multiset = bank.truncated_counts(view.truncated_pair_counts(view.top))
+    print("\nleader receives multiset M =", dict(sorted(multiset.items())))
+
+    reconstructed = place_midpoints(view, view.top, half, rng)
+    print("reconstructed W_{i+1} =", reconstructed.vertices)
+
+    # Statistical check of Lemma 3: reconstruction law == direct fill law.
+    n_samples = 4000
+    direct = Counter()
+    rebuilt = Counter()
+    for _ in range(n_samples):
+        direct[tuple(_fill_level(w_i, half, rng).vertices)] += 1
+        bank = MidpointBank(dict(pairs), half, rng)
+        view = LevelView(w_i, bank)
+        rebuilt[tuple(place_midpoints(view, view.top, half, rng).vertices)] += 1
+    keys = set(direct) | set(rebuilt)
+    tv = 0.5 * sum(
+        abs(direct[k] / n_samples - rebuilt[k] / n_samples) for k in keys
+    )
+    print(f"\nTV(direct fill, matching reconstruction) over {n_samples} trials:"
+          f" {tv:.4f}")
+    print(f"distinct filled walks observed: {len(keys)}")
+    print("(values near the sampling-noise floor confirm Lemma 3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""PageRank in polylog rounds: the Theorem 2 short-walk application.
+
+The paper notes (Section 1.2) that its doubling machinery makes
+O(polylog n)-length walks nearly free -- O(log tau) rounds -- and that
+such walks are "of particular interest for approximating PageRank"
+[Bahmani-Chakrabarti-Xin; Lacki et al.]. This demo estimates PageRank on
+a scale-free-ish graph with doubling walks, showing error vs walk budget
+and the corresponding CongestedClique round bill.
+
+Run:  python examples/pagerank_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import graphs
+from repro.walks import pagerank_exact, pagerank_via_walks
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    n = 48
+    graph = graphs.wheel_graph(n)  # hub + rim: skewed degree profile
+    exact = pagerank_exact(graph, damping=0.85)
+    print(f"wheel graph, n={n}; exact hub score: {exact[0]:.4f}, "
+          f"rim score: {exact[1]:.4f}\n")
+
+    print(f"{'walks/vertex':>12s} {'L1 error':>9s} {'hub estimate':>13s} "
+          f"{'rounds':>7s}")
+    for budget in (4, 16, 64, 256):
+        estimate = pagerank_via_walks(
+            graph, damping=0.85, walks_per_vertex=budget, rng=rng
+        )
+        print(
+            f"{budget:>12d} {estimate.l1_error(exact):>9.4f} "
+            f"{estimate.scores[0]:>13.4f} {estimate.rounds:>7d}"
+        )
+    print(
+        "\nEach batch is one load-balanced doubling run over walks of "
+        "length O(log n / log(1/d)) -- the Theorem 2 short-walk regime."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro: Sublinear-Time Sampling of Spanning Trees in the Congested Clique.
+
+A full reproduction of Pemmaraju, Roy & Sobel (PODC 2025,
+arXiv:2411.13334): the first o(n)-round algorithm for sampling an
+(approximately) uniform spanning tree in the CongestedClique model,
+together with every substrate it relies on -- a message-level
+CongestedClique simulator with round accounting, Schur-complement and
+shortcut graphs, weighted-perfect-matching samplers, the load-balanced
+doubling walk builder, and the classical sequential baselines.
+
+Quick start::
+
+    import numpy as np
+    from repro import graphs, sample_spanning_tree
+
+    g = graphs.random_regular_graph(32, 4, rng=np.random.default_rng(0))
+    tree = sample_spanning_tree(g, rng=0)   # canonical edge tuple
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-claim-by-claim reproduction results.
+"""
+
+from repro import analysis, clique, graphs, linalg, matching, walks
+from repro.core import (
+    CongestedCliqueTreeSampler,
+    ExactTreeSampler,
+    FastCoverResult,
+    SampleResult,
+    SamplerConfig,
+    sample_spanning_tree,
+    sample_spanning_tree_exact,
+    sample_tree_fast_cover,
+)
+from repro.errors import ReproError
+from repro.graphs import WeightedGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "clique",
+    "graphs",
+    "linalg",
+    "matching",
+    "walks",
+    "CongestedCliqueTreeSampler",
+    "ExactTreeSampler",
+    "FastCoverResult",
+    "SampleResult",
+    "SamplerConfig",
+    "sample_spanning_tree",
+    "sample_spanning_tree_exact",
+    "sample_tree_fast_cover",
+    "ReproError",
+    "WeightedGraph",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Statistical analysis: empirical tree distributions and scaling fits.
+
+- :mod:`repro.analysis.tv` -- empirical distributions over spanning trees,
+  exact total variation distance against the uniform (Matrix-Tree) ground
+  truth, and chi-square goodness-of-fit tests;
+- :mod:`repro.analysis.stats` -- confidence intervals, scaling-exponent
+  regression helpers shared by the benchmarks.
+"""
+
+from repro.analysis.ensemble import (
+    edge_frequencies,
+    ensemble_summary,
+    leverage_score_deviation,
+)
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    geometric_mean,
+    loglog_fit,
+)
+from repro.analysis.tv import (
+    chi_square_uniformity,
+    empirical_tree_distribution,
+    expected_tv_noise,
+    sample_tree_distribution,
+    tv_distance,
+    tv_to_uniform,
+)
+
+__all__ = [
+    "edge_frequencies",
+    "ensemble_summary",
+    "leverage_score_deviation",
+    "bootstrap_mean_ci",
+    "geometric_mean",
+    "loglog_fit",
+    "chi_square_uniformity",
+    "empirical_tree_distribution",
+    "expected_tv_noise",
+    "sample_tree_distribution",
+    "tv_distance",
+    "tv_to_uniform",
+]

@@ -1,0 +1,81 @@
+"""Tree-ensemble statistics: edge marginals against leverage scores.
+
+For validation beyond small-graph enumeration, uniform-spanning-tree
+samplers are checked on their *edge marginals*: ``P(e in T) = w(e) *
+R_eff(e)`` (the leverage score; see :mod:`repro.graphs.electrical`). These
+helpers turn a batch of sampled trees into marginal estimates and summary
+distances, and serve the sparsifier-style applications that consume tree
+ensembles directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graphs.core import WeightedGraph
+from repro.graphs.electrical import edge_leverage_scores
+from repro.graphs.spanning import TreeKey
+
+__all__ = [
+    "edge_frequencies",
+    "leverage_score_deviation",
+    "ensemble_summary",
+]
+
+
+def edge_frequencies(
+    trees: Iterable[TreeKey],
+) -> dict[tuple[int, int], float]:
+    """Fraction of sampled trees containing each edge."""
+    trees = list(trees)
+    if not trees:
+        raise ReproError("no trees provided")
+    counts: Counter = Counter()
+    for tree in trees:
+        for edge in tree:
+            counts[edge] += 1
+    return {edge: count / len(trees) for edge, count in counts.items()}
+
+
+def leverage_score_deviation(
+    graph: WeightedGraph, trees: Iterable[TreeKey]
+) -> dict[str, float]:
+    """Compare empirical edge marginals to the exact leverage scores.
+
+    Returns max and mean absolute deviation plus the sampling-noise scale
+    ``sqrt(p (1 - p) / k)`` maximized over edges, so callers can tell
+    sampler bias from noise.
+    """
+    trees = list(trees)
+    frequencies = edge_frequencies(trees)
+    leverage = edge_leverage_scores(graph)
+    deviations = []
+    noise_scales = []
+    for edge, score in leverage.items():
+        deviations.append(abs(frequencies.get(edge, 0.0) - score))
+        noise_scales.append(
+            np.sqrt(max(score * (1.0 - score), 1e-12) / len(trees))
+        )
+    return {
+        "max_abs_deviation": float(max(deviations)),
+        "mean_abs_deviation": float(np.mean(deviations)),
+        "max_noise_scale": float(max(noise_scales)),
+        "num_trees": float(len(trees)),
+    }
+
+
+def ensemble_summary(
+    graph: WeightedGraph, trees: Iterable[TreeKey]
+) -> str:
+    """One-line human summary used by examples and benches."""
+    stats = leverage_score_deviation(graph, trees)
+    return (
+        f"{int(stats['num_trees'])} trees: edge-marginal deviation "
+        f"max {stats['max_abs_deviation']:.4f} / mean "
+        f"{stats['mean_abs_deviation']:.4f} "
+        f"(noise scale {stats['max_noise_scale']:.4f})"
+    )

@@ -1,0 +1,61 @@
+"""Small statistics helpers shared by tests and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["loglog_fit", "bootstrap_mean_ci", "geometric_mean"]
+
+
+def loglog_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares fit ``log y = exponent * log x + log c``.
+
+    Returns ``(exponent, c)``. The scaling benchmarks compare the fitted
+    exponent with the paper's claimed one (e.g. 0.5 + alpha for Theorem
+    1); constants are meaningless across different simulators.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ReproError("need at least two points for a fit")
+    log_x = np.log(np.asarray(xs, dtype=np.float64))
+    log_y = np.log(np.clip(np.asarray(ys, dtype=np.float64), 1e-300, None))
+    exponent, intercept = np.polyfit(log_x, log_y, 1)
+    return float(exponent), float(math.exp(intercept))
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[float, float, float]:
+    """Bootstrap confidence interval for the mean: (mean, low, high)."""
+    if not values:
+        raise ReproError("need at least one value")
+    rng = np.random.default_rng(rng)
+    data = np.asarray(values, dtype=np.float64)
+    means = np.array([
+        data[rng.integers(0, len(data), len(data))].mean()
+        for _ in range(resamples)
+    ])
+    tail = (1.0 - confidence) / 2.0
+    return (
+        float(data.mean()),
+        float(np.quantile(means, tail)),
+        float(np.quantile(means, 1.0 - tail)),
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ReproError("need at least one value")
+    data = np.asarray(values, dtype=np.float64)
+    if np.any(data <= 0):
+        raise ReproError("geometric mean requires positive values")
+    return float(np.exp(np.log(data).mean()))

@@ -1,0 +1,113 @@
+"""Total variation distance and uniformity testing over spanning trees.
+
+The paper's correctness statements (Lemma 4, Lemma 6, Lemma 9) are all of
+the form "the output distribution is within eps of uniform in total
+variation". Ground truth comes from exact enumeration
+(:func:`repro.graphs.spanning.uniform_tree_distribution`); these helpers
+turn sampler draws into empirical distributions and distances.
+
+A note on noise: with ``k`` samples over ``T`` equiprobable trees the
+*expected* empirical TV of a perfect sampler is roughly
+``sqrt(T / (2 pi k))`` -- :func:`expected_tv_noise` computes this so tests
+and benches can set thresholds that separate sampler bias from sampling
+noise.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.errors import ReproError
+from repro.graphs.core import WeightedGraph
+from repro.graphs.spanning import TreeKey, uniform_tree_distribution
+
+__all__ = [
+    "empirical_tree_distribution",
+    "tv_distance",
+    "tv_to_uniform",
+    "expected_tv_noise",
+    "chi_square_uniformity",
+    "sample_tree_distribution",
+]
+
+
+def empirical_tree_distribution(
+    trees: Iterable[TreeKey],
+) -> dict[TreeKey, float]:
+    """Normalized frequency table of sampled trees."""
+    counts = Counter(trees)
+    total = sum(counts.values())
+    if total == 0:
+        raise ReproError("no samples provided")
+    return {tree: count / total for tree, count in counts.items()}
+
+
+def tv_distance(
+    p: Mapping[TreeKey, float], q: Mapping[TreeKey, float]
+) -> float:
+    """Total variation distance ``0.5 * sum |p - q|`` over the union support."""
+    support = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(t, 0.0) - q.get(t, 0.0)) for t in support)
+
+
+def tv_to_uniform(
+    graph: WeightedGraph, trees: Iterable[TreeKey]
+) -> float:
+    """Empirical TV distance of sampled trees from the exact target law."""
+    target = uniform_tree_distribution(graph)
+    empirical = empirical_tree_distribution(trees)
+    unknown = set(empirical) - set(target)
+    if unknown:
+        raise ReproError(
+            f"samples contain {len(unknown)} non-spanning-tree keys; "
+            "sampler output is invalid"
+        )
+    return tv_distance(empirical, dict(target))
+
+
+def expected_tv_noise(num_trees: int, num_samples: int) -> float:
+    """Approximate expected empirical TV of a *perfect* sampler.
+
+    For a uniform law over ``T`` outcomes and ``k`` i.i.d. samples, each
+    |empirical - 1/T| has mean ~ sqrt(1 / (T k) * (1 - 1/T)) * sqrt(2/pi);
+    summing T of them and halving gives ~ sqrt(T / (2 pi k)). Used to set
+    test thresholds (typically 3x this value).
+    """
+    if num_trees < 1 or num_samples < 1:
+        raise ReproError("need positive tree and sample counts")
+    return math.sqrt(num_trees / (2.0 * math.pi * num_samples))
+
+
+def chi_square_uniformity(
+    graph: WeightedGraph, trees: Iterable[TreeKey]
+) -> tuple[float, float]:
+    """Chi-square goodness-of-fit of samples against the exact tree law.
+
+    Returns ``(statistic, p_value)``. A *correct* sampler produces
+    p-values uniform on [0, 1]; systematic bias drives them to 0.
+    """
+    target = uniform_tree_distribution(graph)
+    counts = Counter(trees)
+    total = sum(counts.values())
+    if total == 0:
+        raise ReproError("no samples provided")
+    support = list(target)
+    observed = np.array([counts.get(t, 0) for t in support], dtype=np.float64)
+    expected = np.array([target[t] * total for t in support])
+    statistic, p_value = scipy_stats.chisquare(observed, expected)
+    return float(statistic), float(p_value)
+
+
+def sample_tree_distribution(
+    sampler: Callable[[np.random.Generator], TreeKey],
+    num_samples: int,
+    rng: np.random.Generator | int | None = None,
+) -> list[TreeKey]:
+    """Draw ``num_samples`` trees from a sampler callable."""
+    rng = np.random.default_rng(rng)
+    return [sampler(rng) for _ in range(num_samples)]

@@ -1,0 +1,262 @@
+"""Command-line interface: sample trees and inspect round bills.
+
+Usage (installed as ``python -m repro``)::
+
+    python -m repro sample --family expander --n 32 --variant approximate
+    python -m repro sample --family lollipop --n 24 --variant exact --seed 7
+    python -m repro rounds --family gnp --n 48
+    python -m repro families
+
+Subcommands:
+
+``sample``
+    Draw one spanning tree with the chosen sampler variant and print the
+    edge list plus phase/round diagnostics.
+``rounds``
+    Run all three samplers on one graph and print a round-bill comparison
+    (the quickstart's table, scriptable).
+``families``
+    List the available graph families and their parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable
+
+import numpy as np
+
+from repro import graphs
+from repro.core import (
+    CongestedCliqueTreeSampler,
+    ExactTreeSampler,
+    SamplerConfig,
+    sample_tree_fast_cover,
+)
+from repro.errors import ReproError
+from repro.graphs.core import WeightedGraph
+
+__all__ = ["main", "build_graph", "FAMILIES"]
+
+FAMILIES: dict[str, Callable[[int, np.random.Generator], WeightedGraph]] = {
+    "expander": lambda n, rng: graphs.random_regular_graph(
+        n if n % 2 == 0 else n + 1, 4, rng=rng
+    ),
+    "gnp": lambda n, rng: graphs.erdos_renyi_graph(n, rng=rng),
+    "complete": lambda n, rng: graphs.complete_graph(n),
+    "cycle": lambda n, rng: graphs.cycle_graph(n),
+    "path": lambda n, rng: graphs.path_graph(n),
+    "star": lambda n, rng: graphs.star_graph(n),
+    "wheel": lambda n, rng: graphs.wheel_graph(n),
+    "lollipop": lambda n, rng: graphs.lollipop_graph(n),
+    "barbell": lambda n, rng: graphs.barbell_graph(n),
+    "bipartite": lambda n, rng: graphs.complete_bipartite_unbalanced(n),
+    "grid": lambda n, rng: graphs.grid_graph(
+        max(2, int(np.sqrt(n))), max(2, int(np.ceil(n / max(2, int(np.sqrt(n))))))
+    ),
+}
+
+
+def build_graph(family: str, n: int, rng: np.random.Generator) -> WeightedGraph:
+    """Instantiate a named family at (roughly) n vertices."""
+    try:
+        factory = FAMILIES[family]
+    except KeyError:
+        raise ReproError(
+            f"unknown family {family!r}; choose from {sorted(FAMILIES)}"
+        ) from None
+    return factory(n, rng)
+
+
+def _make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spanning tree sampling in the simulated CongestedClique",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sample = sub.add_parser("sample", help="draw one spanning tree")
+    sample.add_argument("--family", default="expander", choices=sorted(FAMILIES))
+    sample.add_argument("--n", type=int, default=32)
+    sample.add_argument(
+        "--variant", default="approximate",
+        choices=["approximate", "exact", "fastcover"],
+    )
+    sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument("--ell", type=int, default=1 << 12,
+                        help="nominal walk length (power of two)")
+    sample.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+
+    rounds = sub.add_parser("rounds", help="compare sampler round bills")
+    rounds.add_argument("--family", default="expander", choices=sorted(FAMILIES))
+    rounds.add_argument("--n", type=int, default=32)
+    rounds.add_argument("--seed", type=int, default=0)
+    rounds.add_argument("--ell", type=int, default=1 << 12)
+
+    pagerank = sub.add_parser(
+        "pagerank", help="walk-based PageRank vs the exact solve"
+    )
+    pagerank.add_argument("--family", default="wheel", choices=sorted(FAMILIES))
+    pagerank.add_argument("--n", type=int, default=32)
+    pagerank.add_argument("--damping", type=float, default=0.85)
+    pagerank.add_argument("--walks", type=int, default=64,
+                          help="walks per vertex")
+    pagerank.add_argument("--seed", type=int, default=0)
+
+    audit = sub.add_parser(
+        "audit", help="uniformity audit against exact enumeration"
+    )
+    audit.add_argument("--family", default="cycle", choices=sorted(FAMILIES))
+    audit.add_argument("--n", type=int, default=6)
+    audit.add_argument("--samples", type=int, default=500)
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument("--ell", type=int, default=1 << 10)
+
+    sub.add_parser("families", help="list graph families")
+    sub.add_parser("verify", help="run the installation self-check battery")
+    return parser
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    graph = build_graph(args.family, args.n, rng)
+    config = SamplerConfig(ell=args.ell)
+    if args.variant == "fastcover":
+        result = sample_tree_fast_cover(graph, rng)
+        payload = {
+            "family": args.family,
+            "n": graph.n,
+            "variant": args.variant,
+            "rounds": result.rounds,
+            "walk_length": result.walk_length,
+            "tree": [list(edge) for edge in result.tree],
+        }
+    else:
+        sampler_cls = (
+            ExactTreeSampler if args.variant == "exact"
+            else CongestedCliqueTreeSampler
+        )
+        result = sampler_cls(graph, config).sample(rng)
+        payload = {
+            "family": args.family,
+            "n": graph.n,
+            "variant": args.variant,
+            "rounds": result.rounds,
+            "phases": result.phases,
+            "rounds_by_category": result.rounds_by_category(),
+            "tree": [list(edge) for edge in result.tree],
+        }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{args.variant} sampler on {args.family} (n={graph.n})")
+        for key, value in payload.items():
+            if key == "tree":
+                print(f"  tree: {len(value)} edges: {value[:6]}...")
+            elif key == "rounds_by_category":
+                for category, count in value.items():
+                    print(f"    {category:<26s} {count}")
+            else:
+                print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_rounds(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    graph = build_graph(args.family, args.n, rng)
+    config = SamplerConfig(ell=args.ell)
+    approx = CongestedCliqueTreeSampler(graph, config).sample(rng)
+    exact = ExactTreeSampler(graph, config).sample(rng)
+    fast = sample_tree_fast_cover(graph, rng)
+    print(f"{args.family} (n={graph.n}, m={graph.m})")
+    print(f"{'variant':<14s} {'rounds':>8s} {'phases':>7s}")
+    print(f"{'approximate':<14s} {approx.rounds:>8d} {approx.phases:>7d}")
+    print(f"{'exact':<14s} {exact.rounds:>8d} {exact.phases:>7d}")
+    print(f"{'fastcover':<14s} {fast.rounds:>8d} {'-':>7s}")
+    return 0
+
+
+def _cmd_pagerank(args: argparse.Namespace) -> int:
+    from repro.walks import pagerank_exact, pagerank_via_walks
+
+    rng = np.random.default_rng(args.seed)
+    graph = build_graph(args.family, args.n, rng)
+    exact = pagerank_exact(graph, damping=args.damping)
+    estimate = pagerank_via_walks(
+        graph, damping=args.damping, walks_per_vertex=args.walks, rng=rng
+    )
+    print(f"PageRank on {args.family} (n={graph.n}), damping {args.damping}")
+    print(f"walks/vertex: {args.walks}, walk length: {estimate.walk_length}, "
+          f"rounds: {estimate.rounds}")
+    print(f"L1 error vs exact solve: {estimate.l1_error(exact):.4f}")
+    top = np.argsort(exact)[::-1][:5]
+    print(f"{'vertex':>7s} {'exact':>8s} {'estimate':>9s}")
+    for v in top:
+        print(f"{int(v):>7d} {exact[v]:>8.4f} {estimate.scores[v]:>9.4f}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        chi_square_uniformity,
+        expected_tv_noise,
+        tv_to_uniform,
+    )
+    from repro.graphs import count_spanning_trees
+
+    rng = np.random.default_rng(args.seed)
+    graph = build_graph(args.family, args.n, rng)
+    num_trees = count_spanning_trees(graph)
+    if num_trees > 100_000:
+        raise ReproError(
+            f"{args.family}(n={graph.n}) has {num_trees:.2e} trees; pick a "
+            "smaller instance for exact-enumeration auditing"
+        )
+    sampler = CongestedCliqueTreeSampler(graph, SamplerConfig(ell=args.ell))
+    trees = [sampler.sample_tree(rng) for _ in range(args.samples)]
+    tv = tv_to_uniform(graph, trees)
+    __, p_value = chi_square_uniformity(graph, trees)
+    noise = expected_tv_noise(int(round(num_trees)), args.samples)
+    print(f"audit: {args.family} (n={graph.n}), {int(num_trees)} trees, "
+          f"{args.samples} samples")
+    print(f"TV to uniform: {tv:.4f} (perfect-sampler noise ~ {noise:.4f})")
+    print(f"chi-square p-value: {p_value:.3g}")
+    print("verdict:", "UNIFORM" if p_value > 1e-3 else "BIASED")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.selfcheck import main_cli
+
+    return main_cli()
+
+
+def _cmd_families(args: argparse.Namespace) -> int:
+    for name in sorted(FAMILIES):
+        print(name)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _make_parser().parse_args(argv)
+    handlers = {
+        "sample": _cmd_sample,
+        "rounds": _cmd_rounds,
+        "pagerank": _cmd_pagerank,
+        "audit": _cmd_audit,
+        "families": _cmd_families,
+        "verify": _cmd_verify,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Simulated CongestedClique model (Section 1.6 of the paper).
+
+The model: ``n`` machines, machine ``i`` hosting vertex ``i`` of the input
+graph; synchronous rounds; each round every machine may send and receive a
+total of O(n) messages of O(log n) bits each (the "total bandwidth" view
+justified by Lenzen's routing theorem [56]).
+
+Components:
+
+- :mod:`repro.clique.cost` -- the :class:`RoundLedger` that accounts rounds,
+  both for explicitly simulated message exchanges and for collective
+  operations the paper treats analytically (matrix multiplication [17]);
+- :mod:`repro.clique.routing` -- pure functions converting per-machine word
+  loads into round counts per Lenzen's theorem;
+- :mod:`repro.clique.network` -- the message-level simulator with
+  ``exchange`` / ``broadcast`` / ``gather`` primitives;
+- :mod:`repro.clique.hashing` -- the k-wise independent hash family used by
+  the load-balanced doubling algorithm (Section 3, step 1).
+"""
+
+from repro.clique.cost import CostModel, RoundLedger
+from repro.clique.hashing import KWiseHashFamily
+from repro.clique.lenzen import (
+    RoutedMessage,
+    RoutingOutcome,
+    lenzen_route,
+    route_with_splitting,
+)
+from repro.clique.matmul3d import SimulatedMatmul, semiring_matmul_rounds
+from repro.clique.network import CongestedClique
+from repro.clique.routing import (
+    WORD_BITS_FACTOR,
+    lenzen_rounds,
+    words_for_vertices,
+)
+
+__all__ = [
+    "CostModel",
+    "RoundLedger",
+    "KWiseHashFamily",
+    "RoutedMessage",
+    "RoutingOutcome",
+    "lenzen_route",
+    "route_with_splitting",
+    "SimulatedMatmul",
+    "semiring_matmul_rounds",
+    "CongestedClique",
+    "WORD_BITS_FACTOR",
+    "lenzen_rounds",
+    "words_for_vertices",
+]

@@ -1,0 +1,176 @@
+"""k-wise independent hash families (Section 3, step 1 of the paper).
+
+The load-balanced doubling algorithm has machine 1 pick a random binary
+string ``s`` of O(log^2 n) bits, broadcast it, and have every machine use
+``s`` to select the *same* hash function ``h_s`` from a family of
+``8 c log n``-wise independent functions ``[n] x [k] -> [n]``.
+
+The classical construction ([71], Vadhan's survey): a uniformly random
+polynomial of degree ``t - 1`` over a prime field ``F_p`` with ``p >= |U|``
+is t-wise independent on ``F_p``; reducing the output modulo ``M`` gives a
+family that is t-wise independent up to a ``p mod M`` bias, which we keep
+negligible by choosing ``p >> M``. The seed is exactly the coefficient
+vector -- ``t * ceil(log2 p)`` bits = O(log^2 n) for ``t = O(log n)``,
+matching the paper's seed size.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["KWiseHashFamily", "smallest_prime_at_least"]
+
+
+def _is_prime(value: int) -> bool:
+    """Deterministic Miller-Rabin, exact for 64-bit inputs."""
+    if value < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if value % small == 0:
+            return value == small
+    d = value - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # These witnesses are exact for value < 3.3 * 10^24.
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, value)
+        if x in (1, value - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % value
+            if x == value - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def smallest_prime_at_least(value: int) -> int:
+    """Smallest prime >= value (value >= 2)."""
+    if value < 2:
+        value = 2
+    candidate = value
+    while not _is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+class KWiseHashFamily:
+    """A t-wise independent hash function ``domain -> [codomain]``.
+
+    Parameters
+    ----------
+    independence:
+        t, the independence parameter (the paper uses ``t = 8 c log n``).
+    domain_size:
+        Size of the input universe ``|U|``; inputs must lie in
+        ``[0, domain_size)``. Pairs ``(v, i)`` from ``[n] x [k]`` are
+        encoded by callers as ``v * k + i`` before hashing.
+    codomain_size:
+        M, the output range ``[0, M)``.
+    rng / seed_bits:
+        Either a numpy Generator used to draw the coefficient seed, or an
+        explicit seed bit-string (as ``bytes``) -- the broadcastable object
+        of the algorithm's step 1.
+
+    Notes
+    -----
+    Evaluation is vectorized Horner's rule over Python integers (exact
+    modular arithmetic; the prime can exceed 64 bits for huge domains).
+    """
+
+    def __init__(
+        self,
+        independence: int,
+        domain_size: int,
+        codomain_size: int,
+        *,
+        rng: np.random.Generator | None = None,
+        seed_bits: bytes | None = None,
+    ) -> None:
+        if independence < 1:
+            raise ModelError(f"independence must be >= 1, got {independence}")
+        if domain_size < 1 or codomain_size < 1:
+            raise ModelError("domain and codomain must be non-empty")
+        self.independence = independence
+        self.domain_size = domain_size
+        self.codomain_size = codomain_size
+        # p >> M so the mod-M bias is O(M / p); keeping p < 2^31 when the
+        # domain allows it lets evaluation stay in vectorized int64
+        # arithmetic (products < 2^62 never overflow).
+        floor = max(domain_size, codomain_size * codomain_size * 256, 1 << 20)
+        self.prime = smallest_prime_at_least(floor)
+        if seed_bits is None:
+            rng = np.random.default_rng(rng)
+            seed_bits = rng.bytes(self.seed_length_bytes())
+        self.seed_bits = bytes(seed_bits)
+        if len(self.seed_bits) < self.seed_length_bytes():
+            raise ModelError(
+                f"seed must have at least {self.seed_length_bytes()} bytes"
+            )
+        self._coefficients = self._coefficients_from_seed(self.seed_bits)
+
+    # ------------------------------------------------------------------
+
+    def seed_length_bytes(self) -> int:
+        """Bytes of randomness consumed: t coefficients of ceil(log2 p) bits."""
+        bits_per_coeff = self.prime.bit_length() + 16  # oversample for uniformity
+        return self.independence * math.ceil(bits_per_coeff / 8)
+
+    def _coefficients_from_seed(self, seed: bytes) -> list[int]:
+        bits_per_coeff = self.prime.bit_length() + 16
+        bytes_per_coeff = math.ceil(bits_per_coeff / 8)
+        coefficients = []
+        for i in range(self.independence):
+            chunk = seed[i * bytes_per_coeff : (i + 1) * bytes_per_coeff]
+            coefficients.append(int.from_bytes(chunk, "big") % self.prime)
+        return coefficients
+
+    # ------------------------------------------------------------------
+
+    def __call__(self, x: int) -> int:
+        """Hash a single element of the domain into ``[0, codomain)``."""
+        if not (0 <= x < self.domain_size):
+            raise ModelError(
+                f"hash input {x} outside domain [0, {self.domain_size})"
+            )
+        acc = 0
+        for coeff in reversed(self._coefficients):
+            acc = (acc * x + coeff) % self.prime
+        return acc % self.codomain_size
+
+    def hash_pair(self, v: int, i: int, pair_width: int) -> int:
+        """Hash a pair ``(v, i)`` with ``i in [0, pair_width)``.
+
+        This is the paper's ``h_s(W_v^i[end], k - i + 1)`` style usage: the
+        pair is injectively flattened to ``v * pair_width + i``.
+        """
+        if not (0 <= i < pair_width):
+            raise ModelError(f"pair index {i} outside [0, {pair_width})")
+        return self(v * pair_width + i)
+
+    def many(self, xs: "np.ndarray | list[int]") -> np.ndarray:
+        """Vectorized hashing of a batch of domain elements.
+
+        Uses int64 Horner evaluation when the prime is below 2^31 (so
+        intermediate products cannot overflow); falls back to exact scalar
+        arithmetic otherwise.
+        """
+        values = np.asarray(xs, dtype=np.int64)
+        if values.size == 0:
+            return values.copy()
+        if values.min() < 0 or values.max() >= self.domain_size:
+            raise ModelError("batch contains out-of-domain inputs")
+        if self.prime < (1 << 31):
+            prime = np.int64(self.prime)
+            acc = np.zeros_like(values)
+            for coeff in reversed(self._coefficients):
+                acc = (acc * values + np.int64(coeff)) % prime
+            return acc % np.int64(self.codomain_size)
+        return np.array([self(int(x)) for x in values], dtype=np.int64)

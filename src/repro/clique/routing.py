@@ -1,0 +1,121 @@
+"""Load-to-rounds conversion per Lenzen's routing theorem.
+
+Lenzen [56] proved that in O(1) deterministic rounds every machine can send
+and receive O(n) messages regardless of destinations. Following the paper
+(Section 1.6) we adopt the "general view": a communication step in which
+every machine sends at most ``S`` words and receives at most ``R`` words
+completes in ``ceil(max(S, R) / n)`` routing invocations, i.e. that many
+O(1)-round Lenzen calls. We charge exactly that, with the O(1) constant
+normalized to 1 round so measured round counts are comparable across
+algorithms.
+
+A *word* is O(log n) bits and encodes a constant number of vertex IDs or
+edge endpoints (Section 1.6). Payloads larger than one word (e.g. a
+length-eta walk in the doubling algorithm) are accounted as multiple words.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from repro.errors import BandwidthError
+
+__all__ = ["lenzen_rounds", "words_for_vertices", "WORD_BITS_FACTOR"]
+
+# How many O(log n)-bit quantities fit in one model word. The model permits
+# any constant; we use 1 for conservative (upper bound) round counts.
+WORD_BITS_FACTOR = 1
+
+
+def lenzen_rounds(max_send_words: int, max_recv_words: int, n: int) -> int:
+    """Rounds to complete a step with the given per-machine word loads.
+
+    Parameters
+    ----------
+    max_send_words:
+        Maximum over machines of the number of words sent in this step.
+    max_recv_words:
+        Maximum over machines of the number of words received.
+    n:
+        Number of machines (per-round per-machine bandwidth is ``n`` words).
+
+    Returns
+    -------
+    int
+        ``ceil(max(load) / n)`` with a floor of 1 when any traffic exists,
+        0 for an empty step.
+    """
+    if max_send_words < 0 or max_recv_words < 0 or n <= 0:
+        raise BandwidthError(
+            f"invalid load accounting: send={max_send_words}, "
+            f"recv={max_recv_words}, n={n}"
+        )
+    load = max(max_send_words, max_recv_words)
+    if load == 0:
+        return 0
+    return max(1, math.ceil(load / n))
+
+
+def words_for_vertices(count: int) -> int:
+    """Words needed to transmit ``count`` vertex IDs (Section 1.6).
+
+    A single message encodes a constant number of vertices; with
+    :data:`WORD_BITS_FACTOR` = 1 this is simply ``count``.
+    """
+    if count < 0:
+        raise BandwidthError(f"cannot encode {count} vertices")
+    return math.ceil(count / WORD_BITS_FACTOR)
+
+
+def per_machine_loads(
+    sends: Iterable[tuple[int, int, int]], n: int
+) -> tuple[list[int], list[int]]:
+    """Aggregate (src, dst, words) triples into per-machine send/recv loads."""
+    send_load = [0] * n
+    recv_load = [0] * n
+    for src, dst, words in sends:
+        if not (0 <= src < n and 0 <= dst < n):
+            raise BandwidthError(f"machine index out of range: {src} -> {dst}")
+        if words < 0:
+            raise BandwidthError(f"negative word count {words}")
+        send_load[src] += words
+        recv_load[dst] += words
+    return send_load, recv_load
+
+
+def rounds_for_step(sends: Iterable[tuple[int, int, int]], n: int) -> int:
+    """Rounds for a full communication step described by (src, dst, words)."""
+    send_load, recv_load = per_machine_loads(sends, n)
+    max_send = max(send_load, default=0)
+    max_recv = max(recv_load, default=0)
+    return lenzen_rounds(max_send, max_recv, n)
+
+
+def broadcast_rounds(words: int, n: int) -> int:
+    """Rounds for one machine to broadcast ``words`` words to everyone.
+
+    Standard two-step CongestedClique broadcast: the source scatters the
+    payload across machines (each receives ``ceil(words / n)`` words), then
+    every machine re-broadcasts its fragment to all. Both steps are
+    Lenzen-routable with per-machine load ``max(words, n * ceil(words/n))``
+    ... which collapses to ``ceil(words / n)`` routing invocations, each of
+    2 rounds. The paper uses this for broadcasting the size-O(sqrt(n)) set
+    S "in two rounds" (Section 2.1.3).
+    """
+    if words <= 0:
+        return 0
+    fragments = math.ceil(words / n)
+    return 2 * fragments
+
+
+def summary(loads: Mapping[int, int]) -> dict[str, float]:
+    """Convenience statistics over a per-machine load mapping."""
+    if not loads:
+        return {"max": 0.0, "mean": 0.0, "total": 0.0}
+    values = list(loads.values())
+    return {
+        "max": float(max(values)),
+        "mean": float(sum(values) / len(values)),
+        "total": float(sum(values)),
+    }

@@ -1,0 +1,168 @@
+"""Configuration for the CongestedClique spanning-tree samplers.
+
+Every tunable the paper leaves as a parameter (epsilon, rho, the nominal
+walk length ell, numerical precision, which matching sampler realizes the
+JSV/JVV step) is surfaced here, with defaults matching the paper's choices
+for the approximate (Theorem 1) variant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.errors import ConfigError
+
+__all__ = ["SamplerConfig"]
+
+MatchingMethod = Literal["exact-dp", "exact-permanent", "mcmc"]
+FailurePolicy = Literal["extend", "error"]
+SchurMethod = Literal["block", "qr-product"]
+ShortcutMethod = Literal["solve", "power-iteration"]
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Knobs for :class:`repro.core.sampler.CongestedCliqueTreeSampler`.
+
+    Attributes
+    ----------
+    epsilon:
+        Target total variation distance from uniform (the paper allows
+        any ``eps = Omega(1/n^c)``). Drives the nominal walk length and
+        the per-level matching-sampler accuracy budget
+        ``eps / (4 sqrt(n) log ell)``.
+    rho:
+        Distinct vertices visited per phase. ``None`` uses the variant
+        default: ``floor(sqrt(n))`` for the approximate sampler (Section
+        2.1), ``floor(n^(1/3))`` for the exact one (Appendix 5.3). Each
+        phase actually stops at ``min(rho, |S|)`` distinct vertices --
+        positions past the point where S is covered contribute no
+        first-visit edges, so this preserves the output distribution while
+        keeping the simulation's realized walks finite (DESIGN.md §4.3).
+    ell:
+        Nominal per-phase walk length; ``None`` uses the paper's smallest
+        power of two at least ``log(4 sqrt(n)/eps) * n^3``. Benchmarks may
+        shrink it (with ``on_failure="extend"`` the output law is
+        unaffected; short walks just trigger more extensions).
+    on_failure:
+        What to do when a phase walk fails to reach its distinct-vertex
+        quota within ``ell`` steps. ``"extend"`` (default) applies the
+        Appendix 5.1 Las-Vegas extension: continue the walk from its
+        current endpoint with a fresh target. ``"error"`` raises, exposing
+        the paper's Monte-Carlo failure event (probability <= eps/2 with
+        the paper's ell).
+    matching_method:
+        How the weighted-perfect-matching placement step samples:
+        ``"exact-dp"`` (class-compressed exact sampler; default),
+        ``"exact-permanent"`` (self-reducible Ryser; small instances),
+        ``"mcmc"`` (Metropolis chain -- the approximate path of Lemma 4).
+    mcmc_steps:
+        Proposal count for the MCMC matching sampler (``None``: 10 * B^3).
+    precision_bits:
+        Entry precision for matrix power ladders. ``None`` = full float64
+        (the exact-arithmetic idealization); an integer activates the
+        Lemma 7 truncation pipeline of Section 2.5.
+    schur_method / shortcut_method:
+        Which construction computes the derived graphs each phase; the
+        alternatives cross-validate each other (Corollaries 2-3).
+    matmul_backend:
+        ``"analytic"`` (default) charges O~(n^alpha) per multiplication
+        as the paper does with the [17] black box; ``"simulated-3d"``
+        runs the executable combinatorial O(n^{1/3})-round protocol
+        (:class:`repro.clique.matmul3d.SimulatedMatmul`) and charges its
+        *measured* rounds instead.
+    normalizer_floor_exponent:
+        The ``c`` of Section 5.2's check ``W^2[p, q] >= 1/n^c``; midpoint
+        normalizers below ``n ** -c`` trigger the brute-force fallback in
+        exact mode (and a :class:`~repro.errors.PrecisionError` otherwise).
+    start_vertex:
+        The arbitrary start of the global walk (machine 1 / vertex 0 in
+        the paper).
+    max_extensions:
+        Safety valve on Appendix 5.1 extensions per phase.
+    """
+
+    epsilon: float = 1e-3
+    rho: int | None = None
+    ell: int | None = None
+    on_failure: FailurePolicy = "extend"
+    matching_method: MatchingMethod = "exact-dp"
+    mcmc_steps: int | None = None
+    precision_bits: int | None = None
+    schur_method: SchurMethod = "block"
+    shortcut_method: ShortcutMethod = "solve"
+    matmul_backend: Literal["analytic", "simulated-3d"] = "analytic"
+    normalizer_floor_exponent: float = 40.0
+    start_vertex: int = 0
+    max_extensions: int = 64
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.epsilon < 1.0):
+            raise ConfigError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if self.rho is not None and self.rho < 2:
+            raise ConfigError(f"rho must be >= 2, got {self.rho}")
+        if self.ell is not None:
+            if self.ell < 2 or (self.ell & (self.ell - 1)) != 0:
+                raise ConfigError(
+                    f"ell must be a power of two >= 2, got {self.ell}"
+                )
+        if self.on_failure not in ("extend", "error"):
+            raise ConfigError(f"unknown failure policy {self.on_failure!r}")
+        if self.matching_method not in ("exact-dp", "exact-permanent", "mcmc"):
+            raise ConfigError(
+                f"unknown matching method {self.matching_method!r}"
+            )
+        if self.precision_bits is not None and self.precision_bits < 8:
+            raise ConfigError(
+                f"precision_bits must be >= 8, got {self.precision_bits}"
+            )
+        if self.schur_method not in ("block", "qr-product"):
+            raise ConfigError(f"unknown schur method {self.schur_method!r}")
+        if self.shortcut_method not in ("solve", "power-iteration"):
+            raise ConfigError(
+                f"unknown shortcut method {self.shortcut_method!r}"
+            )
+        if self.matmul_backend not in ("analytic", "simulated-3d"):
+            raise ConfigError(
+                f"unknown matmul backend {self.matmul_backend!r}"
+            )
+        if self.max_extensions < 1:
+            raise ConfigError("max_extensions must be >= 1")
+
+    # ------------------------------------------------------------------
+
+    def resolve_rho(self, n: int, *, exact_variant: bool = False) -> int:
+        """The per-phase distinct-vertex quota for an n-vertex input.
+
+        Approximate variant: ``floor(sqrt(n))`` (Section 2.1); exact
+        variant: ``floor(n^(1/3))`` (Appendix 5.3). Never below 2.
+        """
+        if self.rho is not None:
+            return self.rho
+        if exact_variant:
+            return max(2, int(round(n ** (1.0 / 3.0))))
+        return max(2, int(math.isqrt(n)))
+
+    def resolve_ell(self, n: int) -> int:
+        """The nominal walk target length (Section 2.1's ell)."""
+        if self.ell is not None:
+            return self.ell
+        from repro.graphs.covertime import nominal_walk_length
+
+        return nominal_walk_length(n, self.epsilon)
+
+    def matching_tv_budget(self, n: int, ell: int) -> float:
+        """Per-sample TV budget for the matching sampler (Section 2.1.3).
+
+        The paper allots ``eps / (4 sqrt(n) log ell)`` to each of the
+        O(sqrt(n) log ell) perfect-matching draws so the union bound over
+        all levels and phases stays at O(eps).
+        """
+        return self.epsilon / (4.0 * math.sqrt(n) * max(1.0, math.log2(ell)))
+
+    def normalizer_floor(self, n: int) -> float:
+        """Section 5.2's lower bound ``1 / n^c`` on midpoint normalizers."""
+        return float(n) ** (-self.normalizer_floor_exponent)

@@ -1,0 +1,323 @@
+"""Midpoint placement: multiset collection + matching sampling (Lemmas 3-4).
+
+Once the truncation point ``t*`` is fixed, the leader must fill the
+midpoint positions of the truncated prefix. Receiving the sequences
+``Pi_{p,q}`` is bandwidth-infeasible, so (Section 2.1.3):
+
+1. the *chronologically final* midpoint ``m_f`` is queried directly and
+   pinned to its position (Lemma 4's correctness hinges on the prefix
+   ending at the first occurrence of the rho-th distinct vertex);
+2. the leader receives only the multiset ``M`` of midpoints and samples a
+   weighted perfect matching of the bipartite graph B between
+   ``M' = M \\ {m_f}`` and the non-final midpoint positions ``P'``,
+   with edge weight ``P^{delta/2}[p, x] * P^{delta/2}[x, q]`` for a
+   position between the pair (p, q). Lemma 3: matching weight is
+   proportional to the probability of the induced placement.
+
+:func:`place_midpoints` implements this with any of the configured
+matching samplers; :func:`place_by_pair_multisets` implements the exact
+variant's placement (Appendix 5.3), where each pair's multiset is shuffled
+uniformly -- no matching sampler (and hence no sampling error) at all.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.clique.network import CongestedClique
+from repro.core.midpoints import MidpointBank, Pair
+from repro.core.truncation import LevelView
+from repro.errors import SamplingError, WalkError
+from repro.matching.sampler import (
+    ClassifiedBipartite,
+    sample_assignment_by_classes,
+    sample_matching_exact,
+    sample_matching_mcmc,
+)
+from repro.walks.fill import PartialWalk
+
+__all__ = ["place_midpoints", "place_by_pair_multisets"]
+
+
+def _charge_submatrix(clique: CongestedClique | None, distinct: int) -> None:
+    """Leader broadcasts S (O(sqrt n) words) and receives the needed
+    |S| x |S| submatrix of the half power (O(n) words) -- Section 2.1.3's
+    'this can be done in O(1) rounds'."""
+    if clique is None:
+        return
+    clique.broadcast(0, None, words=max(1, distinct), category="placement/broadcast-S")
+    clique.charge_step(
+        "placement/submatrix",
+        max(1, distinct),
+        max(1, distinct * distinct),
+        total_words=max(1, distinct * distinct),
+    )
+
+
+_DP_STATE_BUDGET = 2_000_000
+
+
+def _dp_cost_estimate(multiset: Counter, positions: list[int]) -> float:
+    """Upper bound on the contingency-DP state space x column classes."""
+    states = 1.0
+    for count in multiset.values():
+        states *= count + 1
+        if states > 1e18:
+            break
+    return states * max(1, len(positions))
+
+
+def _final_midpoint_position(t_star: int) -> int:
+    """Largest odd (midpoint) position <= t*; the final midpoint's slot."""
+    if t_star < 1:
+        raise WalkError("truncated prefix contains no midpoint position")
+    return t_star if t_star % 2 == 1 else t_star - 1
+
+
+def _assemble(
+    view: LevelView,
+    t_star: int,
+    placed: dict[int, int],
+) -> PartialWalk:
+    """Build W_{i+1} from old vertices and the placed midpoints."""
+    vertices: list[int] = []
+    for t in range(t_star + 1):
+        if t % 2 == 0:
+            vertices.append(view.walk.vertices[t // 2])
+        else:
+            vertices.append(placed[t])
+    new_spacing = view.walk.spacing // 2
+    if new_spacing < 1:
+        raise WalkError("cannot halve spacing below 1")
+    return PartialWalk(new_spacing, vertices)
+
+
+def place_midpoints(
+    view: LevelView,
+    t_star: int,
+    half_power: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    method: str = "exact-dp",
+    mcmc_steps: int | None = None,
+    clique: CongestedClique | None = None,
+) -> PartialWalk:
+    """Sample the placement of the collected multiset (Section 2.1.3).
+
+    Returns the next partial walk ``W_{i+1}`` (spacing halved, truncated
+    at ``t*``). ``method`` selects the matching sampler; ``"mcmc"`` starts
+    its chain from the *true* placement (known to the simulator), which
+    guarantees a feasible positive-weight initial state -- and, since
+    that state is itself distributed per the target law given the
+    multiset, leaves the chain stationary from step 0: the simulated
+    MCMC path is statistically exact at any proposal budget. (A real
+    deployment starts cold and needs the Lemma 4 budget; cold-start
+    mixing is what the matching-sampler unit tests exercise.)
+    """
+    bank = view.bank
+    truncated = view.truncated_pair_counts(t_star)
+    t_final = _final_midpoint_position(t_star)
+    final_value = view.value_at(t_final)  # O(1)-round point query
+    if clique is not None:
+        clique.charge_step("placement/final-midpoint", 1, 1, total_words=1)
+
+    multiset = bank.truncated_counts(truncated)
+    if multiset[final_value] < 1:
+        raise SamplingError("final midpoint missing from collected multiset")
+    multiset[final_value] -= 1
+    multiset = +multiset  # drop zero entries
+
+    positions = [t for t in view.midpoint_positions_upto(t_star) if t != t_final]
+    if sum(multiset.values()) != len(positions):
+        raise SamplingError(
+            f"multiset size {sum(multiset.values())} != "
+            f"{len(positions)} open positions"
+        )
+
+    placed: dict[int, int] = {t_final: final_value}
+    if positions and _dp_cost_estimate(multiset, positions) > _DP_STATE_BUDGET:
+        # The class DP is polynomial in the class *counts* but its state
+        # space is the product of per-class multiplicities, which explodes
+        # for very long truncated walks (huge multisets over few values).
+        # Fall back to the appendix's per-pair multiset placement, which
+        # resamples the same conditional law exactly (both are exact
+        # resamplings of the true placement; see Appendix 5.3).
+        return place_by_pair_multisets(view, t_star, rng, clique=clique)
+    if positions:
+        pair_for_position = {
+            t: view.pair_of_gap((t - 1) // 2) for t in positions
+        }
+        col_classes: list[Pair] = sorted(set(pair_for_position.values()))
+        col_counts = Counter(pair_for_position.values())
+        row_labels = sorted(multiset)
+        weights = np.empty((len(row_labels), len(col_classes)))
+        for r, x in enumerate(row_labels):
+            for c, (p, q) in enumerate(col_classes):
+                weights[r, c] = half_power[p, x] * half_power[x, q]
+        instance = ClassifiedBipartite(
+            row_labels=tuple(row_labels),
+            row_counts=tuple(multiset[x] for x in row_labels),
+            col_labels=tuple(col_classes),
+            col_counts=tuple(col_counts[c] for c in col_classes),
+            class_weights=weights,
+        )
+        distinct = len(set(view.walk.vertices[: t_star // 2 + 1]))
+        distinct += len(row_labels) + 1
+        _charge_submatrix(clique, distinct)
+        per_class = _sample_assignment(
+            instance, view, positions, pair_for_position, rng,
+            method=method, mcmc_steps=mcmc_steps,
+        )
+        # Hand the sampled labels to positions class by class, in
+        # chronological order within each class.
+        cursor = {c: 0 for c in col_classes}
+        for t in positions:
+            pair = pair_for_position[t]
+            class_index = col_classes.index(pair)
+            labels = per_class[class_index]
+            placed[t] = int(labels[cursor[pair]])
+            cursor[pair] += 1
+    return _assemble(view, t_star, placed)
+
+
+def _sample_assignment(
+    instance: ClassifiedBipartite,
+    view: LevelView,
+    positions: list[int],
+    pair_for_position: dict[int, Pair],
+    rng: np.random.Generator,
+    *,
+    method: str,
+    mcmc_steps: int | None,
+) -> list[list[int]]:
+    """Dispatch to the configured matching sampler; returns per-column-class
+    label lists (chronological within class)."""
+    if method == "exact-permanent" and instance.size > 16:
+        # Ryser permanents are exponential in the instance size; beyond
+        # ~16 midpoints switch to the class DP, which samples the exact
+        # same law in polynomial time.
+        method = "exact-dp"
+    if method == "exact-dp":
+        return [
+            [int(x) for x in labels]
+            for labels in sample_assignment_by_classes(instance, rng)
+        ]
+    # The expanded-matrix samplers need explicit row/column expansions.
+    expanded = instance.expanded_weights()
+    col_classes = list(instance.col_labels)
+    expanded_rows: list[int] = []
+    for label, count in zip(instance.row_labels, instance.row_counts):
+        expanded_rows.extend([int(label)] * count)
+    expanded_cols: list[Pair] = []
+    for label, count in zip(instance.col_labels, instance.col_counts):
+        expanded_cols.extend([label] * count)
+
+    if method == "exact-permanent":
+        assignment = sample_matching_exact(expanded, rng)
+    elif method == "mcmc":
+        initial = _true_initial_permutation(
+            view, positions, pair_for_position, expanded_rows, expanded_cols
+        )
+        assignment = sample_matching_mcmc(
+            expanded, steps=mcmc_steps, rng=rng, initial=initial
+        )
+    else:
+        raise SamplingError(f"unknown matching method {method!r}")
+
+    per_class: list[list[int]] = [[] for _ in col_classes]
+    # assignment[i] = column of expanded row i; invert to column -> label.
+    label_of_column = {col: expanded_rows[row] for row, col in enumerate(assignment)}
+    for col_index, pair in enumerate(expanded_cols):
+        per_class[col_classes.index(pair)].append(label_of_column[col_index])
+    return per_class
+
+
+def _true_initial_permutation(
+    view: LevelView,
+    positions: list[int],
+    pair_for_position: dict[int, Pair],
+    expanded_rows: list[int],
+    expanded_cols: list[Pair],
+) -> list[int]:
+    """The placement actually generated by the Pi sequences, expressed as a
+    permutation of the expanded instance (a guaranteed-feasible MCMC start)."""
+    # True label of each expanded column, in expanded-column order.
+    class_streams: dict[Pair, list[int]] = {}
+    for t in positions:
+        class_streams.setdefault(pair_for_position[t], []).append(
+            view.value_at(t)
+        )
+    cursors = {pair: 0 for pair in class_streams}
+    true_labels: list[int] = []
+    for pair in expanded_cols:
+        stream = class_streams[pair]
+        true_labels.append(stream[cursors[pair]])
+        cursors[pair] += 1
+    # Greedily match expanded rows (by label) to columns needing that label.
+    waiting: dict[int, list[int]] = {}
+    for col, label in enumerate(true_labels):
+        waiting.setdefault(label, []).append(col)
+    permutation: list[int] = []
+    for label in expanded_rows:
+        queue = waiting.get(label)
+        if not queue:
+            raise SamplingError(
+                "true placement inconsistent with collected multiset"
+            )
+        permutation.append(queue.pop())
+    return permutation
+
+
+def place_by_pair_multisets(
+    view: LevelView,
+    t_star: int,
+    rng: np.random.Generator,
+    *,
+    clique: CongestedClique | None = None,
+) -> PartialWalk:
+    """Appendix 5.3 placement: per-pair multisets, uniform shuffles.
+
+    Every ``M_{p,q}`` sends the *multiset* of its truncated sequence
+    (Theta(rho) words each; with rho = n^(1/3) the leader receives
+    O(n^{2/3} * n^{1/3}) = O(n) words, O(1) rounds). Midpoints of a pair
+    are exchangeable, so placing a uniformly random permutation of each
+    pair's multiset is exact -- with the chronologically final midpoint
+    pinned, as always.
+    """
+    bank = view.bank
+    truncated = view.truncated_pair_counts(t_star)
+    t_final = _final_midpoint_position(t_star)
+    final_value = view.value_at(t_final)
+    final_pair = view.pair_of_gap((t_final - 1) // 2)
+    if clique is not None:
+        clique.charge_step("placement/final-midpoint", 1, 1, total_words=1)
+        words = sum(truncated.values()) + len(truncated)
+        clique.charge_step(
+            "placement/pair-multisets",
+            max(1, max(truncated.values(), default=1)),
+            max(1, words),
+            total_words=max(1, words),
+        )
+
+    placed: dict[int, int] = {t_final: final_value}
+    per_pair_positions: dict[Pair, list[int]] = {}
+    for t in view.midpoint_positions_upto(t_star):
+        if t == t_final:
+            continue
+        per_pair_positions.setdefault(view.pair_of_gap((t - 1) // 2), []).append(t)
+
+    for pair, upto in truncated.items():
+        values = [int(v) for v in bank.sequence(pair)[:upto]]
+        if pair == final_pair:
+            values.remove(final_value)
+        slots = per_pair_positions.get(pair, [])
+        if len(values) != len(slots):
+            raise SamplingError(
+                f"pair {pair}: {len(values)} midpoints for {len(slots)} slots"
+            )
+        order = rng.permutation(len(values))
+        for slot, index in zip(slots, order):
+            placed[slot] = values[int(index)]
+    return _assemble(view, t_star, placed)

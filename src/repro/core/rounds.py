@@ -1,0 +1,80 @@
+"""Closed-form round-complexity formulas (Theorem 1, Theorem 2, appendix).
+
+These are the paper's headline bounds, expressed as concrete functions so
+benchmarks can regress measured ledger totals against them. The ``O~``
+constants are normalized to 1; scaling benches compare *exponents*, never
+absolute values (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.clique.cost import ALPHA
+
+__all__ = [
+    "theorem1_rounds",
+    "exact_variant_rounds",
+    "theorem2_rounds",
+    "corollary1_rounds",
+    "expected_phases",
+    "fitted_exponent",
+]
+
+
+def theorem1_rounds(n: int, *, alpha: float = ALPHA, polylog: int = 2) -> float:
+    """Theorem 1: ``O~(n^{1/2 + alpha})`` rounds.
+
+    ``sqrt(n)`` phases, each dominated by ``O~(n^alpha)`` matrix
+    multiplication work (Lemma 5); ``polylog`` is the bundled log factor
+    (power ladder length x entry width).
+    """
+    return n ** (0.5 + alpha) * math.log2(max(n, 2)) ** polylog
+
+
+def exact_variant_rounds(n: int, *, alpha: float = ALPHA, polylog: int = 2) -> float:
+    """Appendix: ``O~(n^{2/3 + alpha})`` rounds for exact sampling."""
+    return n ** (2.0 / 3.0 + alpha) * math.log2(max(n, 2)) ** polylog
+
+
+def theorem2_rounds(n: int, tau: int) -> float:
+    """Theorem 2: doubling-walk rounds for a length-tau walk.
+
+    ``O((tau / n) log tau log n)`` when ``tau = Omega(n / log n)``, else
+    ``O(log tau)``.
+    """
+    log_n = math.log2(max(n, 2))
+    log_tau = math.log2(max(tau, 2))
+    if tau >= n / log_n:
+        return (tau / n) * log_tau * log_n
+    return log_tau
+
+
+def corollary1_rounds(n: int, tau: float) -> float:
+    """Corollary 1: ``O~(tau / n)`` rounds for cover time tau."""
+    log_n = math.log2(max(n, 2))
+    return max(tau / n, 1.0) * log_n**2
+
+
+def expected_phases(n: int, rho: int) -> float:
+    """Phase-count estimate: each phase claims ``rho - 1`` new vertices."""
+    return max(1.0, (n - 1) / max(rho - 1, 1))
+
+
+def fitted_exponent(ns: list[int], values: list[float]) -> float:
+    """Least-squares slope of log(values) against log(ns).
+
+    The scaling benches report this fitted exponent next to the claimed
+    one (0.5 + alpha for Theorem 1, 2/3 + alpha for the exact variant).
+    """
+    if len(ns) != len(values) or len(ns) < 2:
+        raise ValueError("need at least two (n, value) points")
+    xs = [math.log(float(x)) for x in ns]
+    ys = [math.log(max(float(y), 1e-12)) for y in values]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    if den == 0:
+        raise ValueError("all n values identical")
+    return num / den

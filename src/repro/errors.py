@@ -1,0 +1,94 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so downstream users can catch library failures with a
+single ``except`` clause while letting programming errors (``TypeError``,
+``ValueError`` raised by numpy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A graph input violates a structural requirement.
+
+    Raised, for example, when a sampler that requires a connected graph is
+    handed a disconnected one, or when an adjacency matrix is not symmetric.
+    """
+
+
+class DisconnectedGraphError(GraphError):
+    """The graph has no spanning tree because it is disconnected."""
+
+
+class WeightError(GraphError):
+    """Edge weights violate the paper's footnote-1 requirements.
+
+    The paper allows positive integer edge weights bounded by W = O(n^beta);
+    zero, negative, or non-finite weights are rejected.
+    """
+
+
+class ModelError(ReproError):
+    """A CongestedClique model constraint was violated.
+
+    Examples: a machine attempting to address a non-existent peer, or a
+    message exceeding the O(log n)-bit word budget it declared.
+    """
+
+
+class BandwidthError(ModelError):
+    """A single round exceeded the model's per-machine bandwidth.
+
+    Lenzen routing guarantees delivery in O(1) rounds only when every machine
+    sends and receives O(n) words; the simulator converts excess load into
+    extra rounds, and raises this error only when accounting is impossible
+    (e.g. a negative word count).
+    """
+
+
+class ProtocolError(ModelError):
+    """Machines violated the algorithm's communication protocol.
+
+    Raised when the simulated distributed state machine receives a message it
+    cannot interpret -- this always indicates a bug in the algorithm
+    implementation rather than bad user input.
+    """
+
+
+class SamplingError(ReproError):
+    """A sampling subroutine could not produce a valid sample."""
+
+
+class WalkError(SamplingError):
+    """A random-walk construction failed an internal invariant.
+
+    For example, a partial walk whose filled positions stop being uniformly
+    spaced, or a truncation index that is not a filled position.
+    """
+
+
+class MatchingError(SamplingError):
+    """Weighted perfect matching sampling failed.
+
+    Raised when the bipartite instance admits no perfect matching of nonzero
+    weight (the permanent of the biadjacency matrix is zero).
+    """
+
+
+class PrecisionError(ReproError):
+    """Numerical precision fell below what Section 2.5 of the paper requires.
+
+    The paper's Lemma 8 / Lemma 9 analysis assumes midpoint normalizers
+    W^2[p, q] stay above 1/n^c; when a computed normalizer underflows past
+    the configured floor the library raises this error (or, in exact mode,
+    triggers the appendix's brute-force fallback).
+    """
+
+
+class ConfigError(ReproError):
+    """A configuration object contains inconsistent or invalid settings."""

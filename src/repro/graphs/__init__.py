@@ -1,0 +1,99 @@
+"""Graph substrate: weighted graphs, generators, and tree combinatorics.
+
+This subpackage provides everything the samplers need to know about the
+input graph:
+
+- :mod:`repro.graphs.core` -- the :class:`WeightedGraph` container with
+  transition matrices and Laplacians (Section 1.1 / 1.7 of the paper);
+- :mod:`repro.graphs.generators` -- the graph families the paper discusses
+  (expanders, G(n,p), the dense irregular K_{n-sqrt(n),sqrt(n)}, lollipops
+  with Theta(n^3) cover time, ...);
+- :mod:`repro.graphs.spanning` -- Matrix-Tree counting, spanning tree
+  enumeration and canonical encodings used for statistical validation;
+- :mod:`repro.graphs.covertime` -- exact hitting times and cover-time
+  estimates used to scope walk lengths (Corollary 1).
+"""
+
+from repro.graphs.core import WeightedGraph
+from repro.graphs.generators import (
+    barbell_graph,
+    binary_tree_graph,
+    complete_bipartite_unbalanced,
+    complete_graph,
+    cycle_graph,
+    cycle_with_chord,
+    erdos_renyi_graph,
+    figure2_graph,
+    grid_graph,
+    lollipop_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+    theta_graph,
+    wheel_graph,
+)
+from repro.graphs.spanning import (
+    count_spanning_trees,
+    enumerate_spanning_trees,
+    is_spanning_tree,
+    tree_key,
+    uniform_tree_distribution,
+)
+from repro.graphs.covertime import (
+    cover_time_bound,
+    empirical_cover_time,
+    hitting_time_matrix,
+    max_hitting_time,
+)
+from repro.graphs.electrical import (
+    commute_time,
+    edge_leverage_scores,
+    effective_resistance,
+    effective_resistance_matrix,
+    foster_sum,
+)
+from repro.graphs.spectral import (
+    is_expander,
+    mixing_time_bound,
+    relaxation_time,
+    spectral_gap,
+    walk_eigenvalues,
+)
+
+__all__ = [
+    "WeightedGraph",
+    "barbell_graph",
+    "binary_tree_graph",
+    "complete_bipartite_unbalanced",
+    "complete_graph",
+    "cycle_graph",
+    "cycle_with_chord",
+    "erdos_renyi_graph",
+    "figure2_graph",
+    "grid_graph",
+    "lollipop_graph",
+    "path_graph",
+    "random_regular_graph",
+    "star_graph",
+    "theta_graph",
+    "wheel_graph",
+    "count_spanning_trees",
+    "enumerate_spanning_trees",
+    "is_spanning_tree",
+    "tree_key",
+    "uniform_tree_distribution",
+    "cover_time_bound",
+    "empirical_cover_time",
+    "hitting_time_matrix",
+    "max_hitting_time",
+    "commute_time",
+    "edge_leverage_scores",
+    "effective_resistance",
+    "effective_resistance_matrix",
+    "foster_sum",
+    "is_expander",
+    "mixing_time_bound",
+    "relaxation_time",
+    "spectral_gap",
+    "walk_eigenvalues",
+]

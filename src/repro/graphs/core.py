@@ -1,0 +1,315 @@
+"""Weighted undirected graphs backed by dense numpy arrays.
+
+The paper works with an n-vertex unweighted input graph G, but everything
+after phase 1 lives on *weighted* graphs (Schur complements of G carry
+positive real weights, Section 1.7). :class:`WeightedGraph` is therefore the
+single graph type used throughout the library:
+
+- unweighted graphs are weighted graphs with all weights equal to 1;
+- footnote 1's integer-weight inputs (weights in {1, ..., W}) are validated
+  by :meth:`WeightedGraph.validate_integer_weights`;
+- Schur complements produce arbitrary positive real weights.
+
+Vertices are always ``0..n-1`` -- in the CongestedClique model machine ``i``
+hosts vertex ``i`` (Section 1.6), so integer identities double as machine
+addresses. Conversion helpers to and from ``networkx`` are provided for
+interop and for the generator implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import DisconnectedGraphError, GraphError, WeightError
+
+__all__ = ["WeightedGraph"]
+
+_ATOL = 1e-12
+
+
+class WeightedGraph:
+    """A simple undirected graph with positive edge weights.
+
+    Parameters
+    ----------
+    weights:
+        An ``(n, n)`` symmetric matrix with zero diagonal; entry ``[u, v]``
+        is the weight of edge ``{u, v}`` and ``0`` means "no edge".
+    validate:
+        When true (default), check symmetry, zero diagonal, non-negativity
+        and finiteness. Internal callers that construct weight matrices
+        known to be valid may pass ``False``.
+
+    Notes
+    -----
+    The matrix is copied and frozen (``writeable=False``) so a graph is
+    immutable after construction; all derived quantities are cached.
+    """
+
+    __slots__ = (
+        "_weights",
+        "_degrees",
+        "_transition",
+        "_laplacian",
+        "_edges",
+        "_neighbors",
+    )
+
+    def __init__(self, weights: np.ndarray, *, validate: bool = True) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+            raise GraphError(
+                f"weight matrix must be square, got shape {weights.shape}"
+            )
+        if validate:
+            if not np.all(np.isfinite(weights)):
+                raise WeightError("edge weights must be finite")
+            if np.any(weights < 0):
+                raise WeightError("edge weights must be non-negative")
+            if np.any(np.abs(np.diagonal(weights)) > _ATOL):
+                raise GraphError("self-loops are not allowed (nonzero diagonal)")
+            if not np.allclose(weights, weights.T, atol=_ATOL):
+                raise GraphError("weight matrix must be symmetric")
+        weights = weights.copy()
+        np.fill_diagonal(weights, 0.0)
+        # Symmetrize exactly so float asymmetry below _ATOL cannot leak into
+        # transition matrices.
+        weights = (weights + weights.T) / 2.0
+        weights.setflags(write=False)
+        self._weights = weights
+        self._degrees: np.ndarray | None = None
+        self._transition: np.ndarray | None = None
+        self._laplacian: np.ndarray | None = None
+        self._edges: tuple[tuple[int, int], ...] | None = None
+        self._neighbors: tuple[tuple[int, ...], ...] | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Iterable[tuple[int, int] | tuple[int, int, float]],
+    ) -> "WeightedGraph":
+        """Build a graph on ``n`` vertices from an edge list.
+
+        Each edge is ``(u, v)`` (weight 1) or ``(u, v, w)``. Duplicate edges
+        accumulate weight, mirroring multigraph collapse.
+        """
+        weights = np.zeros((n, n), dtype=np.float64)
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge  # type: ignore[misc]
+                w = 1.0
+            else:
+                u, v, w = edge  # type: ignore[misc]
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
+            if u == v:
+                raise GraphError(f"self-loop ({u}, {u}) is not allowed")
+            if w <= 0:
+                raise WeightError(f"edge ({u}, {v}) has non-positive weight {w}")
+            weights[u, v] += w
+            weights[v, u] += w
+        return cls(weights, validate=False)
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph) -> "WeightedGraph":
+        """Convert a networkx graph (nodes relabeled to ``0..n-1``).
+
+        Edge attribute ``"weight"`` is honoured; missing weights default
+        to 1. Node order follows ``sorted(graph.nodes)`` when all nodes are
+        sortable, else insertion order.
+        """
+        nodes = list(graph.nodes)
+        try:
+            nodes = sorted(nodes)
+        except TypeError:
+            pass
+        index = {node: i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        weights = np.zeros((n, n), dtype=np.float64)
+        for u, v, data in graph.edges(data=True):
+            if u == v:
+                continue
+            w = float(data.get("weight", 1.0))
+            if w <= 0:
+                raise WeightError(f"edge ({u}, {v}) has non-positive weight {w}")
+            weights[index[u], index[v]] = w
+            weights[index[v], index[u]] = w
+        return cls(weights, validate=False)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._weights.shape[0]
+
+    @property
+    def m(self) -> int:
+        """Number of edges (pairs with nonzero weight)."""
+        return len(self.edges())
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The (read-only) symmetric weight matrix."""
+        return self._weights
+
+    def degrees(self) -> np.ndarray:
+        """Weighted degree vector: ``d[u] = sum_v w(u, v)``."""
+        if self._degrees is None:
+            degrees = self._weights.sum(axis=1)
+            degrees.setflags(write=False)
+            self._degrees = degrees
+        return self._degrees
+
+    def degree(self, u: int) -> float:
+        """Weighted degree of a single vertex."""
+        return float(self.degrees()[u])
+
+    def unweighted_degree(self, u: int) -> int:
+        """Number of neighbors of ``u`` (ignores weights)."""
+        return len(self.neighbors(u))
+
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """All edges as sorted ``(u, v)`` tuples with ``u < v``."""
+        if self._edges is None:
+            rows, cols = np.nonzero(np.triu(self._weights, k=1))
+            self._edges = tuple(
+                (int(u), int(v)) for u, v in zip(rows.tolist(), cols.tolist())
+            )
+        return self._edges
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        return bool(self._weights[u, v] > 0)
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}`` (0 when absent)."""
+        return float(self._weights[u, v])
+
+    def neighbors(self, u: int) -> tuple[int, ...]:
+        """Neighbors of ``u`` in increasing vertex order."""
+        if self._neighbors is None:
+            self._neighbors = tuple(
+                tuple(int(v) for v in np.nonzero(row)[0].tolist())
+                for row in self._weights
+            )
+        return self._neighbors[u]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.n))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WeightedGraph(n={self.n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedGraph):
+            return NotImplemented
+        return self._weights.shape == other._weights.shape and bool(
+            np.allclose(self._weights, other._weights, atol=_ATOL)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._weights.tobytes()))
+
+    # ------------------------------------------------------------------
+    # Derived matrices
+    # ------------------------------------------------------------------
+
+    def transition_matrix(self) -> np.ndarray:
+        """Random walk transition matrix P (Section 1.1).
+
+        ``P[a, b] = w(a, b) / degree(a)``; for unweighted graphs this is the
+        paper's "equal probability 1/degree(a)" walk. Isolated vertices get
+        an identity (self-absorbing) row so P stays row-stochastic.
+        """
+        if self._transition is None:
+            degrees = self.degrees().copy()
+            isolated = degrees <= 0
+            degrees[isolated] = 1.0
+            transition = self._weights / degrees[:, None]
+            if isolated.any():
+                idx = np.nonzero(isolated)[0]
+                transition[idx, idx] = 1.0
+            transition.setflags(write=False)
+            self._transition = transition
+        return self._transition
+
+    def laplacian(self) -> np.ndarray:
+        """Graph Laplacian ``L = D - W`` (Section 1.7)."""
+        if self._laplacian is None:
+            laplacian = np.diag(self.degrees()) - self._weights
+            laplacian.setflags(write=False)
+            self._laplacian = laplacian
+        return self._laplacian
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (single vertex counts as connected)."""
+        n = self.n
+        if n == 0:
+            return True
+        seen = np.zeros(n, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        while stack:
+            u = stack.pop()
+            for v in self.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+        return bool(seen.all())
+
+    def require_connected(self) -> None:
+        """Raise :class:`DisconnectedGraphError` unless connected."""
+        if not self.is_connected():
+            raise DisconnectedGraphError(
+                "graph is disconnected; it has no spanning tree"
+            )
+
+    def is_unweighted(self) -> bool:
+        """Whether every present edge has weight exactly 1."""
+        present = self._weights > 0
+        return bool(np.allclose(self._weights[present], 1.0, atol=_ATOL))
+
+    def validate_integer_weights(self, max_weight: float | None = None) -> None:
+        """Enforce footnote 1: positive integer weights, optionally <= W.
+
+        Raises :class:`WeightError` when a present edge has a non-integer
+        weight or exceeds ``max_weight``.
+        """
+        present = self._weights > 0
+        values = self._weights[present]
+        if not np.allclose(values, np.round(values), atol=_ATOL):
+            raise WeightError("edge weights must be positive integers")
+        if max_weight is not None and np.any(values > max_weight + _ATOL):
+            raise WeightError(f"edge weights must be at most {max_weight}")
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def subgraph(self, vertices: Sequence[int]) -> "WeightedGraph":
+        """Induced subgraph on ``vertices`` (relabeled to 0..k-1 in order)."""
+        idx = np.asarray(list(vertices), dtype=np.intp)
+        return WeightedGraph(self._weights[np.ix_(idx, idx)], validate=False)
+
+    def to_networkx(self) -> nx.Graph:
+        """Convert to a networkx graph with ``weight`` edge attributes."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n))
+        for u, v in self.edges():
+            graph.add_edge(u, v, weight=self.weight(u, v))
+        return graph

@@ -1,0 +1,145 @@
+"""Hitting-time and cover-time machinery.
+
+The paper's walk lengths are scoped by cover-time bounds:
+
+- the nominal walk length per phase is the smallest power of two at least
+  ``log(4 sqrt(n) / eps) * n^3`` because the cover time of any unweighted
+  graph is O(n^3) (Section 2.1, citing Aleliunas et al. [2]);
+- Corollary 1 trades rounds for cover time: graphs with cover time tau can
+  be sampled in O~(tau / n) rounds, so we need tau estimates to pick
+  doubling-walk lengths.
+
+This module provides exact expected hitting times via the fundamental
+matrix of the walk, Matthews-style cover-time bounds, and an empirical
+cover-time estimator used by tests and benches.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.core import WeightedGraph
+
+__all__ = [
+    "hitting_time_matrix",
+    "max_hitting_time",
+    "cover_time_bound",
+    "worst_case_cover_bound",
+    "empirical_cover_time",
+]
+
+
+def hitting_time_matrix(graph: WeightedGraph) -> np.ndarray:
+    """Exact expected hitting times ``H[u, v]`` for the random walk.
+
+    ``H[u, v]`` is the expected number of steps for a walk started at ``u``
+    to first reach ``v`` (``H[v, v] = 0``). Computed per target by solving
+    the absorbing linear system ``(I - P_{-v,-v}) h = 1``, which is exact
+    and O(n^4) overall -- fine for the validation graph sizes we use.
+    """
+    graph.require_connected()
+    n = graph.n
+    transition = graph.transition_matrix()
+    hitting = np.zeros((n, n), dtype=np.float64)
+    identity = np.eye(n - 1)
+    for target in range(n):
+        keep = [u for u in range(n) if u != target]
+        sub = transition[np.ix_(keep, keep)]
+        times = np.linalg.solve(identity - sub, np.ones(n - 1))
+        for row, u in enumerate(keep):
+            hitting[u, target] = times[row]
+    return hitting
+
+
+def max_hitting_time(graph: WeightedGraph) -> float:
+    """``max_{u,v} H[u, v]`` -- the pessimal one-target hitting time."""
+    return float(hitting_time_matrix(graph).max())
+
+
+def cover_time_bound(graph: WeightedGraph) -> float:
+    """Matthews upper bound on the cover time.
+
+    ``t_cov <= (max hitting time) * H_{n}`` where ``H_n`` is the n-th
+    harmonic number. Exact enough to scope doubling-walk lengths for
+    Corollary 1 experiments.
+    """
+    n = graph.n
+    if n <= 1:
+        return 0.0
+    harmonic = sum(1.0 / k for k in range(1, n))
+    return max_hitting_time(graph) * harmonic
+
+
+def worst_case_cover_bound(n: int, m: int | None = None) -> float:
+    """The O(mn) <= O(n^3) worst-case bound the paper's ell is based on.
+
+    Aleliunas et al. [2] show cover time <= 2m(n - 1) for any connected
+    unweighted graph; with m <= n(n-1)/2 this gives the O(n^3) the paper
+    quotes. ``m=None`` uses the dense worst case.
+    """
+    if m is None:
+        m = n * (n - 1) // 2
+    return 2.0 * m * max(n - 1, 1)
+
+
+def empirical_cover_time(
+    graph: WeightedGraph,
+    *,
+    trials: int = 16,
+    rng: np.random.Generator | None = None,
+    max_steps: int | None = None,
+) -> float:
+    """Mean number of steps for a walk from vertex 0 to visit every vertex.
+
+    ``max_steps`` defaults to 50x the Matthews bound; exceeding it raises
+    :class:`GraphError` since that indicates a disconnected graph or a bug.
+    """
+    graph.require_connected()
+    rng = np.random.default_rng(rng)
+    n = graph.n
+    if n == 1:
+        return 0.0
+    transition = graph.transition_matrix()
+    cumulative = np.cumsum(transition, axis=1)
+    if max_steps is None:
+        max_steps = int(50 * cover_time_bound(graph)) + 10 * n
+    totals = 0.0
+    for _ in range(trials):
+        current = 0
+        unseen = n - 1
+        seen = np.zeros(n, dtype=bool)
+        seen[0] = True
+        steps = 0
+        while unseen > 0:
+            if steps >= max_steps:
+                raise GraphError(
+                    f"walk failed to cover the graph within {max_steps} steps"
+                )
+            u = rng.random()
+            current = int(np.searchsorted(cumulative[current], u, side="right"))
+            current = min(current, n - 1)
+            steps += 1
+            if not seen[current]:
+                seen[current] = True
+                unseen -= 1
+        totals += steps
+    return totals / trials
+
+
+def nominal_walk_length(n: int, epsilon: float) -> int:
+    """The paper's nominal per-phase target length ell (Section 2.1).
+
+    The smallest power of two at least ``log(4 sqrt(n) / eps) * n^3``,
+    chosen so that ell >= T (the rho-th-distinct-vertex time) in every
+    phase except with probability <= eps/2 by Markov + union bound.
+    """
+    if n < 1:
+        raise GraphError("n must be positive")
+    if not (0 < epsilon < 1):
+        raise GraphError("epsilon must be in (0, 1)")
+    target = math.log(4.0 * math.sqrt(n) / epsilon) * float(n) ** 3
+    target = max(target, 2.0)
+    return 1 << max(1, math.ceil(math.log2(target)))

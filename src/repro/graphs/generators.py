@@ -1,0 +1,267 @@
+"""Graph families used throughout the paper's discussion and our benchmarks.
+
+Each generator returns a :class:`~repro.graphs.core.WeightedGraph` on
+vertices ``0..n-1``. The families were chosen directly from the paper:
+
+- expanders and Erdos-Renyi ``G(n, p)`` with ``p = Omega(log n / n)`` have
+  ``O(n log n)`` cover time (Section 1.2, after Corollary 1);
+- ``K_{n - sqrt(n), sqrt(n)}`` is the paper's example of a *dense, highly
+  irregular* graph that still has ``O(n log n)`` cover time;
+- the lollipop graph realizes the ``Theta(n^3)`` worst-case cover time that
+  motivates the Theta~(n^3) nominal walk length;
+- :func:`figure2_graph` is the exact 4-vertex example of Figure 2 used to
+  validate Schur-complement and shortcut-graph transition values;
+- :func:`cycle_with_chord` / :func:`theta_graph` are the small graphs on
+  which the Section 1.4 random-weight-MST strawman is provably non-uniform.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.core import WeightedGraph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "wheel_graph",
+    "grid_graph",
+    "binary_tree_graph",
+    "lollipop_graph",
+    "barbell_graph",
+    "cycle_with_chord",
+    "theta_graph",
+    "figure2_graph",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+    "complete_bipartite_unbalanced",
+]
+
+
+def _require_n(n: int, minimum: int) -> None:
+    if n < minimum:
+        raise GraphError(f"graph family requires n >= {minimum}, got {n}")
+
+
+def path_graph(n: int) -> WeightedGraph:
+    """Path ``0 - 1 - ... - (n-1)``; cover time Theta(n^2)."""
+    _require_n(n, 1)
+    return WeightedGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> WeightedGraph:
+    """Cycle on ``n >= 3`` vertices; exactly ``n`` spanning trees."""
+    _require_n(n, 3)
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return WeightedGraph.from_edges(n, edges)
+
+
+def complete_graph(n: int) -> WeightedGraph:
+    """Complete graph ``K_n``; ``n^(n-2)`` spanning trees (Cayley)."""
+    _require_n(n, 1)
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return WeightedGraph.from_edges(n, edges)
+
+
+def star_graph(n: int) -> WeightedGraph:
+    """Star with hub ``0`` and ``n - 1`` leaves.
+
+    The star is the canonical *skewed* workload for the doubling algorithm:
+    every second walk step is at the hub, so naive (non-load-balanced)
+    doubling concentrates Theta(n) of the per-iteration traffic on one
+    machine (motivating Section 3's load balancing).
+    """
+    _require_n(n, 2)
+    return WeightedGraph.from_edges(n, [(0, i) for i in range(1, n)])
+
+
+def wheel_graph(n: int) -> WeightedGraph:
+    """Wheel: hub ``0`` plus an ``(n-1)``-cycle of rim vertices."""
+    _require_n(n, 4)
+    rim = list(range(1, n))
+    edges = [(0, v) for v in rim]
+    edges += [(rim[i], rim[(i + 1) % len(rim)]) for i in range(len(rim))]
+    return WeightedGraph.from_edges(n, edges)
+
+
+def grid_graph(rows: int, cols: int) -> WeightedGraph:
+    """``rows x cols`` grid, vertex ``(r, c)`` numbered ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return WeightedGraph.from_edges(rows * cols, edges)
+
+
+def binary_tree_graph(n: int) -> WeightedGraph:
+    """Complete-ish binary tree on ``n`` vertices (heap numbering)."""
+    _require_n(n, 1)
+    edges = []
+    for child in range(1, n):
+        edges.append(((child - 1) // 2, child))
+    return WeightedGraph.from_edges(n, edges)
+
+
+def lollipop_graph(n: int, clique_fraction: float = 0.5) -> WeightedGraph:
+    """Clique of ``k = max(3, round(n * clique_fraction))`` + pendant path.
+
+    The lollipop is the standard witness for Theta(n^3) cover time (and
+    Theta(mn) Aldous-Broder running time): a walk keeps getting sucked back
+    into the clique before it can traverse the path. This is the family that
+    justifies the paper's nominal walk length ell = Theta~(n^3).
+    """
+    _require_n(n, 4)
+    k = max(3, int(round(n * clique_fraction)))
+    k = min(k, n - 1)
+    edges = [(u, v) for u in range(k) for v in range(u + 1, k)]
+    # Path hangs off clique vertex k - 1.
+    edges += [(i, i + 1) for i in range(k - 1, n - 1)]
+    return WeightedGraph.from_edges(n, edges)
+
+
+def barbell_graph(n: int) -> WeightedGraph:
+    """Two cliques of ``floor(n/3)`` joined by a path through the middle."""
+    _require_n(n, 6)
+    k = n // 3
+    edges = [(u, v) for u in range(k) for v in range(u + 1, k)]
+    right = list(range(n - k, n))
+    edges += [(u, v) for i, u in enumerate(right) for v in right[i + 1 :]]
+    # Path from clique 1 (vertex k - 1) through middle to clique 2.
+    path = [k - 1] + list(range(k, n - k)) + [n - k]
+    edges += [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+    return WeightedGraph.from_edges(n, edges)
+
+
+def cycle_with_chord(n: int, chord_span: int | None = None) -> WeightedGraph:
+    """An ``n``-cycle plus one chord.
+
+    With the chord from ``0`` to ``chord_span`` (default ``n // 2``) the
+    spanning-tree distribution is easy to enumerate and the random-weight
+    MST strawman of Section 1.4 is measurably biased: trees that drop a
+    chord-side edge are over/under-represented relative to uniform.
+    """
+    _require_n(n, 4)
+    span = n // 2 if chord_span is None else chord_span
+    if not (2 <= span <= n - 2):
+        raise GraphError(f"chord span must be in [2, n-2], got {span}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    edges.append((0, span))
+    return WeightedGraph.from_edges(n, edges)
+
+
+def theta_graph(a: int, b: int, c: int) -> WeightedGraph:
+    """Theta graph: two terminals joined by three disjoint paths.
+
+    Paths have ``a``, ``b`` and ``c`` internal edges respectively (each
+    >= 1). Spanning trees = number of ways to cut exactly two of the three
+    paths, giving a closed form ``a*b + b*c + a*c`` -- a convenient exact
+    ground truth for uniformity tests.
+    """
+    for length in (a, b, c):
+        if length < 1:
+            raise GraphError("theta graph path lengths must be >= 1")
+    # Vertex 0 and 1 are the terminals.
+    n = 2 + (a - 1) + (b - 1) + (c - 1)
+    edges: list[tuple[int, int]] = []
+    next_vertex = 2
+    for length in (a, b, c):
+        previous = 0
+        for _ in range(length - 1):
+            edges.append((previous, next_vertex))
+            previous = next_vertex
+            next_vertex += 1
+        edges.append((previous, 1))
+    return WeightedGraph.from_edges(n, edges)
+
+
+def figure2_graph() -> WeightedGraph:
+    """The 4-vertex example of Figure 2 in the paper.
+
+    Vertices ``A=0, B=1, C=2, D=3``; ``C`` is a hub adjacent to all of
+    ``A, B, D`` and there are no other edges. With ``S = {A, B, D}``:
+
+    - ``Schur(G, S)`` has uniform 1/2 transitions between every pair in S;
+    - ``ShortCut(G, S)`` sends every vertex to ``C`` with probability 1.
+    """
+    return WeightedGraph.from_edges(4, [(0, 2), (1, 2), (3, 2)])
+
+
+def random_regular_graph(
+    n: int, degree: int, rng: np.random.Generator | None = None
+) -> WeightedGraph:
+    """Random ``degree``-regular graph (an expander w.h.p. for degree >= 3).
+
+    Uses networkx's pairing-model generator, retrying until the multigraph
+    collapse yields a connected simple graph. These graphs have
+    ``O(n log n)`` cover time, the regime where Corollary 1 gives
+    polylogarithmic-round spanning tree sampling.
+    """
+    _require_n(n, 4)
+    if degree < 3:
+        raise GraphError("expander generator requires degree >= 3")
+    if n * degree % 2 != 0:
+        raise GraphError("n * degree must be even for a regular graph")
+    rng = np.random.default_rng(rng)
+    for _ in range(100):
+        seed = int(rng.integers(0, 2**31 - 1))
+        candidate = nx.random_regular_graph(degree, n, seed=seed)
+        graph = WeightedGraph.from_networkx(candidate)
+        if graph.is_connected():
+            return graph
+    raise GraphError(
+        f"failed to generate a connected {degree}-regular graph on {n} vertices"
+    )
+
+
+def erdos_renyi_graph(
+    n: int,
+    p: float | None = None,
+    rng: np.random.Generator | None = None,
+) -> WeightedGraph:
+    """Connected ``G(n, p)`` sample; default ``p = 3 log n / n``.
+
+    The default density sits safely above the connectivity threshold and in
+    the ``O(n log n)``-cover-time regime highlighted after Corollary 1.
+    """
+    _require_n(n, 2)
+    if p is None:
+        p = min(1.0, 3.0 * math.log(max(n, 2)) / n)
+    if not (0.0 < p <= 1.0):
+        raise GraphError(f"edge probability must be in (0, 1], got {p}")
+    rng = np.random.default_rng(rng)
+    for _ in range(200):
+        upper = rng.random((n, n)) < p
+        weights = np.triu(upper, k=1).astype(np.float64)
+        weights = weights + weights.T
+        graph = WeightedGraph(weights, validate=False)
+        if graph.is_connected():
+            return graph
+    raise GraphError(
+        f"failed to generate a connected G({n}, {p}) sample; p too small?"
+    )
+
+
+def complete_bipartite_unbalanced(n: int) -> WeightedGraph:
+    """``K_{n - k, k}`` with ``k = floor(sqrt(n))``.
+
+    The paper's example (Section 1.2) of a dense, highly irregular graph
+    with ``O(n log n)`` cover time by coupon collecting: the small side has
+    only ``sqrt(n)`` vertices but every walk step alternates sides.
+    """
+    _require_n(n, 4)
+    k = max(1, int(math.isqrt(n)))
+    small = list(range(n - k, n))
+    edges = [(u, v) for u in range(n - k) for v in small]
+    return WeightedGraph.from_edges(n, edges)

@@ -1,0 +1,131 @@
+"""Graph and tree serialization: edge lists and JSON documents.
+
+Practical plumbing for downstream users: persist generated workloads so
+experiments are replayable, and exchange sampled trees with other tools.
+
+Formats:
+
+- **edge list** (text): one ``u v [weight]`` line per edge, ``#`` comments
+  and a ``# vertices: n`` header so isolated vertices round-trip;
+- **JSON document**: ``{"n": ..., "edges": [[u, v, w], ...]}`` for graphs
+  and ``{"n": ..., "tree": [[u, v], ...]}`` for trees, with an explicit
+  ``"format"`` tag and version.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import GraphError
+from repro.graphs.core import WeightedGraph
+from repro.graphs.spanning import TreeKey, tree_key
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "graph_to_json",
+    "graph_from_json",
+    "tree_to_json",
+    "tree_from_json",
+]
+
+_FORMAT_GRAPH = "repro-graph-v1"
+_FORMAT_TREE = "repro-tree-v1"
+
+
+def write_edge_list(graph: WeightedGraph, path: str | Path) -> None:
+    """Write a graph as a plain-text edge list."""
+    path = Path(path)
+    lines = [f"# vertices: {graph.n}"]
+    for u, v in graph.edges():
+        weight = graph.weight(u, v)
+        if weight == 1.0:
+            lines.append(f"{u} {v}")
+        else:
+            lines.append(f"{u} {v} {weight!r}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def read_edge_list(path: str | Path) -> WeightedGraph:
+    """Read a graph written by :func:`write_edge_list` (or compatible)."""
+    path = Path(path)
+    n: int | None = None
+    edges: list[tuple[int, int, float]] = []
+    max_vertex = -1
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("vertices:"):
+                n = int(body.split(":", 1)[1])
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise GraphError(f"{path}:{lineno}: malformed edge line {line!r}")
+        u, v = int(parts[0]), int(parts[1])
+        weight = float(parts[2]) if len(parts) == 3 else 1.0
+        edges.append((u, v, weight))
+        max_vertex = max(max_vertex, u, v)
+    if n is None:
+        n = max_vertex + 1
+    if n <= max_vertex:
+        raise GraphError(
+            f"{path}: header says {n} vertices but edge references "
+            f"vertex {max_vertex}"
+        )
+    return WeightedGraph.from_edges(n, edges)
+
+
+def graph_to_json(graph: WeightedGraph) -> str:
+    """Serialize a graph to a JSON document string."""
+    return json.dumps(
+        {
+            "format": _FORMAT_GRAPH,
+            "n": graph.n,
+            "edges": [
+                [u, v, graph.weight(u, v)] for u, v in graph.edges()
+            ],
+        }
+    )
+
+
+def graph_from_json(document: str) -> WeightedGraph:
+    """Parse a graph from :func:`graph_to_json` output."""
+    payload = json.loads(document)
+    if payload.get("format") != _FORMAT_GRAPH:
+        raise GraphError(
+            f"not a {_FORMAT_GRAPH} document (format="
+            f"{payload.get('format')!r})"
+        )
+    return WeightedGraph.from_edges(
+        int(payload["n"]),
+        [(int(u), int(v), float(w)) for u, v, w in payload["edges"]],
+    )
+
+
+def tree_to_json(n: int, tree: Iterable[tuple[int, int]]) -> str:
+    """Serialize a spanning tree (edge set) to JSON."""
+    return json.dumps(
+        {
+            "format": _FORMAT_TREE,
+            "n": n,
+            "tree": [[u, v] for u, v in tree_key(tree)],
+        }
+    )
+
+
+def tree_from_json(document: str) -> tuple[int, TreeKey]:
+    """Parse ``(n, tree_key)`` from :func:`tree_to_json` output."""
+    payload = json.loads(document)
+    if payload.get("format") != _FORMAT_TREE:
+        raise GraphError(
+            f"not a {_FORMAT_TREE} document (format="
+            f"{payload.get('format')!r})"
+        )
+    return int(payload["n"]), tree_key(
+        (int(u), int(v)) for u, v in payload["tree"]
+    )

@@ -1,0 +1,126 @@
+"""Spectral machinery: gaps, relaxation and mixing times, expander checks.
+
+The paper's fast families are defined spectrally -- "expanders and
+Erdos-Renyi random graphs have O(n log n) cover time" (Section 1.2) --
+and the nominal walk lengths implicitly ride on mixing behaviour (the
+Theta~(n^3) powers converge to stationarity). This module makes those
+quantities first-class:
+
+- :func:`spectral_gap` / :func:`relaxation_time` of the lazy or plain
+  walk;
+- :func:`mixing_time_bound`: ``t_mix(eps) <= t_rel * ln(n / eps)`` for
+  reversible chains;
+- :func:`is_expander`: certify a near-Ramanujan second eigenvalue for
+  d-regular graphs;
+- :func:`cover_time_spectral_bound`: the O(t_rel * n log n) cover bound
+  that explains why expanders fall into Corollary 1's cheap regime.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.core import WeightedGraph
+
+__all__ = [
+    "walk_eigenvalues",
+    "spectral_gap",
+    "relaxation_time",
+    "mixing_time_bound",
+    "is_expander",
+    "cover_time_spectral_bound",
+]
+
+
+def walk_eigenvalues(graph: WeightedGraph, *, lazy: bool = False) -> np.ndarray:
+    """Eigenvalues of the (reversible) random-walk operator, descending.
+
+    Computed from the symmetric normalization
+    ``D^{-1/2} W D^{-1/2}`` (similar to P, hence same spectrum);
+    ``lazy=True`` maps each eigenvalue through ``(1 + lam) / 2``.
+    """
+    graph.require_connected()
+    degrees = graph.degrees()
+    if np.any(degrees <= 0):
+        raise GraphError("walk spectrum undefined with isolated vertices")
+    scale = 1.0 / np.sqrt(degrees)
+    symmetric = graph.weights * scale[:, None] * scale[None, :]
+    eigenvalues = np.linalg.eigvalsh(symmetric)[::-1]
+    if lazy:
+        eigenvalues = (1.0 + eigenvalues) / 2.0
+    return eigenvalues
+
+
+def spectral_gap(graph: WeightedGraph, *, lazy: bool = True) -> float:
+    """``1 - max(|lam_2|, |lam_n|)`` -- the absolute spectral gap.
+
+    The lazy walk (default) removes periodicity, so bipartite graphs get
+    a positive gap; ``lazy=False`` reports the plain walk's gap, which is
+    0 exactly for bipartite graphs.
+    """
+    eigenvalues = walk_eigenvalues(graph, lazy=lazy)
+    others = np.abs(eigenvalues[1:])
+    return float(1.0 - others.max()) if len(others) else 1.0
+
+
+def relaxation_time(graph: WeightedGraph, *, lazy: bool = True) -> float:
+    """``t_rel = 1 / gap`` of the (lazy) walk."""
+    gap = spectral_gap(graph, lazy=lazy)
+    if gap <= 1e-12:
+        raise GraphError(
+            "zero spectral gap (bipartite non-lazy walk?); use lazy=True"
+        )
+    return 1.0 / gap
+
+
+def mixing_time_bound(
+    graph: WeightedGraph, epsilon: float = 0.25, *, lazy: bool = True
+) -> float:
+    """Standard reversible-chain bound ``t_mix(eps) <= t_rel ln(n / eps)``.
+
+    (More precisely ``t_rel * ln(1 / (eps * sqrt(pi_min)))``; we use the
+    ``pi_min >= 1/(2m)`` coarsening, which suffices for scoping walk
+    lengths.)
+    """
+    if not (0 < epsilon < 1):
+        raise GraphError(f"epsilon must be in (0, 1), got {epsilon}")
+    total_weight = float(graph.weights.sum())
+    pi_min = graph.degrees().min() / total_weight
+    return relaxation_time(graph, lazy=lazy) * math.log(
+        1.0 / (epsilon * math.sqrt(pi_min))
+    )
+
+
+def is_expander(
+    graph: WeightedGraph, *, slack: float = 1.5
+) -> bool:
+    """Certify near-Ramanujan expansion for a d-regular unweighted graph.
+
+    True iff the graph is d-regular and its second-largest absolute walk
+    eigenvalue is at most ``slack * 2 sqrt(d - 1) / d`` (Ramanujan =
+    slack 1). Random d-regular graphs pass w.h.p. (Friedman's theorem),
+    which is why :func:`repro.graphs.generators.random_regular_graph` is
+    the bench harness's expander family.
+    """
+    degrees = graph.degrees()
+    if not graph.is_unweighted() or not np.allclose(degrees, degrees[0]):
+        return False
+    d = float(degrees[0])
+    if d < 3:
+        return False
+    eigenvalues = walk_eigenvalues(graph, lazy=False)
+    second = float(np.abs(eigenvalues[1:]).max())
+    return second <= slack * 2.0 * math.sqrt(d - 1.0) / d
+
+
+def cover_time_spectral_bound(graph: WeightedGraph) -> float:
+    """Cover time bound ``O(t_rel n log n)`` via Matthews + mixing.
+
+    Explicit constant 4 folded in; for expanders (t_rel = O(1)) this is
+    the O(n log n) regime the paper highlights for Corollary 1.
+    """
+    n = graph.n
+    return 4.0 * relaxation_time(graph) * n * math.log(max(n, 2))

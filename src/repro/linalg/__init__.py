@@ -1,0 +1,48 @@
+"""Linear-algebra substrate: Schur complements, shortcut graphs, powers.
+
+Implements Section 1.7 (definitions), Section 2.4 (CongestedClique
+computation of the derived graphs) and Lemma 7 (matrix powers with bounded
+subtractive error):
+
+- :mod:`repro.linalg.schur` -- ``Schur(G, S)`` (Definitions 1 and 2) via
+  block elimination, single-vertex elimination, and the Corollary-3
+  QR-product construction;
+- :mod:`repro.linalg.shortcut` -- ``ShortCut(G, S)`` (Definition 3) via
+  the fundamental matrix and via Corollary 2's absorbing power iteration;
+- :mod:`repro.linalg.matpow` -- the repeated-squaring power ladder with
+  per-squaring entry rounding and the Lemma 7 error recurrence.
+"""
+
+from repro.linalg.matpow import (
+    PowerLadder,
+    lemma7_error_bound,
+    round_matrix_down,
+)
+from repro.linalg.schur import (
+    first_hit_distribution,
+    schur_complement_graph,
+    schur_complement_laplacian,
+    schur_by_elimination,
+    schur_transition_matrix,
+    schur_via_qr_product,
+)
+from repro.linalg.shortcut import (
+    first_visit_edge_distribution,
+    shortcut_transition_matrix,
+    shortcut_via_power_iteration,
+)
+
+__all__ = [
+    "PowerLadder",
+    "lemma7_error_bound",
+    "round_matrix_down",
+    "first_hit_distribution",
+    "schur_complement_graph",
+    "schur_complement_laplacian",
+    "schur_by_elimination",
+    "schur_transition_matrix",
+    "schur_via_qr_product",
+    "first_visit_edge_distribution",
+    "shortcut_transition_matrix",
+    "shortcut_via_power_iteration",
+]

@@ -1,0 +1,170 @@
+"""Matrix power ladders with bounded subtractive error (Lemma 7).
+
+The sampler's Initialization Step computes ``P, P^2, P^4, ..., P^ell`` by
+repeated squaring. Lemma 7 shows this is CongestedClique-feasible with
+entries truncated to O(log(1/delta)) bits: define ``M'(1) = round(M)`` and
+``M'(k) = round(M'(k/2)^2)``, where ``round`` truncates entries downward
+(*subtractive* error at most delta). The error then obeys
+
+    E(1) <= delta,      E(k) <= (n + 1) E(k/2) + delta,
+
+so ``E(k) = O(delta * k^c log k)`` and choosing ``delta = Theta(beta /
+(k^c log k))`` achieves subtractive error beta with O(log^2 n)-bit entries.
+
+:class:`PowerLadder` implements exactly this, exposes every intermediate
+power, and can charge the analytic matmul cost per squaring to a
+:class:`~repro.clique.cost.RoundLedger`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.clique.cost import RoundLedger
+from repro.errors import GraphError, PrecisionError
+
+__all__ = ["PowerLadder", "round_matrix_down", "lemma7_error_bound"]
+
+
+def round_matrix_down(matrix: np.ndarray, bits: int) -> np.ndarray:
+    """Truncate each entry down to ``bits`` fractional bits.
+
+    This is the paper's ``round``: each entry incurs subtractive error in
+    ``[0, 2^-bits)``. Entries are assumed non-negative (probabilities).
+    """
+    if bits < 1:
+        raise PrecisionError(f"rounding needs at least 1 bit, got {bits}")
+    scale = float(1 << bits) if bits < 63 else 2.0 ** bits
+    return np.floor(matrix * scale) / scale
+
+
+def lemma7_error_bound(n: int, k: int, delta: float) -> float:
+    """Upper bound on ``E(k)`` from the Lemma 7 recurrence.
+
+    Unrolls ``E(k) <= (n + 1) E(k/2) + delta`` exactly over the
+    ``log2(k)`` squarings: ``E(k) <= delta * sum_{i=0}^{log k} (n+1)^i``.
+    """
+    if k < 1:
+        raise GraphError(f"power k must be >= 1, got {k}")
+    levels = max(0, math.ceil(math.log2(k)))
+    total = 0.0
+    term = 1.0
+    for _ in range(levels + 1):
+        total += term
+        term *= n + 1
+    return delta * total
+
+
+class PowerLadder:
+    """All powers ``M^(2^i)`` for ``i = 0 .. log2(ell)`` of a stochastic M.
+
+    Parameters
+    ----------
+    matrix:
+        The (row-stochastic) transition matrix P (or S for later phases).
+    ell:
+        Target power; must be a power of two >= 1.
+    bits:
+        Fractional bits kept after each squaring. ``None`` (default)
+        disables rounding (full float64 precision -- the exact-arithmetic
+        idealization of Sections 2.1-2.3). Lemma 7's regime corresponds to
+        ``bits = O(log^2 n)``.
+    ledger:
+        Optional round ledger; when given, each squaring charges one
+        matmul (entry width derived from ``bits``).
+    matmul:
+        Optional multiplication backend with a ``multiply(a, b)`` method
+        (e.g. :class:`repro.clique.matmul3d.SimulatedMatmul`). When set,
+        squarings run through it and *it* is responsible for round
+        charges (the analytic ``ledger`` charge is skipped to avoid
+        double counting).
+
+    Notes
+    -----
+    Memory is ``(log2(ell) + 1)`` matrices of shape ``(n, n)``. Powers are
+    retrieved with :meth:`power`; arbitrary (non-power-of-two) exponents
+    are available through :meth:`power_any` via binary decomposition.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        ell: int,
+        *,
+        bits: int | None = None,
+        ledger: RoundLedger | None = None,
+        matmul=None,
+        note: str = "",
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise GraphError(f"matrix must be square, got {matrix.shape}")
+        if ell < 1 or (ell & (ell - 1)) != 0:
+            raise GraphError(f"ell must be a power of two >= 1, got {ell}")
+        self.n = matrix.shape[0]
+        self.ell = ell
+        self.bits = bits
+        self._powers: dict[int, np.ndarray] = {}
+        base = matrix if bits is None else round_matrix_down(matrix, bits)
+        self._powers[1] = base
+        entry_words = (
+            None if bits is None else max(1, math.ceil(bits / math.log2(max(self.n, 2))))
+        )
+        k = 1
+        while k < ell:
+            if matmul is not None:
+                squared = matmul.multiply(self._powers[k], self._powers[k])
+            else:
+                squared = self._powers[k] @ self._powers[k]
+            if bits is not None:
+                squared = round_matrix_down(squared, bits)
+            k *= 2
+            self._powers[k] = squared
+            if ledger is not None and matmul is None:
+                ledger.charge_matmul(
+                    self.n, entry_words=entry_words, note=note or f"P^{k}"
+                )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def exponents(self) -> tuple[int, ...]:
+        """Available power-of-two exponents, ascending."""
+        return tuple(sorted(self._powers))
+
+    def power(self, k: int) -> np.ndarray:
+        """Return ``M^k`` for a power-of-two ``k <= ell``."""
+        try:
+            return self._powers[k]
+        except KeyError:
+            raise GraphError(
+                f"power {k} not in ladder (available: {self.exponents})"
+            ) from None
+
+    def power_any(self, k: int) -> np.ndarray:
+        """``M^k`` for arbitrary ``1 <= k <= ell`` by binary decomposition.
+
+        Costs one extra multiplication per set bit; used only by analysis
+        helpers, never on the sampler's hot path (which sticks to powers of
+        two by construction).
+        """
+        if not (1 <= k <= self.ell):
+            raise GraphError(f"power {k} outside [1, {self.ell}]")
+        result: np.ndarray | None = None
+        bit = 1
+        while bit <= k:
+            if k & bit:
+                factor = self.power(bit)
+                result = factor if result is None else result @ factor
+            bit <<= 1
+        assert result is not None
+        return result
+
+    def max_subtractive_error_bound(self) -> float:
+        """Lemma 7 bound on the error of the top power (0.0 if exact)."""
+        if self.bits is None:
+            return 0.0
+        delta = 2.0 ** (-self.bits)
+        return lemma7_error_bound(self.n, self.ell, delta)

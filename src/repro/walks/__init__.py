@@ -1,0 +1,68 @@
+"""Random-walk machinery: sequential baselines, top-down fill, doubling.
+
+- :mod:`repro.walks.sequential` -- plain (weighted) random walks, the
+  Aldous-Broder and Wilson spanning-tree samplers, first-visit-edge
+  extraction, and the random-weight-MST strawman of Section 1.4;
+- :mod:`repro.walks.fill` -- the sequential top-down walk-filling
+  algorithm (Outline 1 / Lemma 1) and its truncated variant (Section
+  2.1.2 / Lemma 2), the reference implementations the distributed sampler
+  is validated against;
+- :mod:`repro.walks.doubling` -- the load-balanced doubling algorithm of
+  Section 3 (Theorem 2) simulated at message level, plus the naive
+  non-load-balanced variant used as the ablation baseline.
+"""
+
+from repro.walks.sequential import (
+    aldous_broder_tree,
+    aldous_broder_with_stats,
+    distinct_vertex_count,
+    first_visit_edges,
+    random_walk,
+    random_weight_mst_tree,
+    walk_until_distinct,
+    wilson_tree,
+    wilson_tree_with_stats,
+)
+from repro.walks.fill import (
+    PartialWalk,
+    fill_walk,
+    sample_bridge,
+    sample_midpoint,
+    truncated_fill_walk,
+)
+from repro.walks.doubling import (
+    DoublingResult,
+    doubling_random_walk,
+    spanning_tree_via_doubling,
+)
+from repro.walks.pagerank import (
+    PageRankEstimate,
+    pagerank_exact,
+    pagerank_via_walks,
+)
+from repro.walks.shortcutting import ShortcuttingResult, ShortcuttingSampler
+
+__all__ = [
+    "aldous_broder_tree",
+    "aldous_broder_with_stats",
+    "wilson_tree_with_stats",
+    "distinct_vertex_count",
+    "first_visit_edges",
+    "random_walk",
+    "random_weight_mst_tree",
+    "walk_until_distinct",
+    "wilson_tree",
+    "PartialWalk",
+    "fill_walk",
+    "sample_bridge",
+    "sample_midpoint",
+    "truncated_fill_walk",
+    "DoublingResult",
+    "doubling_random_walk",
+    "spanning_tree_via_doubling",
+    "PageRankEstimate",
+    "pagerank_exact",
+    "pagerank_via_walks",
+    "ShortcuttingResult",
+    "ShortcuttingSampler",
+]

@@ -1,0 +1,303 @@
+"""Sequential random-walk algorithms and spanning-tree baselines.
+
+These are the classical algorithms the paper builds on or argues against:
+
+- :func:`aldous_broder_tree` -- the Aldous [1] / Broder [12] sampler: run
+  a walk until it covers the graph; the first-visit edges form a uniform
+  spanning tree. Exact, expected time O(cover time) = O(mn).
+- :func:`wilson_tree` -- Wilson's loop-erased-walk sampler [73], exact,
+  expected time = mean hitting time. Our gold-standard fast exact baseline.
+- :func:`random_weight_mst_tree` -- the Section 1.4 strawman: put i.i.d.
+  uniform weights on edges and take the MST. *Not* uniform over spanning
+  trees [39]; experiment E9 measures the bias.
+- :func:`first_visit_edges` -- the Aldous-Broder extraction used by both
+  the doubling-based sampler (Corollary 1) and validation tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError, WalkError
+from repro.graphs.core import WeightedGraph
+from repro.graphs.spanning import TreeKey, tree_key
+
+__all__ = [
+    "random_walk",
+    "walk_until_distinct",
+    "first_visit_edges",
+    "distinct_vertex_count",
+    "aldous_broder_tree",
+    "aldous_broder_with_stats",
+    "wilson_tree",
+    "wilson_tree_with_stats",
+    "random_weight_mst_tree",
+]
+
+
+def _cumulative_transitions(graph: WeightedGraph) -> np.ndarray:
+    return np.cumsum(graph.transition_matrix(), axis=1)
+
+
+def _step(cumulative: np.ndarray, current: int, rng: np.random.Generator) -> int:
+    u = rng.random()
+    nxt = int(np.searchsorted(cumulative[current], u, side="right"))
+    return min(nxt, cumulative.shape[1] - 1)
+
+
+def random_walk(
+    graph: WeightedGraph,
+    start: int,
+    length: int,
+    rng: np.random.Generator | None = None,
+) -> list[int]:
+    """A weighted random walk of ``length`` steps (``length + 1`` vertices).
+
+    Each step moves to a neighbor with probability proportional to the
+    edge weight (Section 1.1 / footnote 1).
+    """
+    if not (0 <= start < graph.n):
+        raise GraphError(f"start vertex {start} out of range")
+    if length < 0:
+        raise WalkError(f"walk length must be non-negative, got {length}")
+    rng = np.random.default_rng(rng)
+    cumulative = _cumulative_transitions(graph)
+    walk = [start]
+    current = start
+    for _ in range(length):
+        current = _step(cumulative, current, rng)
+        walk.append(current)
+    return walk
+
+
+def walk_until_distinct(
+    graph: WeightedGraph,
+    start: int,
+    target_distinct: int,
+    rng: np.random.Generator | None = None,
+    *,
+    max_steps: int | None = None,
+) -> list[int]:
+    """Walk until the ``target_distinct``-th distinct vertex first appears.
+
+    This is the stopping time ``T`` of Section 2.1 (with rho =
+    ``target_distinct``): the returned walk ends exactly at the first
+    occurrence of the rho-th distinct vertex. ``max_steps`` guards against
+    unreachable targets (default ``100 * n^3`` steps).
+    """
+    if not (1 <= target_distinct <= graph.n):
+        raise WalkError(
+            f"target_distinct must be in [1, {graph.n}], got {target_distinct}"
+        )
+    rng = np.random.default_rng(rng)
+    cumulative = _cumulative_transitions(graph)
+    if max_steps is None:
+        max_steps = 100 * graph.n**3 + 1000
+    walk = [start]
+    seen = {start}
+    current = start
+    while len(seen) < target_distinct:
+        if len(walk) > max_steps:
+            raise WalkError(
+                f"walk failed to reach {target_distinct} distinct vertices "
+                f"within {max_steps} steps"
+            )
+        current = _step(cumulative, current, rng)
+        walk.append(current)
+        seen.add(current)
+    return walk
+
+
+def first_visit_edges(walk: Sequence[int]) -> list[tuple[int, int]]:
+    """Aldous-Broder extraction: the edge used to first visit each vertex.
+
+    The start vertex contributes no edge. When the walk covers an n-vertex
+    graph the result has n - 1 edges and is a spanning tree distributed
+    uniformly (for walks on unweighted graphs) or proportionally to the
+    tree weight (weighted).
+    """
+    if not walk:
+        return []
+    seen = {walk[0]}
+    edges: list[tuple[int, int]] = []
+    for prev, here in zip(walk, walk[1:]):
+        if here not in seen:
+            seen.add(here)
+            edges.append((prev, here))
+    return edges
+
+
+def distinct_vertex_count(walk: Sequence[int]) -> int:
+    """Number of distinct vertices in a walk (Barnes-Feige experiments)."""
+    return len(set(walk))
+
+
+def aldous_broder_tree(
+    graph: WeightedGraph,
+    rng: np.random.Generator | None = None,
+    *,
+    start: int | None = None,
+    max_steps: int | None = None,
+) -> TreeKey:
+    """Exact uniform spanning tree via Aldous-Broder.
+
+    Runs a walk from ``start`` (default 0) until it covers the graph and
+    returns the canonical key of the first-visit-edge tree.
+    """
+    graph.require_connected()
+    rng = np.random.default_rng(rng)
+    if start is None:
+        start = 0
+    walk = walk_until_distinct(graph, start, graph.n, rng, max_steps=max_steps)
+    return tree_key(first_visit_edges(walk))
+
+
+def aldous_broder_with_stats(
+    graph: WeightedGraph,
+    rng: np.random.Generator | None = None,
+    *,
+    start: int | None = None,
+    max_steps: int | None = None,
+) -> tuple[TreeKey, int]:
+    """Aldous-Broder returning ``(tree, walk steps used)``.
+
+    The step count is the cover time realization -- the quantity whose
+    Theta(mn) worst case motivates the whole paper (Section 1).
+    """
+    graph.require_connected()
+    rng = np.random.default_rng(rng)
+    if start is None:
+        start = 0
+    walk = walk_until_distinct(graph, start, graph.n, rng, max_steps=max_steps)
+    return tree_key(first_visit_edges(walk)), len(walk) - 1
+
+
+def wilson_tree(
+    graph: WeightedGraph,
+    rng: np.random.Generator | None = None,
+    *,
+    root: int | None = None,
+) -> TreeKey:
+    """Exact uniform spanning tree via Wilson's loop-erased walks [73].
+
+    Starting from a root, repeatedly take a loop-erased random walk from
+    an unvisited vertex to the current tree and graft it. Exact for both
+    unweighted (uniform) and weighted (weight-proportional) graphs.
+    """
+    tree, _ = wilson_tree_with_stats(graph, rng, root=root)
+    return tree
+
+
+def wilson_tree_with_stats(
+    graph: WeightedGraph,
+    rng: np.random.Generator | None = None,
+    *,
+    root: int | None = None,
+) -> tuple[TreeKey, int]:
+    """Wilson's algorithm returning ``(tree, total walk steps)``.
+
+    Steps include erased loops; the expectation is the mean hitting time
+    of the graph [73], which the paper contrasts with Aldous-Broder's
+    cover time (both Theta(mn) in the worst case, but Wilson wins on
+    average).
+    """
+    graph.require_connected()
+    rng = np.random.default_rng(rng)
+    n = graph.n
+    if root is None:
+        root = 0
+    if not (0 <= root < n):
+        raise GraphError(f"root {root} out of range")
+    cumulative = _cumulative_transitions(graph)
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[root] = True
+    next_vertex = np.full(n, -1, dtype=np.int64)
+    steps = 0
+    for source in range(n):
+        if in_tree[source]:
+            continue
+        # Random walk from source recording successors (cycle popping).
+        current = source
+        while not in_tree[current]:
+            nxt = _step(cumulative, current, rng)
+            next_vertex[current] = nxt
+            current = nxt
+            steps += 1
+        # Retrace the loop-erased path and add it to the tree.
+        current = source
+        while not in_tree[current]:
+            in_tree[current] = True
+            current = int(next_vertex[current])
+    # After cycle popping every non-root vertex's recorded successor is its
+    # tree parent (stale successors only exist on popped-cycle vertices,
+    # which were re-walked and overwritten before joining the tree).
+    tree_edges = [(v, int(next_vertex[v])) for v in range(n) if v != root]
+    if len(tree_edges) != n - 1:
+        raise WalkError("Wilson's algorithm produced a non-tree")  # pragma: no cover
+    return tree_key(tree_edges), steps
+
+
+class _UnionFind:
+    """Union-find with path compression for Kruskal's MST."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.rank = [0] * n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> bool:
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self.rank[rx] < self.rank[ry]:
+            rx, ry = ry, rx
+        self.parent[ry] = rx
+        if self.rank[rx] == self.rank[ry]:
+            self.rank[rx] += 1
+        return True
+
+
+def random_weight_mst_tree(
+    graph: WeightedGraph,
+    rng: np.random.Generator | None = None,
+    *,
+    weight_sampler: Callable[[np.random.Generator, int], np.ndarray] | None = None,
+) -> TreeKey:
+    """The Section 1.4 strawman: MST under i.i.d. random edge weights.
+
+    Assigns each edge an independent Uniform[0, 1] weight (or a custom
+    sampler's output) and returns the minimum spanning tree via Kruskal.
+    The resulting distribution over spanning trees is well known *not* to
+    be uniform [39] -- experiment E9 quantifies the gap against our
+    samplers.
+    """
+    graph.require_connected()
+    rng = np.random.default_rng(rng)
+    edges = graph.edges()
+    if weight_sampler is None:
+        draws = rng.random(len(edges))
+    else:
+        draws = np.asarray(weight_sampler(rng, len(edges)), dtype=np.float64)
+        if draws.shape != (len(edges),):
+            raise WalkError("weight_sampler returned wrong shape")
+    order = np.argsort(draws)
+    uf = _UnionFind(graph.n)
+    tree: list[tuple[int, int]] = []
+    for index in order:
+        u, v = edges[int(index)]
+        if uf.union(u, v):
+            tree.append((u, v))
+            if len(tree) == graph.n - 1:
+                break
+    if len(tree) != graph.n - 1:
+        raise WalkError("Kruskal failed to span the graph")  # pragma: no cover
+    return tree_key(tree)

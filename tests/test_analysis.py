@@ -1,0 +1,110 @@
+"""Tests for the analysis helpers (TV distance, stats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.analysis import (
+    bootstrap_mean_ci,
+    chi_square_uniformity,
+    empirical_tree_distribution,
+    expected_tv_noise,
+    geometric_mean,
+    loglog_fit,
+    sample_tree_distribution,
+    tv_distance,
+    tv_to_uniform,
+)
+from repro.errors import ReproError
+from repro.graphs import enumerate_spanning_trees
+
+
+class TestTVDistance:
+    def test_identical_distributions(self):
+        p = {"a": 0.5, "b": 0.5}
+        assert tv_distance(p, p) == 0.0
+
+    def test_disjoint_supports(self):
+        assert tv_distance({"a": 1.0}, {"b": 1.0}) == 1.0
+
+    def test_known_value(self):
+        p = {"a": 0.7, "b": 0.3}
+        q = {"a": 0.4, "b": 0.6}
+        assert tv_distance(p, q) == pytest.approx(0.3)
+
+    def test_empirical_distribution(self):
+        trees = [((0, 1),), ((0, 1),), ((1, 2),)]
+        dist = empirical_tree_distribution(trees)
+        assert dist[((0, 1),)] == pytest.approx(2 / 3)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ReproError):
+            empirical_tree_distribution([])
+
+    def test_tv_to_uniform_perfect_enumeration(self):
+        g = graphs.cycle_graph(5)
+        trees = enumerate_spanning_trees(g)
+        assert tv_to_uniform(g, trees) == pytest.approx(0.0, abs=1e-12)
+
+    def test_tv_to_uniform_rejects_invalid_trees(self):
+        g = graphs.cycle_graph(5)
+        with pytest.raises(ReproError):
+            tv_to_uniform(g, [((0, 2),) * 4])
+
+    def test_expected_noise_shrinks_with_samples(self):
+        assert expected_tv_noise(10, 10000) < expected_tv_noise(10, 100)
+        with pytest.raises(ReproError):
+            expected_tv_noise(0, 10)
+
+    def test_chi_square_detects_point_mass(self):
+        g = graphs.cycle_graph(5)
+        tree = enumerate_spanning_trees(g)[0]
+        __, p_value = chi_square_uniformity(g, [tree] * 500)
+        assert p_value < 1e-10
+
+    def test_chi_square_accepts_enumeration(self):
+        g = graphs.cycle_graph(5)
+        trees = enumerate_spanning_trees(g) * 100
+        __, p_value = chi_square_uniformity(g, trees)
+        assert p_value > 0.99
+
+    def test_sample_tree_distribution(self, rng):
+        calls = []
+
+        def fake_sampler(r):
+            calls.append(1)
+            return ((0, 1),)
+
+        trees = sample_tree_distribution(fake_sampler, 10, rng)
+        assert len(trees) == 10 and len(calls) == 10
+
+
+class TestStats:
+    def test_loglog_fit_recovers_exponent(self):
+        xs = [2.0, 4.0, 8.0, 16.0]
+        exponent, constant = loglog_fit(xs, [3.0 * x**2 for x in xs])
+        assert exponent == pytest.approx(2.0)
+        assert constant == pytest.approx(3.0)
+
+    def test_loglog_fit_validation(self):
+        with pytest.raises(ReproError):
+            loglog_fit([1.0], [1.0])
+
+    def test_bootstrap_ci_contains_mean(self, rng):
+        values = list(rng.normal(10.0, 1.0, size=200))
+        mean, low, high = bootstrap_mean_ci(values, rng=rng)
+        assert low < mean < high
+        assert low < 10.0 < high
+
+    def test_bootstrap_empty_rejected(self):
+        with pytest.raises(ReproError):
+            bootstrap_mean_ci([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, -1.0])
+        with pytest.raises(ReproError):
+            geometric_mean([])

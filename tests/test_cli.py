@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import FAMILIES, build_graph, main
+from repro.errors import ReproError
+
+
+class TestBuildGraph:
+    def test_every_family_instantiates_connected(self, rng):
+        for name in FAMILIES:
+            g = build_graph(name, 16, rng)
+            assert g.is_connected(), name
+            assert g.n >= 8, name
+
+    def test_unknown_family(self, rng):
+        with pytest.raises(ReproError):
+            build_graph("hypercube", 16, rng)
+
+
+class TestSampleCommand:
+    @pytest.mark.parametrize("variant", ["approximate", "exact", "fastcover"])
+    def test_sample_runs(self, capsys, variant):
+        code = main([
+            "sample", "--family", "complete", "--n", "8",
+            "--variant", variant, "--seed", "1", "--ell", "1024",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out
+        assert "tree" in out
+
+    def test_json_output_parses(self, capsys):
+        code = main([
+            "sample", "--family", "cycle", "--n", "6", "--json",
+            "--ell", "1024",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n"] == 6
+        assert len(payload["tree"]) == 5
+
+    def test_deterministic_given_seed(self, capsys):
+        argv = ["sample", "--family", "wheel", "--n", "8", "--json",
+                "--seed", "9", "--ell", "1024"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestRoundsCommand:
+    def test_prints_comparison(self, capsys):
+        code = main(["rounds", "--family", "complete", "--n", "9",
+                     "--ell", "1024"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "approximate" in out
+        assert "exact" in out
+        assert "fastcover" in out
+
+
+class TestPageRankCommand:
+    def test_prints_error_and_top_vertices(self, capsys):
+        code = main(["pagerank", "--family", "wheel", "--n", "12",
+                     "--walks", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "L1 error" in out
+        assert "vertex" in out
+
+
+class TestAuditCommand:
+    def test_uniform_verdict_on_cycle(self, capsys):
+        code = main(["audit", "--family", "cycle", "--n", "6",
+                     "--samples", "400", "--ell", "1024"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "UNIFORM" in out
+
+    def test_refuses_huge_tree_counts(self, capsys):
+        code = main(["audit", "--family", "complete", "--n", "16"])
+        assert code == 2
+        assert "smaller instance" in capsys.readouterr().err
+
+
+class TestFamiliesCommand:
+    def test_lists_all(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out.split()
+        assert sorted(out) == sorted(FAMILIES)

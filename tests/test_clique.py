@@ -1,0 +1,255 @@
+"""Tests for the CongestedClique simulator substrate (routing, cost, network)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clique import CongestedClique, RoundLedger, lenzen_rounds
+from repro.clique.cost import ALPHA, CostModel
+from repro.clique.network import payload_words
+from repro.clique.routing import (
+    broadcast_rounds,
+    per_machine_loads,
+    rounds_for_step,
+    words_for_vertices,
+)
+from repro.errors import BandwidthError, ModelError
+
+
+class TestLenzenRounds:
+    def test_empty_step_free(self):
+        assert lenzen_rounds(0, 0, 8) == 0
+
+    def test_within_budget_one_round(self):
+        assert lenzen_rounds(8, 8, 8) == 1
+        assert lenzen_rounds(1, 8, 8) == 1
+
+    def test_overload_scales_linearly(self):
+        assert lenzen_rounds(80, 8, 8) == 10
+        assert lenzen_rounds(8, 81, 8) == 11
+
+    def test_invalid_loads(self):
+        with pytest.raises(BandwidthError):
+            lenzen_rounds(-1, 0, 8)
+        with pytest.raises(BandwidthError):
+            lenzen_rounds(0, 0, 0)
+
+    def test_words_for_vertices(self):
+        assert words_for_vertices(0) == 0
+        assert words_for_vertices(7) == 7
+        with pytest.raises(BandwidthError):
+            words_for_vertices(-1)
+
+    def test_per_machine_loads(self):
+        sends = [(0, 1, 3), (0, 2, 2), (1, 2, 4)]
+        send, recv = per_machine_loads(sends, 3)
+        assert send == [5, 4, 0]
+        assert recv == [0, 3, 6]
+
+    def test_rounds_for_step(self):
+        sends = [(0, 1, 10)]
+        assert rounds_for_step(sends, 4) == 3  # ceil(10 / 4)
+
+    def test_broadcast_two_rounds_within_budget(self):
+        assert broadcast_rounds(5, 16) == 2
+        assert broadcast_rounds(0, 16) == 0
+        assert broadcast_rounds(33, 16) == 6
+
+
+class TestCostModel:
+    def test_matmul_scales_with_alpha(self):
+        model = CostModel()
+        small = model.matmul_rounds(16, entry_words=1)
+        large = model.matmul_rounds(4096, entry_words=1)
+        assert large > small
+        assert large == math.ceil(4096**ALPHA)
+
+    def test_matmul_entry_words_multiplier(self):
+        model = CostModel()
+        one = model.matmul_rounds(64, entry_words=1)
+        four = model.matmul_rounds(64, entry_words=4)
+        assert four == 4 * one
+
+    def test_matmul_default_entry_width_is_log_n(self):
+        model = CostModel()
+        assert model.matmul_rounds(64) == model.matmul_rounds(64, entry_words=6)
+
+    def test_power_ladder_rounds(self):
+        model = CostModel()
+        assert model.power_ladder_rounds(16, 1) == 0
+        assert model.power_ladder_rounds(16, 8) == 3 * model.matmul_rounds(16)
+
+    def test_invalid_matmul(self):
+        with pytest.raises(ModelError):
+            CostModel().matmul_rounds(0)
+
+    def test_absorbing_power_rounds_beta_validation(self):
+        with pytest.raises(ModelError):
+            CostModel().absorbing_power_rounds(8, 1.5)
+
+
+class TestRoundLedger:
+    def test_charges_accumulate(self):
+        ledger = RoundLedger()
+        ledger.charge("a", 3)
+        ledger.charge("b", 2)
+        ledger.charge("a", 1)
+        assert ledger.total_rounds() == 6
+        assert ledger.rounds_by_category() == {"a": 4, "b": 2}
+
+    def test_zero_charge_ignored(self):
+        ledger = RoundLedger()
+        ledger.charge("a", 0)
+        assert ledger.entries == ()
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ModelError):
+            RoundLedger().charge("a", -1)
+
+    def test_sections_nest(self):
+        ledger = RoundLedger()
+        with ledger.section("phase-1"):
+            ledger.charge("x", 1)
+            with ledger.section("level-2"):
+                ledger.charge("y", 2)
+        ledger.charge("z", 4)
+        assert ledger.rounds_by_section() == {"phase-1": 3, "<root>": 4}
+        assert ledger.rounds_by_section("phase-1") == {
+            "<root>": 1,
+            "level-2": 2,
+        }
+
+    def test_merge(self):
+        a, b = RoundLedger(), RoundLedger()
+        a.charge("x", 1)
+        b.charge("y", 2)
+        a.merge(b)
+        assert a.total_rounds() == 3
+
+    def test_report_mentions_totals(self):
+        ledger = RoundLedger()
+        ledger.charge("matmul", 7)
+        assert "7" in ledger.report()
+        assert "matmul" in ledger.report()
+
+    def test_timeline_trace(self):
+        ledger = RoundLedger()
+        with ledger.section("phase-1"):
+            ledger.charge("matmul", 3, note="P^2")
+            ledger.charge("broadcast", 2)
+        timeline = ledger.timeline()
+        lines = timeline.splitlines()
+        assert len(lines) == 2
+        assert "[       3]" in lines[0]
+        assert "[       5]" in lines[1]
+        assert "phase-1" in lines[0]
+        assert "P^2" in lines[0]
+
+    def test_timeline_limit(self):
+        ledger = RoundLedger()
+        for i in range(10):
+            ledger.charge("x", 1)
+        timeline = ledger.timeline(limit=3)
+        assert "7 more entries" in timeline
+
+
+class TestPayloadWords:
+    @pytest.mark.parametrize(
+        "payload, words",
+        [
+            (None, 0),
+            (5, 1),
+            (2.5, 1),
+            (True, 1),
+            ([1, 2, 3], 3),
+            ((1, (2, 3)), 3),
+            ({1: 2}, 2),
+            (b"12345678", 1),
+            (b"123456789", 2),
+        ],
+    )
+    def test_sizes(self, payload, words):
+        assert payload_words(payload) == words
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ModelError):
+            payload_words(object())
+
+
+class TestCongestedClique:
+    def test_exchange_delivers_sorted(self):
+        clique = CongestedClique(4)
+        inboxes = clique.exchange([(2, 0, "b"), (1, 0, "a")])
+        senders = [env.src for env in inboxes[0]]
+        assert senders == [1, 2]
+
+    def test_exchange_charges_lenzen(self):
+        clique = CongestedClique(4)
+        # One machine sends 8 single-word messages: ceil(8/4) = 2 rounds.
+        clique.exchange([(0, i % 4, 1) for i in range(8)])
+        assert clique.rounds == 2
+
+    def test_exchange_rejects_bad_machine(self):
+        clique = CongestedClique(2)
+        with pytest.raises(ModelError):
+            clique.exchange([(0, 5, 1)])
+
+    def test_broadcast_cost(self):
+        clique = CongestedClique(8)
+        clique.broadcast(0, None, words=4)
+        assert clique.rounds == 2
+        clique.broadcast(0, None, words=20)
+        assert clique.rounds == 2 + 2 * 3
+
+    def test_gather(self):
+        clique = CongestedClique(4)
+        envelopes = clique.gather(0, [(1, 10), (2, 20)])
+        assert [e.payload for e in envelopes] == [10, 20]
+
+    def test_aggregate_sum(self):
+        clique = CongestedClique(4)
+        total = clique.aggregate_sum(0, [1, 2, 3, 4])
+        assert total == 10.0
+        assert clique.rounds == 1
+
+    def test_aggregate_sum_wrong_arity(self):
+        clique = CongestedClique(3)
+        with pytest.raises(ModelError):
+            clique.aggregate_sum(0, [1, 2])
+
+    def test_charge_step(self):
+        clique = CongestedClique(4)
+        rounds = clique.charge_step("bulk", 16, 4)
+        assert rounds == 4
+        assert clique.rounds == 4
+
+    def test_stats_tracking(self):
+        clique = CongestedClique(4)
+        clique.exchange([(0, 1, 2)], words=lambda p: 2)
+        stats = clique.stats()
+        assert stats["steps"] == 1
+        assert stats["total_words"] == 2
+        assert stats["max_step_load"] == 2
+
+    def test_needs_at_least_one_machine(self):
+        with pytest.raises(ModelError):
+            CongestedClique(0)
+
+
+@given(
+    n=st.integers(1, 64),
+    send=st.integers(0, 10_000),
+    recv=st.integers(0, 10_000),
+)
+@settings(max_examples=100, deadline=None)
+def test_lenzen_rounds_properties(n, send, recv):
+    """Properties: monotone in loads, exact ceil division, symmetric."""
+    rounds = lenzen_rounds(send, recv, n)
+    assert rounds == lenzen_rounds(recv, send, n)
+    assert rounds == (0 if max(send, recv) == 0 else max(1, math.ceil(max(send, recv) / n)))
+    assert lenzen_rounds(send + 1, recv, n) >= rounds

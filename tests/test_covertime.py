@@ -1,0 +1,104 @@
+"""Tests for hitting/cover time machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import graphs
+from repro.errors import GraphError
+from repro.graphs import (
+    cover_time_bound,
+    empirical_cover_time,
+    hitting_time_matrix,
+    max_hitting_time,
+)
+from repro.graphs.covertime import nominal_walk_length, worst_case_cover_bound
+
+
+class TestHittingTimes:
+    def test_path2(self):
+        h = hitting_time_matrix(graphs.path_graph(2))
+        assert h[0, 1] == pytest.approx(1.0)
+        assert h[0, 0] == pytest.approx(0.0)
+
+    def test_complete_graph_closed_form(self):
+        # K_n: hitting time between distinct vertices is n - 1.
+        for n in (3, 5, 8):
+            h = hitting_time_matrix(graphs.complete_graph(n))
+            assert h[0, 1] == pytest.approx(n - 1)
+
+    def test_cycle_closed_form(self):
+        # Cycle C_n: H(u, v) = d (n - d) for distance d.
+        n = 8
+        h = hitting_time_matrix(graphs.cycle_graph(n))
+        assert h[0, 1] == pytest.approx(1 * (n - 1))
+        assert h[0, 4] == pytest.approx(4 * (n - 4))
+
+    def test_path_endpoint_quadratic(self):
+        # Path P_n: H(0, n-1) = (n-1)^2.
+        n = 6
+        h = hitting_time_matrix(graphs.path_graph(n))
+        assert h[0, n - 1] == pytest.approx((n - 1) ** 2)
+
+    def test_symmetry_on_vertex_transitive(self):
+        h = hitting_time_matrix(graphs.cycle_graph(7))
+        assert h[0, 3] == pytest.approx(h[3, 0])
+
+    def test_lollipop_hitting_is_cubic_scale(self):
+        # The lollipop's clique-to-path-end hitting time grows ~ n^3.
+        small = max_hitting_time(graphs.lollipop_graph(8))
+        large = max_hitting_time(graphs.lollipop_graph(16))
+        assert large / small > 4.0  # much faster than linear growth
+
+
+class TestCoverTime:
+    def test_bound_dominates_max_hitting(self, small_graphs):
+        for name, g in small_graphs.items():
+            assert cover_time_bound(g) >= max_hitting_time(g) - 1e-9, name
+
+    def test_worst_case_bound(self):
+        assert worst_case_cover_bound(10) == pytest.approx(2 * 45 * 9)
+        assert worst_case_cover_bound(10, m=10) == pytest.approx(180)
+
+    def test_empirical_within_matthews(self, rng):
+        g = graphs.complete_graph(8)
+        empirical = empirical_cover_time(g, trials=20, rng=rng)
+        # K_8 coupon collector: 7 * H_7 ~ 18.2.
+        expected = 7 * sum(1 / k for k in range(1, 8))
+        assert 0.5 * expected < empirical < 2.5 * expected
+
+    def test_empirical_single_vertex(self, rng):
+        from repro.graphs import WeightedGraph
+        import numpy as np
+
+        g = WeightedGraph(np.zeros((1, 1)))
+        assert empirical_cover_time(g, rng=rng) == 0.0
+
+    def test_expander_cover_near_nlogn(self, rng):
+        g = graphs.random_regular_graph(32, 4, rng=rng)
+        empirical = empirical_cover_time(g, trials=8, rng=rng)
+        assert empirical < 12 * 32 * math.log(32)
+
+
+class TestNominalWalkLength:
+    def test_is_power_of_two(self):
+        for n in (4, 10, 100):
+            ell = nominal_walk_length(n, 1e-3)
+            assert ell & (ell - 1) == 0
+
+    def test_dominates_n_cubed(self):
+        for n in (4, 16, 64):
+            assert nominal_walk_length(n, 1e-3) >= n**3
+
+    def test_monotone_in_epsilon(self):
+        assert nominal_walk_length(16, 1e-9) >= nominal_walk_length(16, 1e-1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GraphError):
+            nominal_walk_length(0, 0.1)
+        with pytest.raises(GraphError):
+            nominal_walk_length(4, 0.0)
+        with pytest.raises(GraphError):
+            nominal_walk_length(4, 1.5)

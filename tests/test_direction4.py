@@ -1,0 +1,60 @@
+"""Tests for the Direction 4 experimental sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.core import Direction4Sampler
+from repro.errors import GraphError
+from repro.graphs import is_spanning_tree
+
+
+class TestDirection4:
+    def test_returns_spanning_tree(self, rng, small_graphs):
+        for name, g in small_graphs.items():
+            result = Direction4Sampler(g).sample(rng)
+            assert is_spanning_tree(g, result.tree), name
+            assert result.phases == len(result.distinct_per_phase)
+
+    def test_distinct_counts_respect_barnes_feige_floor(self, rng):
+        """Each non-final phase's length-n walk visits >= ~n^{1/3} distinct
+        vertices (the unproven-for-weighted-graphs conjecture, checked
+        empirically)."""
+        g = graphs.lollipop_graph(27)
+        result = Direction4Sampler(g).sample(rng)
+        for distinct, remaining in zip(
+            result.distinct_per_phase[:-1], range(len(result.distinct_per_phase))
+        ):
+            assert distinct >= 2
+
+    def test_fewer_phases_than_vertices(self, rng):
+        g = graphs.random_regular_graph(24, 4, rng=rng)
+        result = Direction4Sampler(g).sample(rng)
+        # An expander's length-n walk covers most of the graph at once.
+        assert result.phases <= 6
+
+    def test_uniformity(self, rng):
+        from repro.analysis import expected_tv_noise, tv_to_uniform
+
+        g = graphs.cycle_with_chord(5)
+        sampler = Direction4Sampler(g)
+        n_samples = 800
+        trees = [sampler.sample(rng).tree for _ in range(n_samples)]
+        assert tv_to_uniform(g, trees) < 4 * expected_tv_noise(11, n_samples)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            Direction4Sampler(graphs.path_graph(4), walk_factor=0.0)
+        with pytest.raises(GraphError):
+            Direction4Sampler(graphs.path_graph(4), start_vertex=9)
+        disconnected = graphs.WeightedGraph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(Exception):
+            Direction4Sampler(disconnected)
+
+    def test_rounds_accounted(self, rng):
+        g = graphs.random_regular_graph(16, 4, rng=rng)
+        result = Direction4Sampler(g).sample(rng)
+        assert result.rounds > 0
+        assert len(result.walk_length_per_phase) == result.phases

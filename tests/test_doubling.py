@@ -1,0 +1,142 @@
+"""Tests for the load-balanced doubling algorithm (Section 3, Theorem 2)."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.errors import WalkError
+from repro.graphs import is_spanning_tree
+from repro.walks import doubling_random_walk, spanning_tree_via_doubling
+from repro.walks.sequential import random_walk
+
+
+class TestWalkValidity:
+    def test_every_vertex_gets_a_walk(self, rng):
+        g = graphs.cycle_with_chord(8)
+        result = doubling_random_walk(g, 16, rng)
+        assert result.walks.shape == (8, 17)
+        for v in range(8):
+            walk = result.walk(v)
+            assert walk[0] == v
+            assert all(g.has_edge(a, b) for a, b in zip(walk, walk[1:]))
+
+    def test_length_rounds_up_to_power_of_two(self, rng):
+        g = graphs.complete_graph(6)
+        result = doubling_random_walk(g, 10, rng)
+        assert result.length == 16
+
+    def test_invalid_inputs(self, rng):
+        g = graphs.path_graph(4)
+        with pytest.raises(WalkError):
+            doubling_random_walk(g, 0, rng)
+
+    def test_single_step_walk(self, rng):
+        g = graphs.path_graph(4)
+        result = doubling_random_walk(g, 1, rng)
+        assert result.length == 1
+        assert result.iterations == []
+
+    def test_iteration_count(self, rng):
+        g = graphs.complete_graph(6)
+        result = doubling_random_walk(g, 32, rng)
+        assert len(result.iterations) == 5  # log2(32)
+        ks = [it.k for it in result.iterations]
+        assert ks == [32, 16, 8, 4, 2]
+
+
+class TestWalkDistribution:
+    def test_marginal_matches_direct_walk(self, rng):
+        """Each constructed walk is individually a faithful random walk:
+        compare the law of the position at time 4."""
+        g = graphs.cycle_with_chord(5)
+        n_samples = 1500
+        doubled = Counter(
+            doubling_random_walk(g, 4, rng).walk(0)[4] for _ in range(n_samples)
+        )
+        direct = Counter(
+            random_walk(g, 0, 4, rng)[4] for _ in range(n_samples)
+        )
+        tv = 0.5 * sum(
+            abs(doubled[v] / n_samples - direct[v] / n_samples)
+            for v in range(5)
+        )
+        assert tv < 0.07
+
+
+class TestLoadBalancing:
+    """Lemma 10 (E8): hashed routing keeps per-machine loads near k log n."""
+
+    def test_balanced_load_bound(self, rng):
+        n, tau = 32, 64
+        g = graphs.star_graph(n)
+        result = doubling_random_walk(g, tau, rng, load_balanced=True)
+        c = 1
+        k = 64
+        bound = 16 * c * k * math.ceil(math.log2(n))
+        assert result.max_tuples_received <= bound
+
+    def test_naive_hotspot_on_star(self, rng):
+        """Without hashing, the star's hub receives ~half of ALL prefixes."""
+        n, tau = 32, 64
+        g = graphs.star_graph(n)
+        balanced = doubling_random_walk(g, tau, rng, load_balanced=True)
+        naive = doubling_random_walk(g, tau, rng, load_balanced=False)
+        assert naive.max_tuples_received > 3 * balanced.max_tuples_received
+
+    def test_naive_fine_on_regular_graph(self, rng):
+        """On near-regular graphs the naive variant is intrinsically
+        balanced (the paper's remark after Corollary 1)."""
+        g = graphs.random_regular_graph(32, 4, rng=rng)
+        naive = doubling_random_walk(g, 64, rng, load_balanced=False)
+        balanced = doubling_random_walk(g, 64, rng, load_balanced=True)
+        assert naive.max_tuples_received < 4 * balanced.max_tuples_received
+
+
+class TestRoundScaling:
+    """Theorem 2 (E3): rounds ~ (tau / n) log tau log n for long walks."""
+
+    def test_rounds_grow_roughly_linearly_in_tau(self, rng):
+        g = graphs.random_regular_graph(16, 4, rng=rng)
+        short = doubling_random_walk(g, 64, rng).rounds
+        long = doubling_random_walk(g, 512, rng).rounds
+        ratio = long / short
+        assert 3.0 < ratio < 24.0  # ~8x walk -> ~8-12x rounds with logs
+
+    def test_short_walk_logarithmic_rounds(self, rng):
+        g = graphs.random_regular_graph(64, 4, rng=rng)
+        result = doubling_random_walk(g, 8, rng)
+        # tau = O(n / log n): every iteration fits the bandwidth budget,
+        # so rounds stay within a polylog envelope.
+        assert result.rounds <= 12 * math.ceil(math.log2(8)) + 20
+
+
+class TestSpanningTreeViaDoubling:
+    """Corollary 1 (E4)."""
+
+    def test_returns_valid_tree(self, rng):
+        g = graphs.random_regular_graph(16, 4, rng=rng)
+        tree, result = spanning_tree_via_doubling(g, rng)
+        assert is_spanning_tree(g, tree)
+        assert result.rounds > 0
+
+    def test_retry_doubles_on_short_walks(self, rng):
+        g = graphs.cycle_graph(12)  # cover time ~ n^2 >> n
+        tree, result = spanning_tree_via_doubling(g, rng, walk_length=4)
+        assert is_spanning_tree(g, tree)
+        # Must have gone through multiple attempts.
+        assert len({it.k for it in result.iterations}) >= 2
+
+    def test_uniformity(self, rng):
+        from repro.analysis import expected_tv_noise, tv_to_uniform
+
+        g = graphs.cycle_with_chord(5)
+        n_samples = 1200
+        trees = [
+            spanning_tree_via_doubling(g, rng)[0] for _ in range(n_samples)
+        ]
+        assert tv_to_uniform(g, trees) < 4 * expected_tv_noise(11, n_samples)

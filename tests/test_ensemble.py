@@ -1,0 +1,52 @@
+"""Tests for tree-ensemble statistics (edge marginals vs leverage)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.analysis import (
+    edge_frequencies,
+    ensemble_summary,
+    leverage_score_deviation,
+)
+from repro.errors import ReproError
+from repro.walks import wilson_tree
+
+
+class TestEdgeFrequencies:
+    def test_simple_counts(self):
+        trees = [((0, 1), (1, 2)), ((0, 1), (0, 2))]
+        freqs = edge_frequencies(trees)
+        assert freqs[(0, 1)] == pytest.approx(1.0)
+        assert freqs[(1, 2)] == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            edge_frequencies([])
+
+
+class TestLeverageDeviation:
+    def test_wilson_matches_leverage(self, rng):
+        """An exact sampler's marginals sit within noise of the scores."""
+        g = graphs.wheel_graph(7)
+        trees = [wilson_tree(g, rng) for _ in range(1200)]
+        stats = leverage_score_deviation(g, trees)
+        assert stats["max_abs_deviation"] < 5 * stats["max_noise_scale"]
+
+    def test_point_mass_deviates(self):
+        """Always returning the same tree produces large deviation."""
+        g = graphs.cycle_graph(6)
+        from repro.graphs import enumerate_spanning_trees
+
+        tree = enumerate_spanning_trees(g)[0]
+        stats = leverage_score_deviation(g, [tree] * 200)
+        assert stats["max_abs_deviation"] > 0.1
+
+    def test_summary_format(self, rng):
+        g = graphs.cycle_graph(5)
+        trees = [wilson_tree(g, rng) for _ in range(50)]
+        text = ensemble_summary(g, trees)
+        assert "50 trees" in text
+        assert "deviation" in text

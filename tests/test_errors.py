@@ -1,0 +1,28 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_hierarchy_shape():
+    assert issubclass(errors.DisconnectedGraphError, errors.GraphError)
+    assert issubclass(errors.WeightError, errors.GraphError)
+    assert issubclass(errors.BandwidthError, errors.ModelError)
+    assert issubclass(errors.ProtocolError, errors.ModelError)
+    assert issubclass(errors.WalkError, errors.SamplingError)
+    assert issubclass(errors.MatchingError, errors.SamplingError)
+
+
+def test_single_catch_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.PrecisionError("precision fell through the floor")

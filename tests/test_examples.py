@@ -1,0 +1,58 @@
+"""Smoke tests: the example scripts run and print what they promise."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_figure2_walkthrough():
+    out = run_example("figure2_walkthrough.py")
+    assert "reproduced exactly" in out
+    assert "Schur(G, S)" in out
+
+
+def test_uniformity_audit_small():
+    out = run_example("uniformity_audit.py", "250")
+    assert "random-weight MST" in out
+    # The strawman must be flagged BIASED; our samplers UNIFORM.
+    for line in out.splitlines():
+        if line.startswith("random-weight MST"):
+            assert "BIASED" in line
+        if line.startswith("wilson"):
+            assert "UNIFORM" in line
+
+
+@pytest.mark.slow
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Theorem 1" in out
+    assert "total rounds" in out
+
+
+@pytest.mark.slow
+def test_pagerank_demo():
+    out = run_example("pagerank_demo.py")
+    assert "L1 error" in out
+
+
+@pytest.mark.slow
+def test_sparsifier_demo():
+    out = run_example("sparsifier_demo.py", timeout=360)
+    assert "sparsifier" in out

@@ -1,0 +1,64 @@
+"""Tests for the Corollary 1 fast-cover sampler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import graphs
+from repro.core import sample_tree_fast_cover
+from repro.errors import GraphError
+from repro.graphs import WeightedGraph, is_spanning_tree
+
+
+class TestBasics:
+    def test_returns_spanning_tree(self, rng):
+        g = graphs.random_regular_graph(16, 4, rng=rng)
+        result = sample_tree_fast_cover(g, rng)
+        assert is_spanning_tree(g, result.tree)
+        assert result.rounds > 0
+        assert result.walk_length >= result.cover_time_estimate
+
+    def test_explicit_walk_length(self, rng):
+        g = graphs.complete_graph(8)
+        result = sample_tree_fast_cover(g, rng, walk_length=64)
+        assert is_spanning_tree(g, result.tree)
+        assert result.walk_length >= 64
+
+    def test_too_small_rejected(self, rng):
+        import numpy as np
+
+        with pytest.raises(GraphError):
+            sample_tree_fast_cover(WeightedGraph(np.zeros((1, 1))), rng)
+
+    def test_disconnected_rejected(self, rng):
+        g = WeightedGraph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(Exception):
+            sample_tree_fast_cover(g, rng)
+
+
+class TestRoundEfficiency:
+    def test_small_cover_families_cheaper_than_lollipop(self, rng):
+        """Corollary 1's whole point: rounds track tau/n, so the
+        O(n log n)-cover families beat the Theta(n^3)-cover lollipop by a
+        wide margin (absolute constants are simulator-specific)."""
+        n = 32
+        lollipop_rounds = sample_tree_fast_cover(
+            graphs.lollipop_graph(n), rng
+        ).rounds
+        for factory in (
+            lambda: graphs.random_regular_graph(n, 4, rng=rng),
+            lambda: graphs.complete_bipartite_unbalanced(n),
+            lambda: graphs.erdos_renyi_graph(n, rng=rng),
+        ):
+            g = factory()
+            result = sample_tree_fast_cover(g, rng)
+            assert result.rounds < lollipop_rounds / 2
+            assert result.rounds < n**3  # absolute sanity
+
+    def test_uniformity(self, rng):
+        from repro.analysis import expected_tv_noise, tv_to_uniform
+
+        g = graphs.cycle_with_chord(5)
+        n_samples = 1000
+        trees = [sample_tree_fast_cover(g, rng).tree for _ in range(n_samples)]
+        assert tv_to_uniform(g, trees) < 4 * expected_tv_noise(11, n_samples)

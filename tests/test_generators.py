@@ -1,0 +1,135 @@
+"""Unit tests for the graph family generators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.errors import GraphError
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = graphs.path_graph(5)
+        assert (g.n, g.m) == (5, 4)
+        assert g.has_edge(0, 1) and g.has_edge(3, 4)
+
+    def test_cycle(self):
+        g = graphs.cycle_graph(6)
+        assert (g.n, g.m) == (6, 6)
+        assert all(g.unweighted_degree(v) == 2 for v in g)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            graphs.cycle_graph(2)
+
+    def test_complete(self):
+        g = graphs.complete_graph(5)
+        assert g.m == 10
+        assert all(g.unweighted_degree(v) == 4 for v in g)
+
+    def test_star_degrees(self):
+        g = graphs.star_graph(7)
+        assert g.unweighted_degree(0) == 6
+        assert all(g.unweighted_degree(v) == 1 for v in range(1, 7))
+
+    def test_wheel(self):
+        g = graphs.wheel_graph(6)
+        assert g.unweighted_degree(0) == 5
+        assert all(g.unweighted_degree(v) == 3 for v in range(1, 6))
+
+    def test_grid_shape(self):
+        g = graphs.grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # vertical + horizontal runs
+        assert g.is_connected()
+
+    def test_binary_tree_is_tree(self):
+        g = graphs.binary_tree_graph(10)
+        assert g.m == g.n - 1
+        assert g.is_connected()
+
+    def test_lollipop_structure(self):
+        g = graphs.lollipop_graph(10)
+        assert g.is_connected()
+        k = 5
+        # Clique part is complete.
+        for u in range(k):
+            for v in range(u + 1, k):
+                assert g.has_edge(u, v)
+        # Tail is a path.
+        assert g.unweighted_degree(g.n - 1) == 1
+
+    def test_barbell_connected(self):
+        g = graphs.barbell_graph(12)
+        assert g.is_connected()
+
+    def test_cycle_with_chord(self):
+        g = graphs.cycle_with_chord(6)
+        assert g.m == 7
+        assert g.has_edge(0, 3)
+
+    def test_cycle_with_chord_custom_span(self):
+        g = graphs.cycle_with_chord(8, chord_span=2)
+        assert g.has_edge(0, 2)
+        with pytest.raises(GraphError):
+            graphs.cycle_with_chord(8, chord_span=7)
+
+    def test_theta_graph_tree_count(self):
+        # Spanning trees of a theta graph = ab + bc + ac.
+        from repro.graphs import count_spanning_trees
+
+        for a, b, c in [(1, 1, 1), (2, 2, 3), (1, 3, 4)]:
+            g = graphs.theta_graph(a, b, c)
+            expected = a * b + b * c + a * c
+            assert count_spanning_trees(g) == pytest.approx(expected)
+
+    def test_figure2_graph_is_star_at_c(self):
+        g = graphs.figure2_graph()
+        assert g.n == 4
+        assert sorted(g.neighbors(2)) == [0, 1, 3]
+        assert g.unweighted_degree(0) == 1
+
+
+class TestRandomFamilies:
+    def test_random_regular_is_regular(self, rng):
+        g = graphs.random_regular_graph(16, 4, rng=rng)
+        assert all(g.unweighted_degree(v) == 4 for v in g)
+        assert g.is_connected()
+
+    def test_random_regular_parity_check(self, rng):
+        with pytest.raises(GraphError):
+            graphs.random_regular_graph(9, 3, rng=rng)
+
+    def test_random_regular_min_degree(self, rng):
+        with pytest.raises(GraphError):
+            graphs.random_regular_graph(8, 2, rng=rng)
+
+    def test_erdos_renyi_default_density(self, rng):
+        g = graphs.erdos_renyi_graph(40, rng=rng)
+        assert g.is_connected()
+        expected_edges = 3 * math.log(40) / 40 * math.comb(40, 2)
+        assert 0.3 * expected_edges < g.m < 3 * expected_edges
+
+    def test_erdos_renyi_p_validation(self, rng):
+        with pytest.raises(GraphError):
+            graphs.erdos_renyi_graph(10, p=0.0, rng=rng)
+        with pytest.raises(GraphError):
+            graphs.erdos_renyi_graph(10, p=1.5, rng=rng)
+
+    def test_erdos_renyi_reproducible(self):
+        a = graphs.erdos_renyi_graph(20, rng=np.random.default_rng(5))
+        b = graphs.erdos_renyi_graph(20, rng=np.random.default_rng(5))
+        assert a == b
+
+    def test_complete_bipartite_unbalanced(self):
+        g = graphs.complete_bipartite_unbalanced(16)
+        # K_{12,4}: small side has sqrt(16) = 4 vertices.
+        assert g.n == 16
+        small = [v for v in g if g.unweighted_degree(v) == 12]
+        large = [v for v in g if g.unweighted_degree(v) == 4]
+        assert len(small) == 4 and len(large) == 12
+        assert g.is_connected()

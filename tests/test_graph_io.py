@@ -1,0 +1,88 @@
+"""Tests for graph/tree serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import graphs
+from repro.errors import GraphError
+from repro.graphs.io import (
+    graph_from_json,
+    graph_to_json,
+    read_edge_list,
+    tree_from_json,
+    tree_to_json,
+    write_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_round_trip_unweighted(self, tmp_path, small_graphs):
+        for name, g in small_graphs.items():
+            path = tmp_path / f"{name}.edges"
+            write_edge_list(g, path)
+            assert read_edge_list(path) == g, name
+
+    def test_round_trip_weighted(self, tmp_path, weighted_triangle):
+        path = tmp_path / "tri.edges"
+        write_edge_list(weighted_triangle, path)
+        back = read_edge_list(path)
+        assert back.weight(0, 2) == pytest.approx(3.0)
+
+    def test_isolated_vertices_preserved_by_header(self, tmp_path):
+        path = tmp_path / "iso.edges"
+        path.write_text("# vertices: 5\n0 1\n")
+        g = read_edge_list(path)
+        assert g.n == 5
+        assert not g.is_connected()
+
+    def test_missing_header_infers_n(self, tmp_path):
+        path = tmp_path / "plain.edges"
+        path.write_text("0 1\n1 2\n")
+        assert read_edge_list(path).n == 3
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_header_vertex_conflict(self, tmp_path):
+        path = tmp_path / "conflict.edges"
+        path.write_text("# vertices: 2\n0 5\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "comments.edges"
+        path.write_text("# a comment\n\n0 1\n# another\n1 2\n")
+        assert read_edge_list(path).m == 2
+
+
+class TestJson:
+    def test_graph_round_trip(self, small_graphs):
+        for name, g in small_graphs.items():
+            assert graph_from_json(graph_to_json(g)) == g, name
+
+    def test_graph_format_tag_checked(self):
+        with pytest.raises(GraphError):
+            graph_from_json('{"format": "other", "n": 2, "edges": []}')
+
+    def test_tree_round_trip(self):
+        g = graphs.cycle_with_chord(6)
+        from repro.walks import wilson_tree
+        import numpy as np
+
+        tree = wilson_tree(g, np.random.default_rng(0))
+        n, back = tree_from_json(tree_to_json(g.n, tree))
+        assert n == 6
+        assert back == tree
+
+    def test_tree_format_tag_checked(self):
+        with pytest.raises(GraphError):
+            tree_from_json('{"format": "zzz", "n": 2, "tree": []}')
+
+    def test_tree_normalizes_orientation(self):
+        doc = tree_to_json(3, [(2, 1), (1, 0)])
+        __, tree = tree_from_json(doc)
+        assert tree == ((0, 1), (1, 2))

@@ -1,0 +1,184 @@
+"""Unit tests for repro.graphs.core.WeightedGraph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.errors import DisconnectedGraphError, GraphError, WeightError
+from repro.graphs import WeightedGraph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = WeightedGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.n == 3
+        assert g.m == 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_from_edges_weighted(self):
+        g = WeightedGraph.from_edges(2, [(0, 1, 2.5)])
+        assert g.weight(0, 1) == pytest.approx(2.5)
+
+    def test_duplicate_edges_accumulate(self):
+        g = WeightedGraph.from_edges(2, [(0, 1), (0, 1)])
+        assert g.weight(0, 1) == pytest.approx(2.0)
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            WeightedGraph.from_edges(2, [(0, 2)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            WeightedGraph.from_edges(2, [(1, 1)])
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(WeightError):
+            WeightedGraph.from_edges(2, [(0, 1, 0.0)])
+        with pytest.raises(WeightError):
+            WeightedGraph.from_edges(2, [(0, 1, -1.0)])
+
+    def test_asymmetric_matrix_rejected(self):
+        w = np.zeros((2, 2))
+        w[0, 1] = 1.0
+        with pytest.raises(GraphError):
+            WeightedGraph(w)
+
+    def test_nonzero_diagonal_rejected(self):
+        w = np.eye(3)
+        with pytest.raises(GraphError):
+            WeightedGraph(w)
+
+    def test_nan_weight_rejected(self):
+        w = np.zeros((2, 2))
+        w[0, 1] = w[1, 0] = np.nan
+        with pytest.raises(WeightError):
+            WeightedGraph(w)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(GraphError):
+            WeightedGraph(np.zeros((2, 3)))
+
+    def test_weights_frozen(self):
+        g = WeightedGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.weights[0, 1] = 5.0
+
+
+class TestNetworkxRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        g = graphs.cycle_with_chord(6)
+        back = WeightedGraph.from_networkx(g.to_networkx())
+        assert back == g
+
+    def test_round_trip_preserves_weights(self, weighted_triangle):
+        back = WeightedGraph.from_networkx(weighted_triangle.to_networkx())
+        assert back.weight(1, 2) == pytest.approx(2.0)
+        assert back.weight(0, 2) == pytest.approx(3.0)
+
+
+class TestDerivedMatrices:
+    def test_transition_rows_sum_to_one(self, small_graphs):
+        for name, g in small_graphs.items():
+            rows = g.transition_matrix().sum(axis=1)
+            assert np.allclose(rows, 1.0), name
+
+    def test_transition_uniform_on_unweighted(self):
+        g = graphs.star_graph(5)
+        p = g.transition_matrix()
+        assert p[0, 1] == pytest.approx(1.0 / 4.0)
+        assert p[1, 0] == pytest.approx(1.0)
+
+    def test_transition_weighted_proportional(self, weighted_triangle):
+        p = weighted_triangle.transition_matrix()
+        # Vertex 0 has edges weight 1 (to 1) and 3 (to 2).
+        assert p[0, 1] == pytest.approx(1.0 / 4.0)
+        assert p[0, 2] == pytest.approx(3.0 / 4.0)
+
+    def test_laplacian_rows_sum_to_zero(self, small_graphs):
+        for name, g in small_graphs.items():
+            assert np.allclose(g.laplacian().sum(axis=1), 0.0), name
+
+    def test_laplacian_psd(self, small_graphs):
+        for name, g in small_graphs.items():
+            eigenvalues = np.linalg.eigvalsh(g.laplacian())
+            assert eigenvalues.min() > -1e-9, name
+
+    def test_degrees_match_weights(self, weighted_triangle):
+        assert weighted_triangle.degree(0) == pytest.approx(4.0)
+        assert weighted_triangle.unweighted_degree(0) == 2
+
+
+class TestStructure:
+    def test_connected_families(self, small_graphs):
+        for name, g in small_graphs.items():
+            assert g.is_connected(), name
+
+    def test_disconnected_detected(self):
+        g = WeightedGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert not g.is_connected()
+        with pytest.raises(DisconnectedGraphError):
+            g.require_connected()
+
+    def test_empty_and_singleton_connected(self):
+        assert WeightedGraph(np.zeros((1, 1))).is_connected()
+
+    def test_neighbors_sorted(self):
+        g = graphs.wheel_graph(6)
+        assert list(g.neighbors(0)) == [1, 2, 3, 4, 5]
+
+    def test_edges_canonical_order(self):
+        g = graphs.path_graph(4)
+        assert g.edges() == ((0, 1), (1, 2), (2, 3))
+
+    def test_is_unweighted(self, weighted_triangle):
+        assert graphs.path_graph(3).is_unweighted()
+        assert not weighted_triangle.is_unweighted()
+
+    def test_integer_weight_validation(self, weighted_triangle):
+        weighted_triangle.validate_integer_weights()
+        with pytest.raises(WeightError):
+            weighted_triangle.validate_integer_weights(max_weight=2)
+        frac = WeightedGraph.from_edges(2, [(0, 1, 0.5)])
+        with pytest.raises(WeightError):
+            frac.validate_integer_weights()
+
+    def test_subgraph_relabeling(self):
+        g = graphs.cycle_graph(5)
+        sub = g.subgraph([1, 2, 3])
+        assert sub.n == 3
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+        assert not sub.has_edge(0, 2)
+
+    def test_equality_and_hash(self):
+        a = graphs.path_graph(4)
+        b = graphs.path_graph(4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != graphs.cycle_graph(4)
+
+
+@given(n=st.integers(2, 12), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_random_graph_transition_stochastic(n, seed):
+    """Property: any generated graph has a row-stochastic walk matrix."""
+    rng = np.random.default_rng(seed)
+    g = graphs.erdos_renyi_graph(n, p=0.7, rng=rng)
+    p = g.transition_matrix()
+    assert np.allclose(p.sum(axis=1), 1.0)
+    assert np.all(p >= 0)
+
+
+@given(n=st.integers(3, 10))
+@settings(max_examples=20, deadline=None)
+def test_cycle_laplacian_eigen_structure(n):
+    """Property: cycle Laplacian has one zero eigenvalue (connectivity)."""
+    g = graphs.cycle_graph(n)
+    eigenvalues = np.sort(np.linalg.eigvalsh(g.laplacian()))
+    assert abs(eigenvalues[0]) < 1e-9
+    assert eigenvalues[1] > 1e-9

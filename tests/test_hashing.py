@@ -1,0 +1,118 @@
+"""Tests for the k-wise independent hash family (Section 3 step 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clique.hashing import KWiseHashFamily, smallest_prime_at_least
+from repro.errors import ModelError
+
+
+class TestPrimeSearch:
+    @pytest.mark.parametrize(
+        "floor, prime",
+        [(2, 2), (3, 3), (4, 5), (10, 11), (100, 101), (1 << 20, 1048583)],
+    )
+    def test_known_primes(self, floor, prime):
+        assert smallest_prime_at_least(floor) == prime
+
+    def test_large_prime_is_prime(self):
+        p = smallest_prime_at_least((1 << 31) + 5)
+        assert p >= (1 << 31) + 5
+        for d in (2, 3, 5, 7, 11, 13):
+            assert p % d != 0
+
+
+class TestKWiseHashFamily:
+    def test_output_in_codomain(self, rng):
+        family = KWiseHashFamily(8, domain_size=1000, codomain_size=16, rng=rng)
+        for x in range(0, 1000, 37):
+            assert 0 <= family(x) < 16
+
+    def test_deterministic_given_seed(self, rng):
+        family = KWiseHashFamily(8, 1000, 16, rng=rng)
+        clone = KWiseHashFamily(8, 1000, 16, seed_bits=family.seed_bits)
+        assert [family(x) for x in range(50)] == [clone(x) for x in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = KWiseHashFamily(8, 1000, 64, rng=np.random.default_rng(1))
+        b = KWiseHashFamily(8, 1000, 64, rng=np.random.default_rng(2))
+        assert [a(x) for x in range(64)] != [b(x) for x in range(64)]
+
+    def test_domain_validation(self, rng):
+        family = KWiseHashFamily(4, 100, 8, rng=rng)
+        with pytest.raises(ModelError):
+            family(100)
+        with pytest.raises(ModelError):
+            family(-1)
+
+    def test_vectorized_matches_scalar(self, rng):
+        family = KWiseHashFamily(16, 5000, 32, rng=rng)
+        xs = np.arange(0, 5000, 13)
+        assert np.array_equal(family.many(xs), [family(int(x)) for x in xs])
+
+    def test_many_rejects_out_of_domain(self, rng):
+        family = KWiseHashFamily(4, 100, 8, rng=rng)
+        with pytest.raises(ModelError):
+            family.many([5, 200])
+
+    def test_hash_pair_injective_flattening(self, rng):
+        width = 17
+        family = KWiseHashFamily(4, 100 * width, 8, rng=rng)
+        assert family.hash_pair(3, 5, width) == family(3 * width + 5)
+        with pytest.raises(ModelError):
+            family.hash_pair(0, width, width)
+
+    def test_seed_length_scales_with_independence(self, rng):
+        small = KWiseHashFamily(4, 100, 8, rng=rng)
+        large = KWiseHashFamily(32, 100, 8, rng=rng)
+        assert large.seed_length_bytes() == 8 * small.seed_length_bytes()
+
+    def test_short_seed_rejected(self):
+        with pytest.raises(ModelError):
+            KWiseHashFamily(8, 100, 8, seed_bits=b"abc")
+
+    def test_balance_statistical(self, rng):
+        """Loads are near-uniform: max bucket within 3x of mean."""
+        n_buckets = 32
+        family = KWiseHashFamily(16, 1 << 16, n_buckets, rng=rng)
+        values = family.many(np.arange(1 << 13))
+        counts = np.bincount(values, minlength=n_buckets)
+        mean = (1 << 13) / n_buckets
+        assert counts.max() < 3 * mean
+        assert counts.min() > mean / 3
+
+    def test_pairwise_collision_rate(self, rng):
+        """Collision probability over random pairs is ~ 1/M."""
+        m = 64
+        family = KWiseHashFamily(8, 1 << 16, m, rng=rng)
+        xs = rng.choice(1 << 16, size=2000, replace=False)
+        hashes = family.many(xs)
+        collisions = 0
+        trials = 0
+        for i in range(0, 1998, 2):
+            trials += 1
+            collisions += int(hashes[i] == hashes[i + 1])
+        rate = collisions / trials
+        assert rate < 5.0 / m  # expected 1/64 ~ 0.016
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ModelError):
+            KWiseHashFamily(0, 10, 4, rng=rng)
+        with pytest.raises(ModelError):
+            KWiseHashFamily(2, 0, 4, rng=rng)
+        with pytest.raises(ModelError):
+            KWiseHashFamily(2, 10, 0, rng=rng)
+
+
+@given(seed=st.integers(0, 2**31 - 1), t=st.integers(2, 12))
+@settings(max_examples=20, deadline=None)
+def test_family_is_reproducible_and_bounded(seed, t):
+    rng = np.random.default_rng(seed)
+    family = KWiseHashFamily(t, 512, 7, rng=rng)
+    outputs = family.many(np.arange(512))
+    assert outputs.min() >= 0
+    assert outputs.max() < 7

@@ -1,0 +1,129 @@
+"""Tests for the executable Lenzen routing protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clique.lenzen import (
+    RoutedMessage,
+    lenzen_route,
+    route_with_splitting,
+)
+from repro.clique.routing import lenzen_rounds
+from repro.errors import BandwidthError, ModelError
+
+
+def all_delivered(messages, outcome):
+    delivered = [
+        (m.src, m.dst, m.payload)
+        for inbox in outcome.inboxes.values()
+        for m in inbox
+    ]
+    expected = [(m.src, m.dst, m.payload) for m in messages]
+    return sorted(delivered) == sorted(expected)
+
+
+class TestAdmissibleRouting:
+    def test_empty(self):
+        outcome = lenzen_route([], 8)
+        assert outcome.rounds == 0
+        assert outcome.inboxes == {}
+
+    def test_single_message(self):
+        messages = [RoutedMessage(0, 3, "x")]
+        outcome = lenzen_route(messages, 4)
+        assert all_delivered(messages, outcome)
+        assert outcome.rounds <= 2
+
+    def test_all_to_all_permutation(self):
+        n = 16
+        messages = [RoutedMessage(s, (s + 5) % n) for s in range(n)]
+        outcome = lenzen_route(messages, n)
+        assert all_delivered(messages, outcome)
+        assert outcome.rounds <= 3
+
+    def test_full_admissible_load_constant_rounds(self, rng):
+        """The theorem's content: n words per machine, O(1) rounds."""
+        n = 24
+        messages = []
+        recv_budget = {d: n for d in range(n)}
+        for s in range(n):
+            for _ in range(n):
+                candidates = [d for d, b in recv_budget.items() if b > 0]
+                if not candidates:
+                    break
+                d = int(rng.choice(candidates))
+                recv_budget[d] -= 1
+                messages.append(RoutedMessage(s, d))
+        outcome = lenzen_route(messages, n)
+        assert all_delivered(messages, outcome)
+        assert outcome.rounds <= 4  # O(1), independent of the pattern
+
+    def test_skewed_but_admissible(self):
+        """One receiver takes its full n-word budget from n senders."""
+        n = 16
+        messages = [RoutedMessage(s, 0) for s in range(n)]
+        outcome = lenzen_route(messages, n)
+        assert all_delivered(messages, outcome)
+        assert outcome.rounds <= 3
+
+    def test_inadmissible_rejected(self):
+        n = 4
+        messages = [RoutedMessage(0, 1) for _ in range(n + 1)]
+        with pytest.raises(BandwidthError):
+            lenzen_route(messages, n)
+
+    def test_bad_machine_rejected(self):
+        with pytest.raises(ModelError):
+            lenzen_route([RoutedMessage(0, 9)], 4)
+
+
+class TestSplitting:
+    def test_overloaded_sender_splits(self):
+        n = 4
+        messages = [RoutedMessage(0, i % n) for i in range(3 * n)]
+        outcome = route_with_splitting(messages, n)
+        assert all_delivered(messages, outcome)
+        assert outcome.supersteps == 3
+
+    def test_overloaded_receiver_splits(self):
+        n = 4
+        messages = [RoutedMessage(i % n, 0) for i in range(2 * n)]
+        outcome = route_with_splitting(messages, n)
+        assert all_delivered(messages, outcome)
+        assert outcome.supersteps == 2
+
+    def test_rounds_match_formula_scale(self):
+        """The executable protocol's rounds stay within a small constant
+        of the lenzen_rounds accounting formula used everywhere else."""
+        n = 8
+        messages = [RoutedMessage(0, i % n) for i in range(5 * n)]
+        outcome = route_with_splitting(messages, n)
+        formula = lenzen_rounds(5 * n, 5, n)
+        assert outcome.rounds <= 3 * formula
+
+    def test_empty(self):
+        assert route_with_splitting([], 4).rounds == 0
+
+
+@given(
+    n=st.integers(2, 16),
+    seed=st.integers(0, 2**31 - 1),
+    density=st.floats(0.1, 1.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_routing_properties(n, seed, density):
+    """Property: any batch is fully delivered; rounds <= 3 per superstep."""
+    rng = np.random.default_rng(seed)
+    count = int(density * n * n)
+    messages = [
+        RoutedMessage(int(rng.integers(0, n)), int(rng.integers(0, n)), i)
+        for i in range(count)
+    ]
+    outcome = route_with_splitting(messages, n)
+    assert all_delivered(messages, outcome)
+    if outcome.supersteps:
+        assert outcome.rounds <= 4 * outcome.supersteps

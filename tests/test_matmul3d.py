@@ -1,0 +1,84 @@
+"""Tests for the simulated 3D CongestedClique matrix multiplication."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.analysis import loglog_fit
+from repro.clique import RoundLedger
+from repro.clique.matmul3d import SimulatedMatmul, semiring_matmul_rounds
+from repro.errors import ModelError
+from repro.linalg import PowerLadder
+
+
+class TestNumerics:
+    def test_product_exact(self, rng):
+        for n in (4, 9, 16, 27):
+            backend = SimulatedMatmul(n)
+            a = rng.random((n, n))
+            b = rng.random((n, n))
+            assert np.allclose(backend.multiply(a, b), a @ b)
+
+    def test_shape_validation(self):
+        backend = SimulatedMatmul(4)
+        with pytest.raises(ModelError):
+            backend.multiply(np.ones((3, 3)), np.ones((3, 3)))
+
+    def test_n_validation(self):
+        with pytest.raises(ModelError):
+            SimulatedMatmul(0)
+        with pytest.raises(ModelError):
+            semiring_matmul_rounds(0)
+
+
+class TestRoundAccounting:
+    def test_rounds_near_closed_form(self, rng):
+        for n in (8, 27, 64):
+            backend = SimulatedMatmul(n)
+            a = rng.random((n, n))
+            backend.multiply(a, a)
+            measured = backend.total_rounds
+            assert measured <= backend.measured_rounds_last_call_bound()
+            assert measured >= semiring_matmul_rounds(n) // 3
+
+    def test_rounds_scale_cube_root(self, rng):
+        ns = [8, 27, 64, 125]
+        rounds = []
+        for n in ns:
+            backend = SimulatedMatmul(n)
+            a = rng.random((n, n))
+            backend.multiply(a, a)
+            rounds.append(backend.total_rounds)
+        exponent, _ = loglog_fit(ns, rounds)
+        assert 0.15 < exponent < 0.6  # ~1/3 with blocking noise
+
+    def test_ledger_integration(self, rng):
+        ledger = RoundLedger()
+        backend = SimulatedMatmul(8, ledger=ledger)
+        a = rng.random((8, 8))
+        backend.multiply(a, a)
+        assert ledger.rounds_by_category().get("matmul-simulated", 0) > 0
+
+    def test_calls_counted(self, rng):
+        backend = SimulatedMatmul(4)
+        a = rng.random((4, 4))
+        backend.multiply(a, a)
+        backend.multiply(a, a)
+        assert backend.calls == 2
+
+
+class TestPowerLadderBackend:
+    def test_ladder_with_simulated_backend_matches_exact(self, rng):
+        g = graphs.cycle_with_chord(8)
+        p = g.transition_matrix()
+        ledger = RoundLedger()
+        backend = SimulatedMatmul(8, ledger=ledger)
+        ladder = PowerLadder(p, 16, ledger=ledger, matmul=backend)
+        assert np.allclose(ladder.power(16), np.linalg.matrix_power(p, 16))
+        categories = ledger.rounds_by_category()
+        # Only the simulated charge appears -- no analytic double count.
+        assert "matmul-simulated" in categories
+        assert "matmul" not in categories
+        assert backend.calls == 4

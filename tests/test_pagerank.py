@@ -1,0 +1,88 @@
+"""Tests for the PageRank application of Theorem 2's walks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.errors import GraphError
+from repro.walks import pagerank_exact, pagerank_via_walks
+
+
+class TestExactPageRank:
+    def test_sums_to_one(self, small_graphs):
+        for name, g in small_graphs.items():
+            scores = pagerank_exact(g)
+            assert scores.sum() == pytest.approx(1.0), name
+            assert np.all(scores > 0), name
+
+    def test_symmetric_graph_uniform(self):
+        g = graphs.complete_graph(6)
+        scores = pagerank_exact(g)
+        assert np.allclose(scores, 1.0 / 6.0)
+
+    def test_hub_dominates_on_star(self):
+        g = graphs.star_graph(8)
+        scores = pagerank_exact(g)
+        assert scores[0] > 3 * scores[1]
+
+    def test_damping_limits(self):
+        g = graphs.cycle_with_chord(6)
+        # d -> 0: uniform teleport dominates.
+        near_uniform = pagerank_exact(g, damping=0.01)
+        assert np.allclose(near_uniform, 1.0 / 6.0, atol=0.01)
+        # d -> 1: approaches the walk's stationary law (degree-weighted).
+        near_stationary = pagerank_exact(g, damping=0.999)
+        degrees = g.degrees()
+        assert np.allclose(near_stationary, degrees / degrees.sum(), atol=0.01)
+
+    def test_damping_validation(self):
+        g = graphs.path_graph(3)
+        with pytest.raises(GraphError):
+            pagerank_exact(g, damping=1.0)
+        with pytest.raises(GraphError):
+            pagerank_exact(g, damping=0.0)
+
+
+class TestWalkPageRank:
+    def test_estimate_close_to_exact(self, rng):
+        g = graphs.cycle_with_chord(8)
+        exact = pagerank_exact(g, damping=0.8)
+        estimate = pagerank_via_walks(
+            g, damping=0.8, walks_per_vertex=200, rng=rng
+        )
+        assert estimate.l1_error(exact) < 0.12
+
+    def test_scores_normalized(self, rng):
+        g = graphs.star_graph(10)
+        estimate = pagerank_via_walks(g, walks_per_vertex=20, rng=rng)
+        assert estimate.scores.sum() == pytest.approx(1.0)
+
+    def test_rounds_charged(self, rng):
+        g = graphs.random_regular_graph(16, 4, rng=rng)
+        estimate = pagerank_via_walks(g, walks_per_vertex=4, rng=rng)
+        assert estimate.rounds > 0
+        assert estimate.walk_length >= 4
+
+    def test_more_walks_reduce_error(self, rng):
+        g = graphs.cycle_with_chord(6)
+        exact = pagerank_exact(g, damping=0.8)
+        coarse = pagerank_via_walks(
+            g, damping=0.8, walks_per_vertex=8, rng=np.random.default_rng(1)
+        ).l1_error(exact)
+        errors = [
+            pagerank_via_walks(
+                g, damping=0.8, walks_per_vertex=300,
+                rng=np.random.default_rng(seed),
+            ).l1_error(exact)
+            for seed in range(3)
+        ]
+        assert min(errors) < coarse + 0.02
+
+    def test_validation(self, rng):
+        g = graphs.path_graph(4)
+        with pytest.raises(GraphError):
+            pagerank_via_walks(g, damping=2.0, rng=rng)
+        with pytest.raises(GraphError):
+            pagerank_via_walks(g, walks_per_vertex=0, rng=rng)

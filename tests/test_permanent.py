@@ -1,0 +1,162 @@
+"""Tests for permanent evaluation (Ryser + class-compressed DP)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MatchingError
+from repro.matching import permanent_class_dp, permanent_exact, permanent_ryser
+
+
+def permanent_bruteforce(matrix: np.ndarray) -> float:
+    n = matrix.shape[0]
+    total = 0.0
+    for sigma in itertools.permutations(range(n)):
+        product = 1.0
+        for i, j in enumerate(sigma):
+            product *= matrix[i, j]
+        total += product
+    return total
+
+
+class TestRyser:
+    def test_empty(self):
+        assert permanent_ryser(np.zeros((0, 0))) == 1.0
+
+    def test_singleton(self):
+        assert permanent_ryser(np.array([[3.5]])) == pytest.approx(3.5)
+
+    def test_two_by_two(self):
+        m = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert permanent_ryser(m) == pytest.approx(1 * 4 + 2 * 3)
+
+    def test_identity(self):
+        for n in range(1, 7):
+            assert permanent_ryser(np.eye(n)) == pytest.approx(1.0)
+
+    def test_all_ones_is_factorial(self):
+        for n in range(1, 8):
+            assert permanent_ryser(np.ones((n, n))) == pytest.approx(
+                math.factorial(n)
+            )
+
+    def test_zero_row_gives_zero(self):
+        m = np.ones((4, 4))
+        m[2, :] = 0.0
+        assert permanent_ryser(m) == pytest.approx(0.0)
+
+    def test_matches_bruteforce_random(self, rng):
+        for n in (3, 4, 5, 6):
+            m = rng.random((n, n))
+            assert permanent_ryser(m) == pytest.approx(
+                permanent_bruteforce(m), rel=1e-9
+            )
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(MatchingError):
+            permanent_ryser(np.ones((2, 3)))
+
+    def test_size_guard(self):
+        with pytest.raises(MatchingError):
+            permanent_ryser(np.ones((23, 23)))
+
+    def test_dispatch(self):
+        m = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert permanent_exact(m) == pytest.approx(2.0)
+
+
+class TestClassDP:
+    def test_trivial_single_class(self):
+        # One row class x N, one column class x N, weight w:
+        # perm = N! * w^N.
+        for n in (1, 2, 3, 5):
+            value = permanent_class_dp(np.array([[2.0]]), [n], [n])
+            assert value == pytest.approx(math.factorial(n) * 2.0**n)
+
+    def test_matches_ryser_on_expansion(self, rng):
+        for _ in range(10):
+            r = int(rng.integers(1, 4))
+            c = int(rng.integers(1, 4))
+            weights = rng.random((r, c))
+            row_counts = rng.integers(0, 4, size=r)
+            # Build column counts with the same total.
+            total = int(row_counts.sum())
+            if total == 0:
+                continue
+            col_counts = np.zeros(c, dtype=int)
+            for _ in range(total):
+                col_counts[int(rng.integers(0, c))] += 1
+            expanded = weights[
+                np.ix_(
+                    np.repeat(np.arange(r), row_counts),
+                    np.repeat(np.arange(c), col_counts),
+                )
+            ]
+            assert permanent_class_dp(
+                weights, row_counts.tolist(), col_counts.tolist()
+            ) == pytest.approx(permanent_ryser(expanded), rel=1e-8)
+
+    def test_zero_weight_routes_forced(self):
+        weights = np.array([[0.0, 1.0], [1.0, 0.0]])
+        # Row class 0 (2 copies) must fill column class 1's 2 slots and row
+        # class 1's single copy fills column class 0: 2! orderings.
+        value = permanent_class_dp(weights, [2, 1], [1, 2])
+        assert value == pytest.approx(2.0)
+
+    def test_zero_weight_blocks(self):
+        weights = np.array([[0.0, 1.0], [1.0, 0.0]])
+        # Row class 0 (2 copies) can only reach column class 1 (1 slot):
+        # no perfect matching exists.
+        value = permanent_class_dp(weights, [2, 1], [2, 1])
+        assert value == pytest.approx(0.0)
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(MatchingError):
+            permanent_class_dp(np.ones((1, 1)), [2], [3])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(MatchingError):
+            permanent_class_dp(np.array([[-1.0]]), [1], [1])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MatchingError):
+            permanent_class_dp(np.ones((2, 2)), [1], [1, 1])
+
+    def test_large_multiplicities_no_overflow(self):
+        # The motivating regression: hundreds of copies must not overflow.
+        value = permanent_class_dp(np.array([[0.5]]), [300], [300])
+        assert np.isfinite(value) or value == pytest.approx(0.0) or value > 0
+
+
+@given(
+    n=st.integers(1, 6),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_ryser_expansion_property(n, seed):
+    """Property: permanent is multilinear -- scaling one row scales perm."""
+    rng = np.random.default_rng(seed)
+    m = rng.random((n, n))
+    base = permanent_ryser(m)
+    scaled = m.copy()
+    scaled[0, :] *= 3.0
+    assert permanent_ryser(scaled) == pytest.approx(3.0 * base, rel=1e-8)
+
+
+@given(n=st.integers(2, 5), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_ryser_row_swap_invariance(n, seed):
+    """Property: permanents are invariant under row swaps."""
+    rng = np.random.default_rng(seed)
+    m = rng.random((n, n))
+    swapped = m.copy()
+    swapped[[0, 1], :] = swapped[[1, 0], :]
+    assert permanent_ryser(swapped) == pytest.approx(
+        permanent_ryser(m), rel=1e-8
+    )

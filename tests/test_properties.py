@@ -1,0 +1,181 @@
+"""Cross-cutting hypothesis property tests on core invariants.
+
+Module-specific property tests live next to their units; this file holds
+the deeper invariants that tie data structures to the paper's proofs:
+truncation idempotence (Lemma 2's deferred-truncation argument), matching
+marginals, permanent multilinearity, and walk-validity of every doubling
+configuration.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.matching import ClassifiedBipartite, permanent_ryser, sample_contingency_table
+from repro.walks.fill import PartialWalk, _truncate_at_distinct
+
+# ---------------------------------------------------------------------------
+# PartialWalk truncation (the Lemma 2 mechanics)
+# ---------------------------------------------------------------------------
+
+walks = st.lists(st.integers(0, 6), min_size=1, max_size=40)
+rhos = st.integers(1, 8)
+
+
+@given(vertices=walks, rho=rhos)
+@settings(max_examples=200, deadline=None)
+def test_truncation_is_prefix(vertices, rho):
+    walk = PartialWalk(1, list(vertices))
+    truncated = _truncate_at_distinct(walk, rho)
+    assert truncated.vertices == vertices[: len(truncated.vertices)]
+    assert truncated.spacing == walk.spacing
+
+
+@given(vertices=walks, rho=rhos)
+@settings(max_examples=200, deadline=None)
+def test_truncation_distinct_count_bound(vertices, rho):
+    truncated = _truncate_at_distinct(PartialWalk(1, list(vertices)), rho)
+    distinct = len(set(truncated.vertices))
+    assert distinct <= rho
+    if len(set(vertices)) >= rho:
+        # Quota reached: ends exactly at the first occurrence of the
+        # rho-th distinct vertex, which therefore appears exactly once.
+        assert distinct == rho
+        assert truncated.vertices.count(truncated.vertices[-1]) == 1
+    else:
+        assert truncated.vertices == list(vertices)
+
+
+@given(vertices=walks, rho=rhos)
+@settings(max_examples=200, deadline=None)
+def test_truncation_idempotent(vertices, rho):
+    once = _truncate_at_distinct(PartialWalk(1, list(vertices)), rho)
+    twice = _truncate_at_distinct(once, rho)
+    assert twice.vertices == once.vertices
+
+
+@given(vertices=walks, rho_small=rhos, rho_big=rhos)
+@settings(max_examples=200, deadline=None)
+def test_truncation_monotone_in_rho(vertices, rho_small, rho_big):
+    assume(rho_small <= rho_big)
+    walk = PartialWalk(1, list(vertices))
+    small = _truncate_at_distinct(walk, rho_small)
+    big = _truncate_at_distinct(walk, rho_big)
+    assert len(small.vertices) <= len(big.vertices)
+
+
+# ---------------------------------------------------------------------------
+# Contingency-table sampler marginals
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def feasible_instances(draw):
+    rows = draw(st.integers(1, 3))
+    cols = draw(st.integers(1, 3))
+    row_counts = [draw(st.integers(0, 3)) for _ in range(rows)]
+    total = sum(row_counts)
+    assume(total > 0)
+    col_counts = [0] * cols
+    for _ in range(total):
+        col_counts[draw(st.integers(0, cols - 1))] += 1
+    weights = np.array(
+        [[draw(st.floats(0.1, 5.0)) for _ in range(cols)] for _ in range(rows)]
+    )
+    return ClassifiedBipartite(
+        tuple(range(rows)), tuple(row_counts),
+        tuple(range(cols)), tuple(col_counts), weights,
+    )
+
+
+@given(instance=feasible_instances(), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=80, deadline=None)
+def test_contingency_table_margins_always_hold(instance, seed):
+    rng = np.random.default_rng(seed)
+    table = sample_contingency_table(instance, rng)
+    assert table.sum(axis=1).tolist() == list(instance.row_counts)
+    assert table.sum(axis=0).tolist() == list(instance.col_counts)
+    assert np.all(table >= 0)
+
+
+# ---------------------------------------------------------------------------
+# Permanent algebra
+# ---------------------------------------------------------------------------
+
+
+@given(n=st.integers(1, 5), seed=st.integers(0, 2**31 - 1),
+       scale=st.floats(0.25, 4.0))
+@settings(max_examples=50, deadline=None)
+def test_permanent_column_multilinearity(n, seed, scale):
+    rng = np.random.default_rng(seed)
+    m = rng.random((n, n))
+    scaled = m.copy()
+    scaled[:, 0] *= scale
+    assert permanent_ryser(scaled) == pytest.approx(
+        scale * permanent_ryser(m), rel=1e-8
+    )
+
+
+@given(a=st.integers(1, 3), b=st.integers(1, 3), seed=st.integers(0, 10**6))
+@settings(max_examples=50, deadline=None)
+def test_permanent_block_diagonal_product(a, b, seed):
+    rng = np.random.default_rng(seed)
+    top = rng.random((a, a))
+    bottom = rng.random((b, b))
+    block = np.zeros((a + b, a + b))
+    block[:a, :a] = top
+    block[a:, a:] = bottom
+    assert permanent_ryser(block) == pytest.approx(
+        permanent_ryser(top) * permanent_ryser(bottom), rel=1e-8
+    )
+
+
+# ---------------------------------------------------------------------------
+# Doubling walks: validity across configurations
+# ---------------------------------------------------------------------------
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    tau=st.sampled_from([1, 2, 3, 8, 17]),
+    balanced=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_doubling_always_yields_valid_walks(seed, tau, balanced):
+    from repro.walks import doubling_random_walk
+
+    rng = np.random.default_rng(seed)
+    g = graphs.cycle_with_chord(7)
+    result = doubling_random_walk(g, tau, rng, load_balanced=balanced)
+    assert result.length == 1 << max(0, math.ceil(math.log2(tau)))
+    for v in range(g.n):
+        walk = result.walk(v)
+        assert walk[0] == v
+        assert all(g.has_edge(x, y) for x, y in zip(walk, walk[1:]))
+
+
+# ---------------------------------------------------------------------------
+# Schur complement degree conservation
+# ---------------------------------------------------------------------------
+
+
+@given(seed=st.integers(0, 10**6), n=st.integers(5, 10))
+@settings(max_examples=40, deadline=None)
+def test_schur_effective_resistance_monotone(seed, n):
+    """Eliminating vertices never disconnects S (weights stay positive
+    along some spanning structure) and keeps the Laplacian PSD."""
+    from repro.linalg import schur_complement_graph
+
+    rng = np.random.default_rng(seed)
+    g = graphs.erdos_renyi_graph(n, p=0.6, rng=rng)
+    subset = sorted(rng.choice(n, size=3, replace=False).tolist())
+    schur, _ = schur_complement_graph(g, subset)
+    assert schur.is_connected()
+    eigenvalues = np.linalg.eigvalsh(schur.laplacian())
+    assert eigenvalues.min() > -1e-9

@@ -1,0 +1,76 @@
+"""Tests for the closed-form round bounds (repro.core.rounds)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.clique.cost import ALPHA
+from repro.core import (
+    corollary1_rounds,
+    exact_variant_rounds,
+    expected_phases,
+    fitted_exponent,
+    theorem1_rounds,
+    theorem2_rounds,
+)
+
+
+class TestFormulas:
+    def test_theorem1_sublinear(self):
+        """The headline claim: O~(n^0.657) = o(n)."""
+        for n in (1 << 10, 1 << 16, 1 << 20):
+            assert theorem1_rounds(n, polylog=0) < n
+
+    def test_theorem1_exponent(self):
+        ns = [2**k for k in range(8, 16)]
+        values = [theorem1_rounds(n, polylog=0) for n in ns]
+        assert fitted_exponent(ns, values) == pytest.approx(0.5 + ALPHA, abs=1e-6)
+
+    def test_exact_variant_exponent(self):
+        ns = [2**k for k in range(8, 16)]
+        values = [exact_variant_rounds(n, polylog=0) for n in ns]
+        assert fitted_exponent(ns, values) == pytest.approx(
+            2.0 / 3.0 + ALPHA, abs=1e-6
+        )
+        # The paper quotes O(n^0.824).
+        assert 2.0 / 3.0 + ALPHA == pytest.approx(0.824, abs=2e-3)
+
+    def test_exact_slower_than_approximate(self):
+        for n in (64, 1024, 1 << 14):
+            assert exact_variant_rounds(n) > theorem1_rounds(n)
+
+    def test_theorem2_regimes(self):
+        n = 1 << 12
+        # Long walks: linear-in-tau regime.
+        long_a = theorem2_rounds(n, 8 * n)
+        long_b = theorem2_rounds(n, 16 * n)
+        assert long_b > 1.8 * long_a
+        # Short walks: logarithmic regime.
+        short = theorem2_rounds(n, 64)
+        assert short == pytest.approx(6.0)
+
+    def test_corollary1_polylog_for_nlogn_cover(self):
+        for n in (1 << 10, 1 << 14):
+            tau = n * math.log2(n)
+            rounds = corollary1_rounds(n, tau)
+            assert rounds <= math.log2(n) ** 3
+
+    def test_expected_phases(self):
+        assert expected_phases(100, 10) == pytest.approx(11.0)
+        assert expected_phases(2, 2) == pytest.approx(1.0)
+
+
+class TestFittedExponent:
+    def test_recovers_power_law(self):
+        ns = [10, 100, 1000]
+        assert fitted_exponent(ns, [n**1.7 for n in ns]) == pytest.approx(
+            1.7, abs=1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fitted_exponent([1], [1.0])
+        with pytest.raises(ValueError):
+            fitted_exponent([2, 2], [1.0, 2.0])

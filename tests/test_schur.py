@@ -1,0 +1,176 @@
+"""Tests for Schur complement graphs (Definitions 1-2, Corollary 3, E13)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.errors import GraphError
+from repro.linalg import (
+    first_hit_distribution,
+    schur_by_elimination,
+    schur_complement_graph,
+    schur_complement_laplacian,
+    schur_transition_matrix,
+    schur_via_qr_product,
+)
+
+
+class TestFigure2:
+    """The paper's own worked example (E6): star with hub C."""
+
+    def test_schur_is_uniform_triangle(self):
+        g = graphs.figure2_graph()
+        transition, order = schur_transition_matrix(g, [0, 1, 3])
+        assert order == [0, 1, 3]
+        expected = np.full((3, 3), 0.5)
+        np.fill_diagonal(expected, 0.0)
+        assert np.allclose(transition, expected)
+
+    def test_schur_graph_weights_uniform(self):
+        g = graphs.figure2_graph()
+        schur, order = schur_complement_graph(g, [0, 1, 3])
+        weights = schur.weights
+        off_diagonal = weights[~np.eye(3, dtype=bool)]
+        assert np.allclose(off_diagonal, off_diagonal[0])
+
+
+class TestLaplacianBlockElimination:
+    def test_subset_everything_is_identity_operation(self):
+        g = graphs.cycle_graph(5)
+        full = schur_complement_laplacian(g.laplacian(), range(5))
+        assert np.allclose(full, g.laplacian())
+
+    def test_result_is_laplacian(self, small_graphs):
+        """Fact 2.3.6 of [55]: Schur complements of Laplacians are Laplacians."""
+        for name, g in small_graphs.items():
+            if g.n < 3:
+                continue
+            subset = list(range(0, g.n, 2)) or [0]
+            if len(subset) < 2:
+                subset = [0, 1]
+            schur = schur_complement_laplacian(g.laplacian(), subset)
+            assert np.allclose(schur.sum(axis=1), 0.0, atol=1e-9), name
+            off = schur[~np.eye(len(subset), dtype=bool)]
+            assert np.all(off <= 1e-9), name
+
+    def test_path_elimination_series_resistance(self):
+        # Eliminating the middle of a 3-path gives weight 1/2 (series law).
+        g = graphs.path_graph(3)
+        schur, order = schur_complement_graph(g, [0, 2])
+        assert order == [0, 2]
+        assert schur.weight(0, 1) == pytest.approx(0.5)
+
+    def test_triangle_elimination_parallel_composition(self):
+        # Eliminating one corner of a triangle: direct edge 1 plus the
+        # series path 1/2 through the eliminated vertex = 3/2.
+        g = graphs.complete_graph(3)
+        schur, _ = schur_complement_graph(g, [0, 1])
+        assert schur.weight(0, 1) == pytest.approx(1.5)
+
+    def test_invalid_subsets(self):
+        g = graphs.path_graph(4)
+        with pytest.raises(GraphError):
+            schur_complement_laplacian(g.laplacian(), [])
+        with pytest.raises(GraphError):
+            schur_complement_laplacian(g.laplacian(), [0, 9])
+
+
+class TestCrossValidation:
+    """Three independent constructions must agree (E13/E14)."""
+
+    def _subsets(self, n):
+        yield [0, n - 1]
+        yield list(range(0, n, 2))
+        yield list(range(n // 2))
+
+    def test_block_vs_single_elimination(self, small_graphs):
+        for name, g in small_graphs.items():
+            for subset in self._subsets(g.n):
+                if len(subset) < 2:
+                    continue
+                block, _ = schur_complement_graph(g, subset)
+                single, _ = schur_by_elimination(g, subset)
+                assert np.allclose(
+                    block.weights, single.weights, atol=1e-8
+                ), (name, subset)
+
+    def test_block_vs_qr_product(self, small_graphs):
+        for name, g in small_graphs.items():
+            for subset in self._subsets(g.n):
+                if len(subset) < 2:
+                    continue
+                block, _ = schur_transition_matrix(g, subset)
+                qr, _ = schur_via_qr_product(g, subset)
+                assert np.allclose(block, qr, atol=1e-8), (name, subset)
+
+    def test_definition2_first_hit_semantics(self, small_graphs):
+        """S[u, v] = P(v is the first vertex of S \\ {u} hit from u)."""
+        for name, g in small_graphs.items():
+            subset = sorted({0, 1, g.n - 1})
+            if len(subset) < 2:
+                continue
+            transition, order = schur_transition_matrix(g, subset)
+            for i, u in enumerate(order):
+                law = first_hit_distribution(g, subset, u)
+                assert np.allclose(transition[i], law, atol=1e-8), (name, u)
+
+    def test_transition_rows_stochastic(self, small_graphs):
+        for name, g in small_graphs.items():
+            subset = [0, 1, g.n - 1] if g.n > 2 else [0, 1]
+            transition, _ = schur_transition_matrix(g, sorted(set(subset)))
+            assert np.allclose(transition.sum(axis=1), 1.0), name
+            assert np.allclose(np.diagonal(transition), 0.0), name
+
+
+class TestWalkEquivalence:
+    """Theorem 2.4 of [69]: the Schur walk is the S-restricted G walk."""
+
+    def test_restricted_walk_distribution(self, rng):
+        g = graphs.cycle_with_chord(6)
+        subset = [0, 2, 4]
+        transition, order = schur_transition_matrix(g, subset)
+        index = {v: i for i, v in enumerate(order)}
+        # Empirically walk on G, restrict to S, compare one-step law.
+        from repro.walks import random_walk
+
+        start = 0
+        counts = np.zeros(len(order))
+        trials = 4000
+        for _ in range(trials):
+            walk = random_walk(g, start, 50, rng)
+            nxt = next((v for v in walk[1:] if v in index and v != start), None)
+            if nxt is None:  # pragma: no cover - vanishing probability
+                continue
+            counts[index[nxt]] += 1
+        empirical = counts / counts.sum()
+        assert np.allclose(empirical, transition[index[start]], atol=0.05)
+
+
+class TestFirstHitEdgeCases:
+    def test_start_must_be_in_subset(self):
+        g = graphs.path_graph(4)
+        with pytest.raises(GraphError):
+            first_hit_distribution(g, [0, 3], 1)
+
+    def test_two_vertex_subset_is_certain(self):
+        g = graphs.path_graph(4)
+        law = first_hit_distribution(g, [0, 3], 0)
+        assert law == pytest.approx([0.0, 1.0])
+
+
+@given(seed=st.integers(0, 10_000), n=st.integers(4, 9))
+@settings(max_examples=20, deadline=None)
+def test_schur_preserves_tree_count_ratio(seed, n):
+    """Property: Schur(G, S) has Laplacian = block elimination, hence its
+    tree count equals count(G) / det(L_{CC}) -- verified indirectly by
+    checking the two elimination orders agree."""
+    rng = np.random.default_rng(seed)
+    g = graphs.erdos_renyi_graph(n, p=0.7, rng=rng)
+    subset = sorted(rng.choice(n, size=max(2, n // 2), replace=False).tolist())
+    block, _ = schur_complement_graph(g, subset)
+    single, _ = schur_by_elimination(g, subset)
+    assert np.allclose(block.weights, single.weights, atol=1e-8)

@@ -1,0 +1,36 @@
+"""Tests for the installation self-check battery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.selfcheck import _CHECKS, CheckResult, run_self_check
+
+
+class TestBattery:
+    def test_all_checks_pass(self):
+        results = run_self_check()
+        assert len(results) == len(_CHECKS)
+        for result in results:
+            assert result.passed, f"{result.name}: {result.detail}"
+
+    def test_failures_reported_not_raised(self, monkeypatch):
+        def broken():
+            raise RuntimeError("injected")
+
+        monkeypatch.setitem(_CHECKS, "matrix-tree", broken)
+        results = run_self_check()
+        failed = {r.name: r for r in results if not r.passed}
+        assert "matrix-tree" in failed
+        assert "injected" in failed["matrix-tree"].detail
+
+    def test_cli_exit_codes(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "all 7 checks passed" in out
+
+    def test_result_dataclass(self):
+        result = CheckResult("x", True, "fine")
+        assert result.passed and result.name == "x"

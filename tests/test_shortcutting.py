@@ -1,0 +1,80 @@
+"""Tests for the sequential shortcutting sampler ([52] lineage)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.analysis import expected_tv_noise, tv_to_uniform
+from repro.errors import GraphError
+from repro.graphs import is_spanning_tree
+from repro.walks import ShortcuttingSampler, aldous_broder_with_stats
+
+
+class TestBasics:
+    def test_returns_spanning_tree(self, rng, small_graphs):
+        for name, g in small_graphs.items():
+            result = ShortcuttingSampler(g).sample(rng)
+            assert is_spanning_tree(g, result.tree), name
+            assert result.schur_steps == sum(result.steps_per_phase)
+            assert result.phases == len(result.steps_per_phase)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            ShortcuttingSampler(graphs.path_graph(4), rho=1)
+        with pytest.raises(GraphError):
+            ShortcuttingSampler(graphs.path_graph(4), start_vertex=8)
+        disconnected = graphs.WeightedGraph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(Exception):
+            ShortcuttingSampler(disconnected)
+
+    def test_phase_quota_respected(self, rng):
+        g = graphs.complete_graph(16)
+        result = ShortcuttingSampler(g, rho=4).sample(rng)
+        for distinct in result.distinct_per_phase:
+            assert distinct <= 4
+        assert result.phases == 5  # 15 new vertices / 3 per phase
+
+
+class TestShortcuttingEffect:
+    def test_saves_steps_on_lollipop(self, rng):
+        """The point of shortcutting: on bottleneck graphs the summed
+        Schur-walk lengths are far below the Aldous-Broder cover time."""
+        g = graphs.lollipop_graph(24)
+        shortcut_steps = np.mean(
+            [ShortcuttingSampler(g).sample(rng).schur_steps for _ in range(6)]
+        )
+        ab_steps = np.mean(
+            [aldous_broder_with_stats(g, rng)[1] for _ in range(6)]
+        )
+        assert shortcut_steps < ab_steps / 2
+
+    def test_no_penalty_on_expander(self, rng):
+        g = graphs.random_regular_graph(24, 4, rng=rng)
+        shortcut_steps = np.mean(
+            [ShortcuttingSampler(g).sample(rng).schur_steps for _ in range(6)]
+        )
+        ab_steps = np.mean(
+            [aldous_broder_with_stats(g, rng)[1] for _ in range(6)]
+        )
+        assert shortcut_steps < 2 * ab_steps
+
+
+class TestDistribution:
+    def test_uniformity(self, rng):
+        g = graphs.cycle_with_chord(5)
+        sampler = ShortcuttingSampler(g)
+        n_samples = 1200
+        trees = [sampler.sample(rng).tree for _ in range(n_samples)]
+        assert tv_to_uniform(g, trees) < 4 * expected_tv_noise(11, n_samples)
+
+    def test_weighted_law(self, rng, weighted_triangle):
+        from repro.analysis import empirical_tree_distribution, tv_distance
+        from repro.graphs import uniform_tree_distribution
+
+        sampler = ShortcuttingSampler(weighted_triangle)
+        trees = [sampler.sample(rng).tree for _ in range(1200)]
+        target = uniform_tree_distribution(weighted_triangle)
+        empirical = empirical_tree_distribution(trees)
+        assert tv_distance(empirical, dict(target)) < 0.06

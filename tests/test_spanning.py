@@ -1,0 +1,158 @@
+"""Tests for Matrix-Tree counting, enumeration, and tree encodings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.graphs import (
+    WeightedGraph,
+    count_spanning_trees,
+    enumerate_spanning_trees,
+    is_spanning_tree,
+    tree_key,
+    uniform_tree_distribution,
+)
+from repro.graphs.spanning import tree_weight
+
+
+class TestTreeKey:
+    def test_normalizes_edge_orientation(self):
+        assert tree_key([(2, 1), (0, 1)]) == tree_key([(1, 2), (1, 0)])
+
+    def test_sorted_output(self):
+        assert tree_key([(3, 2), (1, 0)]) == ((0, 1), (2, 3))
+
+
+class TestIsSpanningTree:
+    def test_accepts_path_tree(self):
+        g = graphs.cycle_graph(4)
+        assert is_spanning_tree(g, [(0, 1), (1, 2), (2, 3)])
+
+    def test_rejects_cycle(self):
+        g = graphs.complete_graph(4)
+        assert not is_spanning_tree(g, [(0, 1), (1, 2), (0, 2)])
+
+    def test_rejects_wrong_count(self):
+        g = graphs.complete_graph(4)
+        assert not is_spanning_tree(g, [(0, 1), (1, 2)])
+
+    def test_rejects_non_edges(self):
+        g = graphs.path_graph(4)
+        assert not is_spanning_tree(g, [(0, 1), (1, 2), (0, 3)])
+
+    def test_rejects_duplicate_edges(self):
+        g = graphs.complete_graph(4)
+        assert not is_spanning_tree(g, [(0, 1), (1, 0), (2, 3)])
+
+
+class TestMatrixTree:
+    @pytest.mark.parametrize(
+        "factory, expected",
+        [
+            (lambda: graphs.cycle_graph(5), 5),
+            (lambda: graphs.cycle_graph(8), 8),
+            (lambda: graphs.complete_graph(4), 16),   # Cayley 4^2
+            (lambda: graphs.complete_graph(5), 125),  # Cayley 5^3
+            (lambda: graphs.path_graph(6), 1),
+            (lambda: graphs.star_graph(7), 1),
+            (lambda: graphs.wheel_graph(4), 16),      # W3 = K4
+        ],
+    )
+    def test_known_counts(self, factory, expected):
+        assert count_spanning_trees(factory()) == pytest.approx(expected)
+
+    def test_disconnected_counts_zero(self):
+        g = WeightedGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert count_spanning_trees(g) == pytest.approx(0.0)
+
+    def test_weighted_count_is_total_tree_weight(self, weighted_triangle):
+        # Trees: {01,12}=2, {01,02}=3, {12,02}=6 -> total 11.
+        assert count_spanning_trees(weighted_triangle) == pytest.approx(11.0)
+
+    def test_singleton(self):
+        assert count_spanning_trees(WeightedGraph.from_edges(1, [])) == 1.0
+
+
+class TestEnumeration:
+    def test_matches_matrix_tree(self, small_graphs):
+        for name, g in small_graphs.items():
+            trees = enumerate_spanning_trees(g)
+            assert len(trees) == pytest.approx(
+                count_spanning_trees(g), rel=1e-9
+            ), name
+
+    def test_each_enumerated_is_valid(self):
+        g = graphs.cycle_with_chord(5)
+        for tree in enumerate_spanning_trees(g):
+            assert is_spanning_tree(g, tree)
+
+    def test_no_duplicates(self):
+        g = graphs.complete_graph(4)
+        trees = enumerate_spanning_trees(g)
+        assert len(set(trees)) == len(trees)
+
+    def test_disconnected_raises(self):
+        g = WeightedGraph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            enumerate_spanning_trees(g)
+
+    def test_limit_guard(self):
+        g = graphs.complete_graph(9)
+        with pytest.raises(GraphError):
+            enumerate_spanning_trees(g, limit=10)
+
+
+class TestUniformDistribution:
+    def test_unweighted_uniform(self):
+        g = graphs.cycle_graph(6)
+        dist = uniform_tree_distribution(g)
+        assert len(dist) == 6
+        assert all(p == pytest.approx(1.0 / 6.0) for p in dist.values())
+
+    def test_weighted_proportional(self, weighted_triangle):
+        dist = uniform_tree_distribution(weighted_triangle)
+        probs = sorted(dist.values())
+        assert probs == pytest.approx([2 / 11, 3 / 11, 6 / 11])
+
+    def test_sums_to_one(self, small_graphs):
+        for name, g in small_graphs.items():
+            assert sum(uniform_tree_distribution(g).values()) == pytest.approx(
+                1.0
+            ), name
+
+    def test_tree_weight_unweighted_is_one(self):
+        g = graphs.cycle_graph(4)
+        for tree in enumerate_spanning_trees(g):
+            assert tree_weight(g, tree) == pytest.approx(1.0)
+
+
+@given(n=st.integers(3, 8), extra_seed=st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_matrix_tree_equals_enumeration_on_random_graphs(n, extra_seed):
+    """Property: Kirchhoff's count equals brute-force enumeration."""
+    import numpy as np
+
+    rng = np.random.default_rng(extra_seed)
+    g = graphs.erdos_renyi_graph(n, p=0.6, rng=rng)
+    if g.m > 16:
+        return  # keep enumeration cheap
+    assert len(enumerate_spanning_trees(g)) == pytest.approx(
+        count_spanning_trees(g), rel=1e-8
+    )
+
+
+@given(
+    deletions=st.lists(st.integers(0, 9), max_size=3, unique=True),
+)
+@settings(max_examples=20, deadline=None)
+def test_deletion_monotonicity(deletions):
+    """Property: deleting edges never increases the spanning tree count."""
+    g = graphs.complete_graph(5)
+    edges = list(g.edges())
+    kept = [e for i, e in enumerate(edges) if i not in set(deletions)]
+    smaller = WeightedGraph.from_edges(5, kept)
+    assert count_spanning_trees(smaller) <= count_spanning_trees(g) + 1e-9

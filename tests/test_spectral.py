@@ -1,0 +1,127 @@
+"""Tests for spectral machinery: closed forms and cross-checks."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.errors import GraphError
+from repro.graphs.spectral import (
+    cover_time_spectral_bound,
+    is_expander,
+    mixing_time_bound,
+    relaxation_time,
+    spectral_gap,
+    walk_eigenvalues,
+)
+
+
+class TestEigenvalues:
+    def test_top_eigenvalue_is_one(self, small_graphs):
+        for name, g in small_graphs.items():
+            eigenvalues = walk_eigenvalues(g)
+            assert eigenvalues[0] == pytest.approx(1.0), name
+            assert np.all(eigenvalues <= 1.0 + 1e-9), name
+            assert np.all(eigenvalues >= -1.0 - 1e-9), name
+
+    def test_complete_graph_closed_form(self):
+        # K_n walk spectrum: 1 and -1/(n-1) with multiplicity n-1.
+        n = 6
+        eigenvalues = walk_eigenvalues(graphs.complete_graph(n))
+        assert eigenvalues[0] == pytest.approx(1.0)
+        assert np.allclose(eigenvalues[1:], -1.0 / (n - 1))
+
+    def test_cycle_closed_form(self):
+        # C_n walk spectrum: cos(2 pi k / n).
+        n = 8
+        eigenvalues = np.sort(walk_eigenvalues(graphs.cycle_graph(n)))
+        expected = np.sort([math.cos(2 * math.pi * k / n) for k in range(n)])
+        assert np.allclose(eigenvalues, expected, atol=1e-9)
+
+    def test_bipartite_has_minus_one(self):
+        eigenvalues = walk_eigenvalues(graphs.path_graph(4))
+        assert eigenvalues[-1] == pytest.approx(-1.0)
+
+    def test_lazy_shifts_to_unit_interval(self):
+        eigenvalues = walk_eigenvalues(graphs.path_graph(4), lazy=True)
+        assert np.all(eigenvalues >= -1e-9)
+        assert eigenvalues[0] == pytest.approx(1.0)
+
+
+class TestGapsAndTimes:
+    def test_bipartite_plain_gap_zero(self):
+        assert spectral_gap(graphs.path_graph(4), lazy=False) == pytest.approx(
+            0.0, abs=1e-9
+        )
+        assert spectral_gap(graphs.path_graph(4), lazy=True) > 0
+
+    def test_complete_graph_large_gap(self):
+        gap = spectral_gap(graphs.complete_graph(10), lazy=True)
+        assert gap > 0.5
+
+    def test_relaxation_monotone_with_bottleneck(self):
+        assert relaxation_time(graphs.barbell_graph(12)) > relaxation_time(
+            graphs.complete_graph(12)
+        )
+
+    def test_relaxation_raises_on_zero_gap(self):
+        with pytest.raises(GraphError):
+            relaxation_time(graphs.path_graph(4), lazy=False)
+
+    def test_mixing_bound_scales_with_relaxation(self):
+        fast = mixing_time_bound(graphs.complete_graph(12))
+        slow = mixing_time_bound(graphs.barbell_graph(12))
+        assert slow > fast
+
+    def test_mixing_epsilon_validation(self):
+        with pytest.raises(GraphError):
+            mixing_time_bound(graphs.complete_graph(5), epsilon=2.0)
+
+    def test_mixing_bound_dominates_empirical_mixing(self):
+        """Powers of the lazy walk reach near-stationarity within the
+        bound (checked in TV on a small graph)."""
+        g = graphs.cycle_with_chord(6)
+        t = int(math.ceil(mixing_time_bound(g, epsilon=0.1)))
+        lazy = (np.eye(g.n) + g.transition_matrix()) / 2.0
+        power = np.linalg.matrix_power(lazy, t)
+        degrees = g.degrees()
+        stationary = degrees / degrees.sum()
+        worst_tv = 0.5 * np.abs(power - stationary[None, :]).sum(axis=1).max()
+        assert worst_tv <= 0.1 + 1e-9
+
+
+class TestExpanderCertificate:
+    def test_random_regular_is_expander(self, rng):
+        g = graphs.random_regular_graph(64, 4, rng=rng)
+        assert is_expander(g)
+
+    def test_cycle_is_not(self):
+        assert not is_expander(graphs.cycle_graph(64))
+
+    def test_irregular_is_not(self):
+        assert not is_expander(graphs.star_graph(16))
+
+    def test_weighted_is_not(self, weighted_triangle):
+        assert not is_expander(weighted_triangle)
+
+
+class TestCoverBound:
+    def test_expander_cover_is_nlogn_scale(self, rng):
+        from repro.graphs import cover_time_bound
+
+        g = graphs.random_regular_graph(32, 4, rng=rng)
+        spectral = cover_time_spectral_bound(g)
+        matthews = cover_time_bound(g)
+        n = 32
+        assert spectral < 60 * n * math.log(n)
+        # Both are upper bounds on the true cover time; they agree in
+        # order of magnitude on expanders.
+        assert spectral / 50 < matthews < spectral * 50
+
+    def test_barbell_spectral_bound_explodes(self):
+        good = cover_time_spectral_bound(graphs.complete_graph(12))
+        bad = cover_time_spectral_bound(graphs.barbell_graph(12))
+        assert bad > 5 * good

@@ -1,0 +1,128 @@
+"""Tests for the distributed truncation search (Algorithm 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.clique import CongestedClique
+from repro.core.midpoints import MidpointBank
+from repro.core.truncation import (
+    LevelView,
+    check_truncation_point,
+    find_truncation_index,
+)
+from repro.errors import WalkError
+from repro.linalg import PowerLadder
+from repro.walks.fill import PartialWalk
+
+
+def make_view(rng, walk_vertices, spacing=4, graph=None):
+    g = graph if graph is not None else graphs.complete_graph(5)
+    ladder = PowerLadder(g.transition_matrix(), spacing)
+    walk = PartialWalk(spacing, walk_vertices)
+    pair_counts = {}
+    for pair in walk.pairs():
+        pair_counts[pair] = pair_counts.get(pair, 0) + 1
+    bank = MidpointBank(pair_counts, ladder.power(spacing // 2), rng)
+    return LevelView(walk, bank)
+
+
+class TestLevelView:
+    def test_positions_and_values(self, rng):
+        view = make_view(rng, [0, 2, 0, 3])
+        assert view.top == 6
+        assert view.value_at(0) == 0
+        assert view.value_at(2) == 2
+        assert view.value_at(6) == 3
+        # Odd positions come from the bank's sequences.
+        assert view.value_at(1) == view.bank.value_at((0, 2), 0)
+        assert view.value_at(5) == view.bank.value_at((0, 3), 0)
+
+    def test_repeated_pairs_use_occurrence_order(self, rng):
+        view = make_view(rng, [0, 2, 0, 2])
+        # Gaps: (0,2), (2,0), (0,2) -> second (0,2) is occurrence 1.
+        assert view.value_at(5) == view.bank.value_at((0, 2), 1)
+
+    def test_out_of_range(self, rng):
+        view = make_view(rng, [0, 2])
+        with pytest.raises(WalkError):
+            view.value_at(3)
+        with pytest.raises(WalkError):
+            view.value_at(-1)
+
+    def test_truncated_pair_counts(self, rng):
+        view = make_view(rng, [0, 2, 0, 2])
+        assert view.truncated_pair_counts(0) == {}
+        assert view.truncated_pair_counts(1) == {(0, 2): 1}
+        assert view.truncated_pair_counts(4) == {(0, 2): 1, (2, 0): 1}
+        assert view.truncated_pair_counts(6) == {(0, 2): 2, (2, 0): 1}
+
+    def test_midpoint_positions(self, rng):
+        view = make_view(rng, [0, 2, 0])
+        assert view.midpoint_positions_upto(4) == [1, 3]
+        assert view.midpoint_positions_upto(2) == [1]
+
+
+class TestCheckTruncationPoint:
+    def test_matches_sequential_scan(self, rng):
+        """The predicate is True exactly up to the first occurrence of the
+        rho-th distinct vertex of the conceptual filled walk."""
+        for trial in range(30):
+            local_rng = np.random.default_rng(trial)
+            view = make_view(local_rng, [0, 2, 0, 3, 0])
+            filled = [view.value_at(t) for t in range(view.top + 1)]
+            for rho in (2, 3, 4):
+                seen: set[int] = set()
+                t_star = view.top
+                for t, v in enumerate(filled):
+                    if v not in seen:
+                        seen.add(v)
+                        if len(seen) == rho:
+                            t_star = t
+                            break
+                for t in range(view.top + 1):
+                    expected = t <= t_star
+                    assert check_truncation_point(view, t, rho) == expected, (
+                        trial, rho, t, filled,
+                    )
+
+    def test_monotone(self, rng):
+        view = make_view(rng, [0, 2, 0, 3])
+        values = [check_truncation_point(view, t, 3) for t in range(view.top + 1)]
+        # Once False, always False.
+        if False in values:
+            first_false = values.index(False)
+            assert not any(values[first_false:])
+
+
+class TestFindTruncationIndex:
+    def test_agrees_with_linear_scan(self, rng):
+        for trial in range(30):
+            local_rng = np.random.default_rng(1000 + trial)
+            view = make_view(local_rng, [0, 2, 0, 3, 0, 2])
+            for rho in (2, 3, 4, 5):
+                expected = view.top
+                seen: set[int] = set()
+                for t in range(view.top + 1):
+                    v = view.value_at(t)
+                    if v not in seen:
+                        seen.add(v)
+                        if len(seen) == rho:
+                            expected = t
+                            break
+                assert find_truncation_index(view, rho) == expected
+
+    def test_rho_validation(self, rng):
+        view = make_view(rng, [0, 2])
+        with pytest.raises(WalkError):
+            find_truncation_index(view, 1)
+
+    def test_charges_rounds_per_probe(self, rng):
+        clique = CongestedClique(5)
+        view = make_view(rng, [0, 2, 0, 3, 0, 2])
+        find_truncation_index(view, 3, clique=clique)
+        assert clique.ledger.rounds_by_category().get(
+            "truncation/aggregate", 0
+        ) > 0

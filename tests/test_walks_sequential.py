@@ -1,0 +1,216 @@
+"""Tests for sequential walks and the classical spanning-tree baselines."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.analysis import expected_tv_noise, tv_to_uniform
+from repro.errors import GraphError, WalkError
+from repro.graphs import is_spanning_tree, uniform_tree_distribution
+from repro.walks import (
+    aldous_broder_tree,
+    aldous_broder_with_stats,
+    distinct_vertex_count,
+    first_visit_edges,
+    random_walk,
+    random_weight_mst_tree,
+    walk_until_distinct,
+    wilson_tree,
+    wilson_tree_with_stats,
+)
+
+
+class TestRandomWalk:
+    def test_length_and_adjacency(self, rng):
+        g = graphs.cycle_with_chord(6)
+        walk = random_walk(g, 0, 40, rng)
+        assert len(walk) == 41
+        assert walk[0] == 0
+        assert all(g.has_edge(a, b) for a, b in zip(walk, walk[1:]))
+
+    def test_zero_length(self, rng):
+        g = graphs.path_graph(3)
+        assert random_walk(g, 1, 0, rng) == [1]
+
+    def test_negative_length_rejected(self, rng):
+        with pytest.raises(WalkError):
+            random_walk(graphs.path_graph(3), 0, -1, rng)
+
+    def test_bad_start_rejected(self, rng):
+        with pytest.raises(GraphError):
+            random_walk(graphs.path_graph(3), 7, 1, rng)
+
+    def test_weighted_step_law(self, rng, weighted_triangle):
+        walks = [random_walk(weighted_triangle, 0, 1, rng)[1] for _ in range(3000)]
+        freq = Counter(walks)
+        # From 0: weight 1 to vertex 1, weight 3 to vertex 2.
+        assert freq[2] / 3000 == pytest.approx(0.75, abs=0.04)
+
+
+class TestWalkUntilDistinct:
+    def test_stops_exactly_at_target(self, rng):
+        g = graphs.cycle_graph(8)
+        walk = walk_until_distinct(g, 0, 4, rng)
+        assert distinct_vertex_count(walk) == 4
+        # The final vertex is the 4th distinct one, appearing only there.
+        assert walk.count(walk[-1]) == 1
+
+    def test_target_one_is_trivial(self, rng):
+        g = graphs.path_graph(3)
+        assert walk_until_distinct(g, 2, 1, rng) == [2]
+
+    def test_invalid_target(self, rng):
+        g = graphs.path_graph(3)
+        with pytest.raises(WalkError):
+            walk_until_distinct(g, 0, 4, rng)
+
+    def test_max_steps_guard(self, rng):
+        g = graphs.path_graph(8)
+        with pytest.raises(WalkError):
+            walk_until_distinct(g, 0, 8, rng, max_steps=1)
+
+
+class TestFirstVisitEdges:
+    def test_simple_extraction(self):
+        walk = [0, 1, 0, 2, 1, 3]
+        assert first_visit_edges(walk) == [(0, 1), (0, 2), (1, 3)]
+
+    def test_empty_walk(self):
+        assert first_visit_edges([]) == []
+
+    def test_covering_walk_gives_tree(self, rng):
+        g = graphs.complete_graph(6)
+        walk = walk_until_distinct(g, 0, 6, rng)
+        edges = first_visit_edges(walk)
+        assert is_spanning_tree(g, edges)
+
+
+class TestAldousBroder:
+    def test_returns_spanning_tree(self, rng, small_graphs):
+        for name, g in small_graphs.items():
+            tree = aldous_broder_tree(g, rng)
+            assert is_spanning_tree(g, tree), name
+
+    def test_uniformity(self, rng):
+        g = graphs.cycle_with_chord(5)
+        n_samples = 2500
+        trees = [aldous_broder_tree(g, rng) for _ in range(n_samples)]
+        noise = expected_tv_noise(11, n_samples)
+        assert tv_to_uniform(g, trees) < 4 * noise
+
+
+class TestWilson:
+    def test_returns_spanning_tree(self, rng, small_graphs):
+        for name, g in small_graphs.items():
+            tree = wilson_tree(g, rng)
+            assert is_spanning_tree(g, tree), name
+
+    def test_uniformity(self, rng):
+        g = graphs.theta_graph(2, 2, 2)
+        n_samples = 3000
+        trees = [wilson_tree(g, rng) for _ in range(n_samples)]
+        noise = expected_tv_noise(12, n_samples)
+        assert tv_to_uniform(g, trees) < 4 * noise
+
+    def test_weighted_law(self, rng, weighted_triangle):
+        """Weighted Wilson samples trees prop to their weight product."""
+        target = uniform_tree_distribution(weighted_triangle)
+        trees = Counter(wilson_tree(weighted_triangle, rng) for _ in range(4000))
+        heaviest = max(target, key=target.get)
+        assert trees[heaviest] / 4000 == pytest.approx(
+            target[heaviest], abs=0.04
+        )
+
+    def test_root_invariance(self, rng):
+        """Wilson's output law does not depend on the root choice."""
+        g = graphs.cycle_with_chord(5)
+        a = Counter(wilson_tree(g, rng, root=0) for _ in range(2000))
+        b = Counter(wilson_tree(g, rng, root=3) for _ in range(2000))
+        overlap = sum(min(a[t] / 2000, b[t] / 2000) for t in set(a) | set(b))
+        assert overlap > 0.9
+
+    def test_bad_root(self, rng):
+        with pytest.raises(GraphError):
+            wilson_tree(graphs.path_graph(3), rng, root=5)
+
+
+class TestStatsVariants:
+    def test_aldous_broder_steps_reported(self, rng):
+        g = graphs.complete_graph(8)
+        tree, steps = aldous_broder_with_stats(g, rng)
+        assert is_spanning_tree(g, tree)
+        assert steps >= g.n - 1  # covering needs at least n - 1 steps
+
+    def test_wilson_steps_reported(self, rng):
+        g = graphs.cycle_with_chord(8)
+        tree, steps = wilson_tree_with_stats(g, rng)
+        assert is_spanning_tree(g, tree)
+        assert steps >= g.n - 1
+
+    def test_wilson_faster_than_ab_on_lollipop(self, rng):
+        """The introduction's contrast: cover time vs mean hitting time."""
+        g = graphs.lollipop_graph(20)
+        ab = np.mean([aldous_broder_with_stats(g, rng)[1] for _ in range(8)])
+        wilson = np.mean([wilson_tree_with_stats(g, rng)[1] for _ in range(8)])
+        assert wilson < ab
+
+    def test_ab_steps_near_cover_time(self, rng):
+        from repro.graphs import cover_time_bound
+
+        g = graphs.complete_graph(10)
+        steps = np.mean(
+            [aldous_broder_with_stats(g, rng)[1] for _ in range(20)]
+        )
+        # Coupon collector ~ (n-1) H_{n-1} ~ 25; Matthews bound is close.
+        assert steps < 2 * cover_time_bound(g)
+
+
+class TestRandomWeightMST:
+    """Section 1.4's strawman (experiment E9): provably non-uniform."""
+
+    def test_returns_spanning_tree(self, rng, small_graphs):
+        for name, g in small_graphs.items():
+            tree = random_weight_mst_tree(g, rng)
+            assert is_spanning_tree(g, tree), name
+
+    def test_biased_away_from_uniform(self, rng):
+        """On the theta graph the MST law measurably differs from uniform
+        [39]: short paths are cut at the wrong rate. TV ~ 0.10 on
+        theta(1, 1, 3), orders of magnitude above sampling noise.
+        """
+        from repro.analysis import chi_square_uniformity
+
+        g = graphs.theta_graph(1, 1, 3)
+        n_samples = 4000
+        trees = [random_weight_mst_tree(g, rng) for _ in range(n_samples)]
+        tv = tv_to_uniform(g, trees)
+        num_trees = len(uniform_tree_distribution(g))
+        noise = expected_tv_noise(num_trees, n_samples)
+        assert tv > 5 * noise  # systematic bias dominates sampling noise
+        __, p_value = chi_square_uniformity(g, trees)
+        assert p_value < 1e-6
+
+    def test_tree_on_tree_graph_is_identity(self, rng):
+        g = graphs.binary_tree_graph(7)
+        from repro.graphs import tree_key
+
+        assert random_weight_mst_tree(g, rng) == tree_key(g.edges())
+
+
+class TestBarnesFeige:
+    """Direction 4 / [8]: a length-n walk visits Omega(n^{1/3}) vertices."""
+
+    @pytest.mark.parametrize("n", [27, 64])
+    def test_distinct_vertices_lower_bound(self, rng, n):
+        for factory in (graphs.path_graph, graphs.lollipop_graph,
+                        graphs.cycle_graph):
+            g = factory(n)
+            counts = [
+                distinct_vertex_count(random_walk(g, 0, n, rng))
+                for _ in range(10)
+            ]
+            assert np.mean(counts) >= round(n ** (1.0 / 3.0))
