@@ -20,7 +20,7 @@ See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-claim-by-claim reproduction results.
 """
 
-from repro import analysis, clique, graphs, linalg, matching, walks
+from repro import analysis, clique, engine, graphs, linalg, matching, walks
 from repro.core import (
     CongestedCliqueTreeSampler,
     ExactTreeSampler,
@@ -39,6 +39,7 @@ __version__ = "1.0.0"
 __all__ = [
     "analysis",
     "clique",
+    "engine",
     "graphs",
     "linalg",
     "matching",

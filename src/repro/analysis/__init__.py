@@ -9,6 +9,7 @@
 
 from repro.analysis.ensemble import (
     edge_frequencies,
+    ensemble_leverage_report,
     ensemble_summary,
     leverage_score_deviation,
 )
@@ -28,6 +29,7 @@ from repro.analysis.tv import (
 
 __all__ = [
     "edge_frequencies",
+    "ensemble_leverage_report",
     "ensemble_summary",
     "leverage_score_deviation",
     "bootstrap_mean_ci",

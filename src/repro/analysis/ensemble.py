@@ -24,6 +24,7 @@ __all__ = [
     "edge_frequencies",
     "leverage_score_deviation",
     "ensemble_summary",
+    "ensemble_leverage_report",
 ]
 
 
@@ -66,6 +67,41 @@ def leverage_score_deviation(
         "max_noise_scale": float(max(noise_scales)),
         "num_trees": float(len(trees)),
     }
+
+
+def ensemble_leverage_report(
+    graph: WeightedGraph,
+    count: int,
+    *,
+    config=None,
+    variant: str = "approximate",
+    seed=None,
+    jobs: int | None = None,
+) -> dict[str, float]:
+    """Draw ``count`` trees through the engine and audit their marginals.
+
+    Backed by :func:`repro.engine.ensemble.sample_tree_ensemble` (spawned
+    per-draw seeds, optional multi-process fan-out, warm derived-graph
+    cache), then compared against the exact leverage scores. Returns the
+    :func:`leverage_score_deviation` statistics extended with throughput
+    fields (``seconds``, ``trees_per_second``, ``jobs``,
+    ``mean_rounds``).
+    """
+    from repro.engine.ensemble import sample_tree_ensemble
+
+    result = sample_tree_ensemble(
+        graph, count, config=config, variant=variant, seed=seed, jobs=jobs
+    )
+    stats = leverage_score_deviation(graph, result.trees)
+    stats.update(
+        {
+            "seconds": float(result.seconds),
+            "trees_per_second": float(result.trees_per_second()),
+            "jobs": float(result.jobs),
+            "mean_rounds": float(result.mean_rounds()),
+        }
+    )
+    return stats
 
 
 def ensemble_summary(

@@ -15,6 +15,13 @@ Subcommands:
 ``rounds``
     Run all three samplers on one graph and print a round-bill comparison
     (the quickstart's table, scriptable).
+``ensemble``
+    Draw a batch of trees through the
+    :class:`~repro.engine.ensemble.EnsembleEngine` (per-draw spawned
+    seeds, ``--jobs`` process fan-out) and report throughput plus the
+    leverage-score marginal audit.
+``audit``
+    Uniformity audit against exact enumeration (engine-backed batch).
 ``families``
     List the available graph families and their parameters.
 """
@@ -106,6 +113,25 @@ def _make_parser() -> argparse.ArgumentParser:
                           help="walks per vertex")
     pagerank.add_argument("--seed", type=int, default=0)
 
+    ensemble = sub.add_parser(
+        "ensemble",
+        help="batch-sample trees via the ensemble engine; report throughput",
+    )
+    ensemble.add_argument("--family", default="expander", choices=sorted(FAMILIES))
+    ensemble.add_argument("--n", type=int, default=32)
+    ensemble.add_argument("--samples", type=int, default=100)
+    ensemble.add_argument(
+        "--variant", default="approximate", choices=["approximate", "exact"]
+    )
+    ensemble.add_argument("--seed", type=int, default=0)
+    ensemble.add_argument("--ell", type=int, default=1 << 12)
+    ensemble.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: all CPUs)",
+    )
+    ensemble.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+
     audit = sub.add_parser(
         "audit", help="uniformity audit against exact enumeration"
     )
@@ -114,6 +140,10 @@ def _make_parser() -> argparse.ArgumentParser:
     audit.add_argument("--samples", type=int, default=500)
     audit.add_argument("--seed", type=int, default=0)
     audit.add_argument("--ell", type=int, default=1 << 10)
+    audit.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sampling batch",
+    )
 
     sub.add_parser("families", help="list graph families")
     sub.add_parser("verify", help="run the installation self-check battery")
@@ -199,12 +229,58 @@ def _cmd_pagerank(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ensemble(args: argparse.Namespace) -> int:
+    from repro.analysis import ensemble_leverage_report
+
+    rng = np.random.default_rng(args.seed)
+    graph = build_graph(args.family, args.n, rng)
+    stats = ensemble_leverage_report(
+        graph,
+        args.samples,
+        config=SamplerConfig(ell=args.ell),
+        variant=args.variant,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    payload = {
+        "family": args.family,
+        "n": graph.n,
+        "variant": args.variant,
+        "samples": int(stats["num_trees"]),
+        "jobs": int(stats["jobs"]),
+        "seconds": round(stats["seconds"], 4),
+        "trees_per_second": round(stats["trees_per_second"], 2),
+        "mean_rounds": round(stats["mean_rounds"], 1),
+        "max_abs_deviation": round(stats["max_abs_deviation"], 5),
+        "mean_abs_deviation": round(stats["mean_abs_deviation"], 5),
+        "noise_scale": round(stats["max_noise_scale"], 5),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"ensemble: {payload['samples']} {args.variant} trees on "
+            f"{args.family} (n={graph.n}), {payload['jobs']} job(s)"
+        )
+        print(
+            f"  throughput: {payload['trees_per_second']} trees/s "
+            f"({payload['seconds']}s); mean rounds {payload['mean_rounds']}"
+        )
+        print(
+            f"  leverage marginals: max dev {payload['max_abs_deviation']} / "
+            f"mean {payload['mean_abs_deviation']} "
+            f"(noise ~ {payload['noise_scale']})"
+        )
+    return 0
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.analysis import (
         chi_square_uniformity,
         expected_tv_noise,
         tv_to_uniform,
     )
+    from repro.engine.ensemble import sample_tree_ensemble
     from repro.graphs import count_spanning_trees
 
     rng = np.random.default_rng(args.seed)
@@ -215,8 +291,13 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             f"{args.family}(n={graph.n}) has {num_trees:.2e} trees; pick a "
             "smaller instance for exact-enumeration auditing"
         )
-    sampler = CongestedCliqueTreeSampler(graph, SamplerConfig(ell=args.ell))
-    trees = [sampler.sample_tree(rng) for _ in range(args.samples)]
+    trees = sample_tree_ensemble(
+        graph,
+        args.samples,
+        config=SamplerConfig(ell=args.ell),
+        seed=args.seed,
+        jobs=args.jobs,
+    ).trees
     tv = tv_to_uniform(graph, trees)
     __, p_value = chi_square_uniformity(graph, trees)
     noise = expected_tv_noise(int(round(num_trees)), args.samples)
@@ -247,6 +328,7 @@ def main(argv: list[str] | None = None) -> int:
         "sample": _cmd_sample,
         "rounds": _cmd_rounds,
         "pagerank": _cmd_pagerank,
+        "ensemble": _cmd_ensemble,
         "audit": _cmd_audit,
         "families": _cmd_families,
         "verify": _cmd_verify,

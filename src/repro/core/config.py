@@ -16,7 +16,9 @@ from repro.errors import ConfigError
 
 __all__ = ["SamplerConfig"]
 
-MatchingMethod = Literal["exact-dp", "exact-permanent", "mcmc"]
+MatchingMethod = Literal[
+    "exact-dp", "exact-dp-reference", "exact-permanent", "mcmc"
+]
 FailurePolicy = Literal["extend", "error"]
 SchurMethod = Literal["block", "qr-product"]
 ShortcutMethod = Literal["solve", "power-iteration"]
@@ -56,6 +58,8 @@ class SamplerConfig:
     matching_method:
         How the weighted-perfect-matching placement step samples:
         ``"exact-dp"`` (class-compressed exact sampler; default),
+        ``"exact-dp-reference"`` (same law via the original pure-Python
+        DP; baseline for A/B benchmarks),
         ``"exact-permanent"`` (self-reducible Ryser; small instances),
         ``"mcmc"`` (Metropolis chain -- the approximate path of Lemma 4).
     mcmc_steps:
@@ -82,6 +86,17 @@ class SamplerConfig:
         the paper).
     max_extensions:
         Safety valve on Appendix 5.1 extensions per phase.
+    derived_cache:
+        Enable the engine's cross-sample
+        :class:`~repro.engine.cache.DerivedGraphCache`: shortcut/Schur
+        matrices and power ladders are memoized by vertex subset across
+        draws while every run still receives its full per-run round
+        charges (the model charges rounds per execution, not per unique
+        numeric computation). Output trees and round bills are identical
+        with the cache on or off.
+    derived_cache_entries:
+        LRU capacity of the derived-graph cache (entries are per-subset
+        and hold O(|S|^2 log ell) floats each).
     """
 
     epsilon: float = 1e-3
@@ -97,6 +112,8 @@ class SamplerConfig:
     normalizer_floor_exponent: float = 40.0
     start_vertex: int = 0
     max_extensions: int = 64
+    derived_cache: bool = True
+    derived_cache_entries: int = 64
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -111,7 +128,9 @@ class SamplerConfig:
                 )
         if self.on_failure not in ("extend", "error"):
             raise ConfigError(f"unknown failure policy {self.on_failure!r}")
-        if self.matching_method not in ("exact-dp", "exact-permanent", "mcmc"):
+        if self.matching_method not in (
+            "exact-dp", "exact-dp-reference", "exact-permanent", "mcmc"
+        ):
             raise ConfigError(
                 f"unknown matching method {self.matching_method!r}"
             )
@@ -131,6 +150,11 @@ class SamplerConfig:
             )
         if self.max_extensions < 1:
             raise ConfigError("max_extensions must be >= 1")
+        if self.derived_cache_entries < 1:
+            raise ConfigError(
+                f"derived_cache_entries must be >= 1, got "
+                f"{self.derived_cache_entries}"
+            )
 
     # ------------------------------------------------------------------
 

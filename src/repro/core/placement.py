@@ -199,10 +199,15 @@ def _sample_assignment(
         # ~16 midpoints switch to the class DP, which samples the exact
         # same law in polynomial time.
         method = "exact-dp"
-    if method == "exact-dp":
+    if method in ("exact-dp", "exact-dp-reference"):
+        implementation = (
+            "reference" if method == "exact-dp-reference" else "auto"
+        )
         return [
             [int(x) for x in labels]
-            for labels in sample_assignment_by_classes(instance, rng)
+            for labels in sample_assignment_by_classes(
+                instance, rng, implementation=implementation
+            )
         ]
     # The expanded-matrix samplers need explicit row/column expansions.
     expanded = instance.expanded_weights()

@@ -1,6 +1,8 @@
 """The sublinear-round CongestedClique spanning-tree sampler (Theorem 1).
 
-:class:`CongestedCliqueTreeSampler` orchestrates the full algorithm:
+:class:`CongestedCliqueTreeSampler` is the stable public facade over the
+execution engine (:class:`repro.engine.runner.SamplerEngine`), which runs
+the full algorithm:
 
     phase k (Outline 3):
       1. S := unvisited vertices + the previous phase's final vertex
@@ -22,50 +24,29 @@ fallback -- at the appendix's O~(n^{2/3 + alpha}) round cost.
 
 All communication is charged to a :class:`~repro.clique.cost.RoundLedger`
 through a :class:`~repro.clique.network.CongestedClique`; benchmarks read
-phase-resolved round counts off the result.
+phase-resolved round counts off the result. Derived-graph numerics
+(shortcut/Schur/power ladders) are memoized across draws by the engine's
+:class:`~repro.engine.cache.DerivedGraphCache` -- each run still pays its
+full per-run round charges, and batch workloads should prefer
+:class:`~repro.engine.ensemble.EnsembleEngine` /
+:func:`~repro.engine.ensemble.sample_tree_ensemble` for multi-process
+fan-out.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
 from typing import Literal
 
 import numpy as np
 
-from repro.clique.cost import RoundLedger
-from repro.clique.network import CongestedClique
 from repro.core.config import SamplerConfig
-from repro.core.phase import PhaseStats, run_phase_walk
-from repro.errors import GraphError, SamplingError
+from repro.engine.results import SampleResult
 from repro.graphs.core import WeightedGraph
-from repro.graphs.spanning import TreeKey, is_spanning_tree, tree_key
-from repro.linalg.matpow import PowerLadder
-from repro.linalg.schur import schur_transition_matrix, schur_via_qr_product
-from repro.linalg.shortcut import (
-    first_visit_edge_distribution,
-    shortcut_transition_matrix,
-    shortcut_via_power_iteration,
-)
+from repro.graphs.spanning import TreeKey
 
 __all__ = ["SampleResult", "CongestedCliqueTreeSampler", "sample_spanning_tree"]
 
 Variant = Literal["approximate", "exact"]
-
-
-@dataclass
-class SampleResult:
-    """A sampled spanning tree plus full execution diagnostics."""
-
-    tree: TreeKey
-    rounds: int
-    phases: int
-    ledger: RoundLedger
-    phase_stats: list[PhaseStats] = field(default_factory=list)
-    clique_stats: dict = field(default_factory=dict)
-
-    def rounds_by_category(self) -> dict[str, int]:
-        return self.ledger.rounds_by_category()
 
 
 class CongestedCliqueTreeSampler:
@@ -93,74 +74,18 @@ class CongestedCliqueTreeSampler:
         *,
         variant: Variant = "approximate",
     ) -> None:
-        graph.require_connected()
-        if graph.n < 2:
-            raise GraphError("sampling needs at least 2 vertices")
-        if variant not in ("approximate", "exact"):
-            raise GraphError(f"unknown variant {variant!r}")
+        from repro.engine.runner import SamplerEngine
+
+        self.engine = SamplerEngine(graph, config, variant=variant)
         self.graph = graph
-        self.config = config if config is not None else SamplerConfig()
+        self.config = self.engine.config
         self.variant = variant
-        if not (0 <= self.config.start_vertex < graph.n):
-            raise GraphError(
-                f"start vertex {self.config.start_vertex} out of range"
-            )
-        # Phase 1 always runs on G itself, so its power ladder is
-        # identical across samples; cache the numerics (each sample still
-        # pays the full analytic round charge -- rounds are per-run in
-        # the model). Only safe with the analytic matmul backend, where
-        # charges don't depend on performing the multiplications.
-        self._phase1_ladder: PowerLadder | None = None
 
     # ------------------------------------------------------------------
 
     def sample(self, rng: np.random.Generator | None = None) -> SampleResult:
         """Sample one spanning tree; returns tree + diagnostics."""
-        rng = np.random.default_rng(rng)
-        graph = self.graph
-        n = graph.n
-        config = self.config
-        clique = CongestedClique(n)
-        ledger = clique.ledger
-        exact = self.variant == "exact"
-        rho = config.resolve_rho(n, exact_variant=exact)
-        ell = config.resolve_ell(n)
-
-        visited: set[int] = {config.start_vertex}
-        current = config.start_vertex
-        tree_edges: list[tuple[int, int]] = []
-        phase_stats: list[PhaseStats] = []
-        max_phases = 4 * n + 8
-
-        phase_index = 0
-        while len(visited) < n:
-            phase_index += 1
-            if phase_index > max_phases:
-                raise SamplingError(
-                    f"exceeded {max_phases} phases; sampler is stuck"
-                )
-            subset = sorted((set(range(n)) - visited) | {current})
-            with ledger.section(f"phase-{phase_index}"):
-                new_edges, walk_orig, stats = self._run_phase(
-                    subset, current, rho, ell, rng, clique
-                )
-            tree_edges.extend(new_edges)
-            visited.update(walk_orig)
-            current = walk_orig[-1]
-            phase_stats.append(stats)
-
-        if len(tree_edges) != n - 1 or not is_spanning_tree(graph, tree_edges):
-            raise SamplingError(
-                "sampler produced an invalid spanning tree; this is a bug"
-            )  # pragma: no cover
-        return SampleResult(
-            tree=tree_key(tree_edges),
-            rounds=ledger.total_rounds(),
-            phases=phase_index,
-            ledger=ledger,
-            phase_stats=phase_stats,
-            clique_stats=clique.stats(),
-        )
+        return self.engine.run(np.random.default_rng(rng))
 
     def sample_tree(self, rng: np.random.Generator | None = None) -> TreeKey:
         """Just the tree (convenience wrapper around :meth:`sample`)."""
@@ -172,164 +97,24 @@ class CongestedCliqueTreeSampler:
         """Draw ``count`` independent trees, reusing cached numerics.
 
         Each draw is a fully independent run of the algorithm (own clique,
-        own ledger, full per-run round charges); only the phase-1 power
-        ladder's floating-point work is shared, since phase 1 always runs
-        on G itself.
+        own ledger, full per-run round charges); only the floating-point
+        work of repeated derived graphs is shared through the engine's
+        :class:`~repro.engine.cache.DerivedGraphCache`. Delegates to
+        :meth:`repro.engine.ensemble.EnsembleEngine.run_sequential`; for
+        seed-spawned, multi-process batches use
+        :meth:`~repro.engine.ensemble.EnsembleEngine.sample_ensemble`.
         """
-        if count < 1:
-            raise GraphError(f"count must be >= 1, got {count}")
-        rng = np.random.default_rng(rng)
-        return [self.sample(rng) for _ in range(count)]
+        from repro.engine.ensemble import EnsembleEngine
+
+        return EnsembleEngine(self.engine).run_sequential(
+            count, np.random.default_rng(rng)
+        )
 
     def sample_trees(
         self, count: int, rng: np.random.Generator | None = None
     ) -> list[TreeKey]:
         """``count`` trees (diagnostics discarded)."""
         return [result.tree for result in self.sample_many(count, rng)]
-
-    # ------------------------------------------------------------------
-
-    def _run_phase(
-        self,
-        subset: list[int],
-        start: int,
-        rho: int,
-        ell: int,
-        rng: np.random.Generator,
-        clique: CongestedClique,
-    ) -> tuple[list[tuple[int, int]], list[int], PhaseStats]:
-        """Execute one phase; returns (first-visit edges, walk, stats)."""
-        graph = self.graph
-        n = graph.n
-        config = self.config
-        ledger = clique.ledger
-        is_phase_one = len(subset) == n
-
-        # --- Step 2 of Outline 3: derived graphs (Section 2.4). ---------
-        shortcut = self._compute_shortcut(subset, is_phase_one, ledger)
-        if is_phase_one:
-            transition = graph.transition_matrix().copy()
-            order = list(range(n))
-        else:
-            transition, order = self._compute_schur(subset, shortcut, ledger)
-        index_of = {v: i for i, v in enumerate(order)}
-
-        # --- Steps 3-5: power ladder + distributed truncated walk. ------
-        rho_eff = min(rho, len(subset))
-        backend = None
-        if config.matmul_backend == "simulated-3d":
-            from repro.clique.matmul3d import SimulatedMatmul
-
-            backend = SimulatedMatmul(transition.shape[0], ledger=ledger)
-        cacheable = is_phase_one and backend is None
-        if cacheable and self._phase1_ladder is not None:
-            ladder = self._phase1_ladder
-            # Numerics are reused; the model's rounds are not.
-            entry_words = (
-                None
-                if config.precision_bits is None
-                else max(
-                    1,
-                    math.ceil(
-                        config.precision_bits / math.log2(max(n, 2))
-                    ),
-                )
-            )
-            ledger.charge_matmul(
-                n,
-                count=max(1, math.ceil(math.log2(ell))),
-                entry_words=entry_words,
-                note="phase ladder (cached numerics)",
-            )
-        else:
-            ladder = PowerLadder(
-                transition, ell, bits=config.precision_bits, ledger=ledger,
-                matmul=backend, note="phase ladder",
-            )
-            if cacheable:
-                self._phase1_ladder = ladder
-        stats = PhaseStats(subset_size=len(subset), rho_eff=rho_eff)
-        local_walk = run_phase_walk(
-            transition,
-            index_of[start],
-            rho_eff,
-            config,
-            rng,
-            clique=clique,
-            ladder=ladder,
-            exact_placement=(self.variant == "exact"),
-            stats=stats,
-        )
-        walk_orig = [order[i] for i in local_walk]
-
-        # --- Step 6: first-visit edges via ShortCut(G, S) (Algorithm 4).
-        edges: list[tuple[int, int]] = []
-        seen = {walk_orig[0]}
-        for position in range(1, len(walk_orig)):
-            v = walk_orig[position]
-            if v in seen:
-                continue
-            seen.add(v)
-            prev = walk_orig[position - 1]
-            neighbors, probabilities = first_visit_edge_distribution(
-                graph, subset, shortcut, prev, v
-            )
-            u = int(neighbors[int(rng.choice(len(neighbors), p=probabilities))])
-            edges.append((u, v))
-            stats.new_vertices.append(v)
-        # Algorithm 4's communication: O(1) rounds for the whole phase
-        # (each new vertex's machine gathers its neighbors' Q-entries).
-        clique.charge_step(
-            "first-visit-edges",
-            n,
-            n,
-            total_words=len(edges) * 2 + n,
-        )
-        return edges, walk_orig, stats
-
-    # ------------------------------------------------------------------
-
-    def _compute_shortcut(
-        self, subset: list[int], is_phase_one: bool, ledger: RoundLedger
-    ) -> np.ndarray:
-        """ShortCut(G, S) transition matrix + its Corollary 2 round charge."""
-        config = self.config
-        beta = config.normalizer_floor(self.graph.n)
-        if config.shortcut_method == "power-iteration":
-            shortcut = shortcut_via_power_iteration(self.graph, subset, beta=beta)
-        else:
-            shortcut = shortcut_transition_matrix(self.graph, subset)
-        if not is_phase_one:
-            # Corollary 2: log(k) squarings of the 2n x 2n auxiliary chain.
-            squarings = max(
-                1,
-                math.ceil(
-                    math.log2(
-                        max(2.0, self.graph.n ** 3 * math.log(1.0 / beta))
-                    )
-                ),
-            )
-            ledger.charge_matmul(
-                2 * self.graph.n, count=squarings, note="shortcut graph"
-            )
-        return shortcut
-
-    def _compute_schur(
-        self,
-        subset: list[int],
-        shortcut: np.ndarray,
-        ledger: RoundLedger,
-    ) -> tuple[np.ndarray, list[int]]:
-        """Schur(G, S) transition matrix + its Corollary 3 round charge."""
-        if self.config.schur_method == "qr-product":
-            transition, order = schur_via_qr_product(
-                self.graph, subset, shortcut_matrix=shortcut
-            )
-        else:
-            transition, order = schur_transition_matrix(self.graph, subset)
-        # Corollary 3: one extra product (QR) on top of the shortcut work.
-        ledger.charge_matmul(self.graph.n, count=1, note="schur graph")
-        return transition, order
 
 
 def sample_spanning_tree(

@@ -1,0 +1,46 @@
+"""The batched sampling engine: backends, caching, and ensemble driving.
+
+Three layers sit between the public sampler facade and the numerics:
+
+1. :mod:`repro.engine.backends` -- the :class:`MatmulBackend` protocol
+   unifying the analytic O~(n^alpha) charge model and the executable 3D
+   protocol behind one interface;
+2. :mod:`repro.engine.cache` -- the :class:`DerivedGraphCache`, memoizing
+   shortcut/Schur/power-ladder numerics by vertex subset across draws
+   while preserving per-run round charges exactly;
+3. :mod:`repro.engine.runner` / :mod:`repro.engine.ensemble` -- the
+   single-draw :class:`SamplerEngine` and the :class:`EnsembleEngine`
+   batch driver with multi-process fan-out.
+
+``repro.core.sampler`` remains the stable public surface; this package is
+for workloads that want direct control over caching and batching.
+"""
+
+# Import order matters: leaf modules (backends/cache/results) come before
+# runner, which pulls in repro.core and may re-enter this package.
+from repro.engine.backends import (
+    AnalyticMatmul,
+    MatmulBackend,
+    make_matmul_backend,
+)
+from repro.engine.cache import DerivedGraphCache, PhaseNumerics
+from repro.engine.results import SampleResult
+from repro.engine.runner import SamplerEngine
+from repro.engine.ensemble import (
+    EnsembleEngine,
+    EnsembleResult,
+    sample_tree_ensemble,
+)
+
+__all__ = [
+    "AnalyticMatmul",
+    "MatmulBackend",
+    "make_matmul_backend",
+    "DerivedGraphCache",
+    "PhaseNumerics",
+    "SampleResult",
+    "SamplerEngine",
+    "EnsembleEngine",
+    "EnsembleResult",
+    "sample_tree_ensemble",
+]

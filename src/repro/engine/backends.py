@@ -1,0 +1,130 @@
+"""Pluggable matrix-multiplication backends (engine layer 1).
+
+The sampler's numeric core performs one kind of heavy collective
+operation: ``n x n`` matrix multiplication, which the paper charges either
+analytically (the [17] fast-multiplication black box at O~(n^alpha)
+rounds) or via the executable combinatorial 3D protocol at O(n^{1/3})
+measured rounds. :class:`MatmulBackend` captures what the engine needs
+from either realization:
+
+- :meth:`~MatmulBackend.multiply` -- perform a product and charge its
+  rounds to the run's ledger;
+- :meth:`~MatmulBackend.charge_replay` -- charge the rounds of products
+  whose *numerics* were replayed from a cache
+  (:class:`~repro.engine.cache.DerivedGraphCache`) without redoing the
+  floating-point work. Both backends can do this exactly because their
+  per-product charge is a deterministic function of the matrix size
+  (closed-form for the analytic backend; value-independent word loads for
+  the simulated protocol).
+
+:class:`AnalyticMatmul` is the black-box realization;
+:class:`repro.clique.matmul3d.SimulatedMatmul` satisfies the same
+protocol. :func:`make_matmul_backend` maps a
+:class:`~repro.core.config.SamplerConfig.matmul_backend` name to an
+instance, replacing the if/else dispatch that used to live inside the
+sampler's phase loop.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.clique.cost import RoundLedger
+from repro.clique.matmul3d import SimulatedMatmul
+from repro.errors import ConfigError
+
+__all__ = ["MatmulBackend", "AnalyticMatmul", "make_matmul_backend"]
+
+
+@runtime_checkable
+class MatmulBackend(Protocol):
+    """Uniform interface over analytic and executable matmul realizations."""
+
+    name: str
+
+    def multiply(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        entry_words: int | None = None,
+        note: str = "",
+    ) -> np.ndarray:
+        """Return ``a @ b`` and charge the product's rounds."""
+        ...
+
+    def charge_replay(
+        self,
+        size: int | None = None,
+        *,
+        count: int = 1,
+        entry_words: int | None = None,
+        note: str = "",
+    ) -> None:
+        """Charge ``count`` size-``size`` products without redoing numerics."""
+        ...
+
+
+class AnalyticMatmul:
+    """The paper's accounting: numpy numerics + O~(n^alpha) analytic charges.
+
+    Each :meth:`multiply` performs the product with numpy and charges
+    ``CostModel.matmul_rounds(n, entry_words)`` to the ledger -- exactly
+    the charge the sampler used to issue inline. With no ledger the
+    backend is a pure-numerics multiplier.
+    """
+
+    name = "analytic"
+
+    def __init__(self, ledger: RoundLedger | None = None) -> None:
+        self.ledger = ledger
+        self.calls = 0
+
+    def multiply(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        entry_words: int | None = None,
+        note: str = "",
+    ) -> np.ndarray:
+        """``a @ b`` plus one analytic matmul charge at size ``a.shape[0]``."""
+        self.calls += 1
+        if self.ledger is not None:
+            self.ledger.charge_matmul(
+                a.shape[0], entry_words=entry_words, note=note
+            )
+        return a @ b
+
+    def charge_replay(
+        self,
+        size: int | None = None,
+        *,
+        count: int = 1,
+        entry_words: int | None = None,
+        note: str = "",
+    ) -> None:
+        """Charge ``count`` analytic products of dimension ``size``.
+
+        The analytic formula never depended on the numerics, so replayed
+        charges are identical to the charges of a cold run.
+        """
+        if size is None:
+            raise ConfigError("analytic replay requires an explicit size")
+        if self.ledger is not None and count >= 1:
+            self.ledger.charge_matmul(
+                size, count=count, entry_words=entry_words, note=note
+            )
+
+
+def make_matmul_backend(
+    name: str, size: int, ledger: RoundLedger | None = None
+) -> MatmulBackend:
+    """Instantiate the configured backend for one phase's matrix size."""
+    if name == "analytic":
+        return AnalyticMatmul(ledger)
+    if name == "simulated-3d":
+        return SimulatedMatmul(size, ledger=ledger)
+    raise ConfigError(f"unknown matmul backend {name!r}")

@@ -1,0 +1,108 @@
+"""Cross-sample derived-graph cache (engine layer 2).
+
+Each phase of the Theorem 1 sampler derives its chain from the frozen
+vertex subset ``S``: the ShortCut(G, S) matrix, the Schur(G, S) transition
+matrix, and the Lemma 7 power ladder. These numerics are deterministic
+functions of ``(G, S, config)`` -- no randomness touches them -- so
+ensemble workloads that revisit a subset (phase 1's ``S = V`` on *every*
+draw; later subsets whenever walks coincide) can reuse them wholesale.
+
+The round model is unaffected by reuse: rounds are charged *per run*, so
+a cache hit replays the exact charges a cold computation would have
+issued (see :meth:`~repro.engine.runner.SamplerEngine`). Both matmul
+backends support this because their per-product charge is a deterministic
+function of the matrix size. Consequently a run with the cache enabled
+produces byte-identical trees and identical round bills to a run without
+it -- property tests pin this.
+
+This generalizes the seed's phase-1-only ladder cache to every phase and
+every backend. The cache itself is a bounded LRU map over opaque
+hashable keys; :class:`~repro.engine.runner.SamplerEngine` keys entries
+by ``(graph/config fingerprint, sorted subset tuple)`` so a cache shared
+between engines can never serve numerics computed for a different graph
+or configuration. Entries hold O(|S|^2 log ell) floats, so capacity is
+bounded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.linalg.matpow import PowerLadder
+
+__all__ = ["PhaseNumerics", "DerivedGraphCache"]
+
+
+@dataclass
+class PhaseNumerics:
+    """One phase's subset-determined numerics plus its charge recipe.
+
+    ``shortcut`` / ``transition`` / ``order`` / ``ladder`` are what phase
+    execution consumes; the remaining fields record how a cold build
+    charged the ledger so a cache hit can replay identical rounds.
+    """
+
+    shortcut: np.ndarray
+    transition: np.ndarray
+    order: list[int]
+    ladder: PowerLadder
+    is_phase_one: bool
+    ladder_size: int
+    ladder_squarings: int
+    ladder_entry_words: int | None
+    shortcut_squarings: int  # 0 in phase 1 (no Corollary 2 charge)
+
+
+class DerivedGraphCache:
+    """Bounded LRU map from phase keys to :class:`PhaseNumerics`."""
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ConfigError(
+                f"cache needs max_entries >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, PhaseNumerics] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Hashable) -> PhaseNumerics | None:
+        """The cached numerics for a phase key, or None (counts a miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: Hashable, numerics: PhaseNumerics) -> None:
+        """Insert (or refresh) an entry, evicting the LRU one if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = numerics
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }

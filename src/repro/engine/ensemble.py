@@ -1,0 +1,244 @@
+"""Parallel ensemble driver (engine layer 3).
+
+Ensemble workloads -- uniformity audits, TV-distance estimation, leverage
+marginals, sparsifier construction -- need hundreds of independent draws
+from the same sampler. :class:`EnsembleEngine` runs them two ways:
+
+- :meth:`~EnsembleEngine.run_sequential` -- the facade's ``sample_many``
+  backend: draws share one rng stream and one warm
+  :class:`~repro.engine.cache.DerivedGraphCache`, exactly reproducing the
+  semantics of a plain Python loop over ``sample()``.
+- :meth:`~EnsembleEngine.sample_ensemble` -- the batch API: a master
+  :class:`numpy.random.SeedSequence` spawns one child seed per draw, and
+  draws fan out over ``jobs`` worker processes (contiguous chunks, each
+  worker building its own engine and cache). Because every draw is keyed
+  to its own spawned seed, single- and multi-process runs of the same
+  master seed produce byte-identical tree sequences -- parallelism never
+  changes outputs, only wall-clock.
+
+Workers receive ``(weights, config, variant, seeds)`` payloads; results
+(:class:`~repro.engine.results.SampleResult`) are plain dataclasses and
+pickle cleanly. If process spawning is unavailable (restricted sandboxes,
+daemonic parents), the driver degrades to the sequential path with the
+same seeds -- identical results, no failure.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SamplerConfig
+from repro.engine.results import SampleResult
+from repro.engine.runner import SamplerEngine
+from repro.errors import GraphError
+from repro.graphs.core import WeightedGraph
+from repro.graphs.spanning import TreeKey
+
+__all__ = ["EnsembleResult", "EnsembleEngine", "sample_tree_ensemble"]
+
+
+@dataclass
+class EnsembleResult:
+    """A batch of independent draws plus throughput diagnostics."""
+
+    results: list[SampleResult]
+    seconds: float
+    jobs: int
+    entropy: int | None = None
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        """Number of draws in the batch."""
+        return len(self.results)
+
+    @property
+    def trees(self) -> list[TreeKey]:
+        """The sampled trees, in draw order."""
+        return [result.tree for result in self.results]
+
+    def trees_per_second(self) -> float:
+        """Throughput of the batch (wall-clock)."""
+        return self.count / max(self.seconds, 1e-12)
+
+    def total_rounds(self) -> int:
+        """Summed round bill across all draws."""
+        return sum(result.rounds for result in self.results)
+
+    def mean_rounds(self) -> float:
+        """Average per-draw round bill."""
+        return self.total_rounds() / max(1, self.count)
+
+
+def _draw_chunk(
+    payload: tuple[np.ndarray, SamplerConfig, str, list[np.random.SeedSequence]],
+) -> list[SampleResult]:
+    """Worker entry point: one engine + cache per process, one rng per draw."""
+    weights, config, variant, seeds = payload
+    graph = WeightedGraph(weights, validate=False)
+    engine = SamplerEngine(graph, config, variant=variant)
+    return [engine.run(np.random.default_rng(seed)) for seed in seeds]
+
+
+class EnsembleEngine:
+    """Batched draws over one :class:`SamplerEngine` (or graph + config)."""
+
+    def __init__(
+        self,
+        engine_or_graph: SamplerEngine | WeightedGraph,
+        config: SamplerConfig | None = None,
+        *,
+        variant: str | None = None,
+    ) -> None:
+        if isinstance(engine_or_graph, SamplerEngine):
+            # The engine already fixes config and variant; silently
+            # ignoring conflicting overrides would sample the wrong law.
+            if config is not None:
+                raise GraphError(
+                    "pass config when constructing from a graph, not "
+                    "alongside an existing SamplerEngine"
+                )
+            if variant is not None and variant != engine_or_graph.variant:
+                raise GraphError(
+                    f"variant {variant!r} conflicts with the engine's "
+                    f"{engine_or_graph.variant!r}"
+                )
+            self.engine = engine_or_graph
+        else:
+            self.engine = SamplerEngine(
+                engine_or_graph,
+                config,
+                variant="approximate" if variant is None else variant,
+            )
+
+    # ------------------------------------------------------------------
+
+    def run_sequential(
+        self, count: int, rng: np.random.Generator | None = None
+    ) -> list[SampleResult]:
+        """``count`` draws sharing one rng stream and one warm cache.
+
+        This is the backend of the facade's ``sample_many``: equivalent to
+        a Python loop over ``sample(rng)``.
+        """
+        if count < 1:
+            raise GraphError(f"count must be >= 1, got {count}")
+        rng = np.random.default_rng(rng)
+        return [self.engine.run(rng) for _ in range(count)]
+
+    def sample_ensemble(
+        self,
+        count: int,
+        *,
+        seed: np.random.SeedSequence | np.random.Generator | int | None = None,
+        jobs: int | None = None,
+    ) -> EnsembleResult:
+        """``count`` independent draws from spawned seeds, fanned over jobs.
+
+        ``seed`` fixes the master :class:`~numpy.random.SeedSequence`
+        (ints and generators are folded into one); each draw gets its own
+        spawned child, so results do not depend on ``jobs``. ``jobs=None``
+        uses all available CPUs (capped at ``count``).
+        """
+        if count < 1:
+            raise GraphError(f"count must be >= 1, got {count}")
+        master = self._seed_sequence(seed)
+        seeds = master.spawn(count)
+        jobs = self._resolve_jobs(jobs, count)
+
+        start = time.perf_counter()
+        if jobs <= 1:
+            results = [
+                self.engine.run(np.random.default_rng(s)) for s in seeds
+            ]
+        else:
+            results = self._run_parallel(seeds, jobs)
+        seconds = time.perf_counter() - start
+
+        cache = self.engine.cache
+        # SeedSequence entropy may be an int, a list of ints, or None;
+        # record it only in the plain reproducible-scalar case.
+        entropy = master.entropy if isinstance(master.entropy, int) else None
+        return EnsembleResult(
+            results=results,
+            seconds=seconds,
+            jobs=jobs,
+            entropy=entropy,
+            cache_stats=cache.stats() if (cache is not None and jobs <= 1) else {},
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _seed_sequence(
+        seed: np.random.SeedSequence | np.random.Generator | int | None,
+    ) -> np.random.SeedSequence:
+        """Fold any accepted seed shape into one master SeedSequence."""
+        if isinstance(seed, np.random.SeedSequence):
+            return seed
+        if isinstance(seed, np.random.Generator):
+            return np.random.SeedSequence(int(seed.integers(0, 1 << 63)))
+        return np.random.SeedSequence(seed)
+
+    @staticmethod
+    def _resolve_jobs(jobs: int | None, count: int) -> int:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise GraphError(f"jobs must be >= 1, got {jobs}")
+        return min(jobs, count)
+
+    def _run_parallel(
+        self, seeds: list[np.random.SeedSequence], jobs: int
+    ) -> list[SampleResult]:
+        """Fan contiguous seed chunks across processes; order-preserving."""
+        engine = self.engine
+        chunk_size = (len(seeds) + jobs - 1) // jobs
+        payloads = [
+            (
+                engine.graph.weights,
+                engine.config,
+                engine.variant,
+                seeds[low:low + chunk_size],
+            )
+            for low in range(0, len(seeds), chunk_size)
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                chunked = list(pool.map(_draw_chunk, payloads))
+        except (OSError, BrokenProcessPool, pickle.PicklingError):
+            # Process *machinery* failures only (sandboxed fork, broken
+            # pool, unpicklable payload): same seeds sequentially =>
+            # identical results. Exceptions raised inside a worker's
+            # sampling propagate unchanged -- retrying them serially
+            # would just repeat the failure slowly.
+            return [
+                engine.run(np.random.default_rng(s)) for s in seeds
+            ]
+        return [result for chunk in chunked for result in chunk]
+
+
+def sample_tree_ensemble(
+    graph: WeightedGraph,
+    count: int,
+    *,
+    config: SamplerConfig | None = None,
+    variant: str = "approximate",
+    seed: np.random.SeedSequence | np.random.Generator | int | None = None,
+    jobs: int | None = None,
+) -> EnsembleResult:
+    """One-call batch API: ``count`` independent trees of ``graph``.
+
+    Convenience wrapper building an :class:`EnsembleEngine` and calling
+    :meth:`~EnsembleEngine.sample_ensemble`.
+    """
+    return EnsembleEngine(graph, config, variant=variant).sample_ensemble(
+        count, seed=seed, jobs=jobs
+    )

@@ -1,0 +1,36 @@
+"""Result records shared by the engine and the public sampler facade.
+
+:class:`SampleResult` lives here (rather than in
+:mod:`repro.core.sampler`, which re-exports it) so the engine's runner and
+ensemble layers can construct results without importing the facade --
+keeping the engine -> core dependency one-directional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.clique.cost import RoundLedger
+from repro.graphs.spanning import TreeKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.phase import PhaseStats
+
+__all__ = ["SampleResult"]
+
+
+@dataclass
+class SampleResult:
+    """A sampled spanning tree plus full execution diagnostics."""
+
+    tree: TreeKey
+    rounds: int
+    phases: int
+    ledger: RoundLedger
+    phase_stats: list["PhaseStats"] = field(default_factory=list)
+    clique_stats: dict = field(default_factory=dict)
+
+    def rounds_by_category(self) -> dict[str, int]:
+        """Total rounds per ledger category, descending."""
+        return self.ledger.rounds_by_category()

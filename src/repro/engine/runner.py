@@ -1,0 +1,375 @@
+"""Single-draw execution engine (the algorithmic core of Theorem 1).
+
+:class:`SamplerEngine` owns everything one draw of the sampler needs --
+phase iteration, derived-graph construction (through the
+:class:`~repro.engine.cache.DerivedGraphCache`), matmul backend
+resolution (:mod:`repro.engine.backends`), the distributed walk
+(:func:`repro.core.phase.run_phase_walk`), and Algorithm 4's first-visit
+edges. The public :class:`repro.core.sampler.CongestedCliqueTreeSampler`
+is a thin facade over this class; batch workloads drive it through
+:class:`repro.engine.ensemble.EnsembleEngine`.
+
+Charging discipline: every run charges its full analytic (or measured)
+round bill to its own per-run ledger, whether or not the numerics came
+from the cache -- the model counts rounds per execution. Cache hits
+replay the recorded charge recipe (see
+:class:`~repro.engine.cache.PhaseNumerics`), so cached and uncached runs
+produce identical trees *and* identical round totals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+from repro.clique.cost import RoundLedger
+from repro.clique.network import CongestedClique
+from repro.core.config import SamplerConfig
+from repro.core.phase import PhaseStats, run_phase_walk
+from repro.engine.backends import MatmulBackend, make_matmul_backend
+from repro.engine.cache import DerivedGraphCache, PhaseNumerics
+from repro.engine.results import SampleResult
+from repro.errors import GraphError, SamplingError
+from repro.graphs.core import WeightedGraph
+from repro.graphs.spanning import is_spanning_tree, tree_key
+from repro.linalg.matpow import PowerLadder
+from repro.linalg.schur import schur_transition_matrix, schur_via_qr_product
+from repro.linalg.shortcut import (
+    first_visit_edge_distribution,
+    shortcut_transition_matrix,
+    shortcut_via_power_iteration,
+)
+
+__all__ = ["SamplerEngine"]
+
+
+class SamplerEngine:
+    """Executes full draws of the Theorem 1 / Appendix 5 sampler.
+
+    Parameters
+    ----------
+    graph:
+        Connected input graph (validated here, so facades inherit the
+        checks).
+    config:
+        Algorithm knobs; see :class:`~repro.core.config.SamplerConfig`.
+    variant:
+        ``"approximate"`` (Theorem 1) or ``"exact"`` (Appendix 5).
+    cache:
+        Optional externally owned :class:`DerivedGraphCache`. ``None``
+        creates one per the config (or disables caching when
+        ``config.derived_cache`` is false).
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        config: SamplerConfig | None = None,
+        *,
+        variant: str = "approximate",
+        cache: DerivedGraphCache | None = None,
+    ) -> None:
+        graph.require_connected()
+        if graph.n < 2:
+            raise GraphError("sampling needs at least 2 vertices")
+        if variant not in ("approximate", "exact"):
+            raise GraphError(f"unknown variant {variant!r}")
+        self.graph = graph
+        self.config = config if config is not None else SamplerConfig()
+        self.variant = variant
+        if not (0 <= self.config.start_vertex < graph.n):
+            raise GraphError(
+                f"start vertex {self.config.start_vertex} out of range"
+            )
+        if cache is None and self.config.derived_cache:
+            cache = DerivedGraphCache(self.config.derived_cache_entries)
+        self.cache = cache
+        # Cache entries are deterministic functions of (graph, the
+        # numerics-relevant config); key them under a fingerprint so an
+        # externally shared cache can never serve another graph's (or
+        # another configuration's) numerics. The variant is excluded on
+        # purpose: it changes rho, never the derived graphs.
+        digest = hashlib.sha1()
+        digest.update(np.ascontiguousarray(graph.weights).tobytes())
+        digest.update(
+            repr(
+                (
+                    graph.n,
+                    self.config.resolve_ell(graph.n),
+                    self.config.precision_bits,
+                    self.config.shortcut_method,
+                    self.config.schur_method,
+                    self.config.normalizer_floor_exponent,
+                )
+            ).encode()
+        )
+        self._cache_token = digest.hexdigest()
+
+    # ------------------------------------------------------------------
+
+    def run(self, rng: np.random.Generator | None = None) -> SampleResult:
+        """One full draw: phase loop, validation, diagnostics."""
+        rng = np.random.default_rng(rng)
+        graph = self.graph
+        n = graph.n
+        config = self.config
+        clique = CongestedClique(n)
+        ledger = clique.ledger
+        exact = self.variant == "exact"
+        rho = config.resolve_rho(n, exact_variant=exact)
+        ell = config.resolve_ell(n)
+
+        # The unvisited set is maintained incrementally as a boolean mask:
+        # each phase reads it in O(n) (no per-phase set rebuild or sort --
+        # np.flatnonzero already yields ascending order).
+        unvisited = np.ones(n, dtype=bool)
+        unvisited[config.start_vertex] = False
+        num_visited = 1
+        current = config.start_vertex
+        tree_edges: list[tuple[int, int]] = []
+        phase_stats: list[PhaseStats] = []
+        max_phases = 4 * n + 8
+
+        phase_index = 0
+        while num_visited < n:
+            phase_index += 1
+            if phase_index > max_phases:
+                raise SamplingError(
+                    f"exceeded {max_phases} phases; sampler is stuck"
+                )
+            others = np.flatnonzero(unvisited)
+            # `current` is always already visited, so insert it at its
+            # sorted position to form S = unvisited + {current}.
+            position = int(np.searchsorted(others, current))
+            subset = [int(v) for v in np.insert(others, position, current)]
+            with ledger.section(f"phase-{phase_index}"):
+                new_edges, walk_orig, stats = self._run_phase(
+                    subset, current, rho, ell, rng, clique
+                )
+            tree_edges.extend(new_edges)
+            for v in walk_orig:
+                if unvisited[v]:
+                    unvisited[v] = False
+                    num_visited += 1
+            current = walk_orig[-1]
+            phase_stats.append(stats)
+
+        if len(tree_edges) != n - 1 or not is_spanning_tree(graph, tree_edges):
+            raise SamplingError(
+                "sampler produced an invalid spanning tree; this is a bug"
+            )  # pragma: no cover
+        return SampleResult(
+            tree=tree_key(tree_edges),
+            rounds=ledger.total_rounds(),
+            phases=phase_index,
+            ledger=ledger,
+            phase_stats=phase_stats,
+            clique_stats=clique.stats(),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_phase(
+        self,
+        subset: list[int],
+        start: int,
+        rho: int,
+        ell: int,
+        rng: np.random.Generator,
+        clique: CongestedClique,
+    ) -> tuple[list[tuple[int, int]], list[int], PhaseStats]:
+        """Execute one phase; returns (first-visit edges, walk, stats)."""
+        graph = self.graph
+        n = graph.n
+        config = self.config
+        ledger = clique.ledger
+        is_phase_one = len(subset) == n
+
+        # --- Steps 2-3 of Outline 3: derived graphs + power ladder,
+        #     through the cache (numerics) and backend (charges). --------
+        numerics = self._phase_numerics(subset, is_phase_one, ell, ledger)
+        shortcut = numerics.shortcut
+        transition = numerics.transition
+        order = numerics.order
+        index_of = {v: i for i, v in enumerate(order)}
+
+        # --- Steps 4-5: distributed truncated walk. ---------------------
+        rho_eff = min(rho, len(subset))
+        stats = PhaseStats(subset_size=len(subset), rho_eff=rho_eff)
+        local_walk = run_phase_walk(
+            transition,
+            index_of[start],
+            rho_eff,
+            config,
+            rng,
+            clique=clique,
+            ladder=numerics.ladder,
+            exact_placement=(self.variant == "exact"),
+            stats=stats,
+        )
+        walk_orig = [order[i] for i in local_walk]
+
+        # --- Step 6: first-visit edges via ShortCut(G, S) (Algorithm 4).
+        edges: list[tuple[int, int]] = []
+        seen = {walk_orig[0]}
+        for position in range(1, len(walk_orig)):
+            v = walk_orig[position]
+            if v in seen:
+                continue
+            seen.add(v)
+            prev = walk_orig[position - 1]
+            neighbors, probabilities = first_visit_edge_distribution(
+                graph, subset, shortcut, prev, v
+            )
+            u = int(neighbors[int(rng.choice(len(neighbors), p=probabilities))])
+            edges.append((u, v))
+            stats.new_vertices.append(v)
+        # Algorithm 4's communication: O(1) rounds for the whole phase
+        # (each new vertex's machine gathers its neighbors' Q-entries).
+        clique.charge_step(
+            "first-visit-edges",
+            n,
+            n,
+            total_words=len(edges) * 2 + n,
+        )
+        return edges, walk_orig, stats
+
+    # ------------------------------------------------------------------
+
+    def _phase_numerics(
+        self,
+        subset: list[int],
+        is_phase_one: bool,
+        ell: int,
+        ledger: RoundLedger,
+    ) -> PhaseNumerics:
+        """This phase's numerics: cache-replayed or built cold.
+
+        Either way the per-run ledger receives the full charges of a cold
+        build.
+        """
+        backend = make_matmul_backend(
+            self.config.matmul_backend, len(subset), ledger
+        )
+        key = (self._cache_token, tuple(subset))
+        cached = self.cache.lookup(key) if self.cache is not None else None
+        if cached is not None:
+            self._replay_charges(cached, ledger, backend)
+            return cached
+        numerics = self._build_numerics(
+            subset, is_phase_one, ell, ledger, backend
+        )
+        if self.cache is not None:
+            self.cache.store(key, numerics)
+        return numerics
+
+    def _build_numerics(
+        self,
+        subset: list[int],
+        is_phase_one: bool,
+        ell: int,
+        ledger: RoundLedger,
+        backend: MatmulBackend,
+    ) -> PhaseNumerics:
+        """Cold path: compute shortcut/Schur/ladder and charge as we go."""
+        graph = self.graph
+        config = self.config
+        shortcut, shortcut_squarings = self._compute_shortcut(
+            subset, is_phase_one, ledger
+        )
+        if is_phase_one:
+            transition = graph.transition_matrix().copy()
+            order = list(range(graph.n))
+        else:
+            transition, order = self._compute_schur(subset, shortcut, ledger)
+        ladder = PowerLadder(
+            transition,
+            ell,
+            bits=config.precision_bits,
+            ledger=ledger,
+            matmul=backend,
+            note="phase ladder",
+        )
+        return PhaseNumerics(
+            shortcut=shortcut,
+            transition=transition,
+            order=order,
+            ladder=ladder,
+            is_phase_one=is_phase_one,
+            ladder_size=transition.shape[0],
+            ladder_squarings=ladder.squarings,
+            ladder_entry_words=ladder.entry_words,
+            shortcut_squarings=shortcut_squarings,
+        )
+
+    def _replay_charges(
+        self,
+        numerics: PhaseNumerics,
+        ledger: RoundLedger,
+        backend: MatmulBackend,
+    ) -> None:
+        """Charge a cache hit exactly what a cold build would have charged."""
+        n = self.graph.n
+        if numerics.shortcut_squarings:
+            ledger.charge_matmul(
+                2 * n,
+                count=numerics.shortcut_squarings,
+                note="shortcut graph (cached numerics)",
+            )
+        if not numerics.is_phase_one:
+            ledger.charge_matmul(n, count=1, note="schur graph (cached numerics)")
+        backend.charge_replay(
+            numerics.ladder_size,
+            count=numerics.ladder_squarings,
+            entry_words=numerics.ladder_entry_words,
+            note="phase ladder (cached numerics)",
+        )
+
+    def _compute_shortcut(
+        self, subset: list[int], is_phase_one: bool, ledger: RoundLedger
+    ) -> tuple[np.ndarray, int]:
+        """ShortCut(G, S) matrix + its Corollary 2 round charge.
+
+        Returns ``(matrix, squarings)`` with ``squarings`` the charged
+        count (0 in phase 1), recorded for cache replay.
+        """
+        config = self.config
+        beta = config.normalizer_floor(self.graph.n)
+        if config.shortcut_method == "power-iteration":
+            shortcut = shortcut_via_power_iteration(self.graph, subset, beta=beta)
+        else:
+            shortcut = shortcut_transition_matrix(self.graph, subset)
+        squarings = 0
+        if not is_phase_one:
+            # Corollary 2: log(k) squarings of the 2n x 2n auxiliary chain.
+            squarings = max(
+                1,
+                math.ceil(
+                    math.log2(
+                        max(2.0, self.graph.n ** 3 * math.log(1.0 / beta))
+                    )
+                ),
+            )
+            ledger.charge_matmul(
+                2 * self.graph.n, count=squarings, note="shortcut graph"
+            )
+        return shortcut, squarings
+
+    def _compute_schur(
+        self,
+        subset: list[int],
+        shortcut: np.ndarray,
+        ledger: RoundLedger,
+    ) -> tuple[np.ndarray, list[int]]:
+        """Schur(G, S) transition matrix + its Corollary 3 round charge."""
+        if self.config.schur_method == "qr-product":
+            transition, order = schur_via_qr_product(
+                self.graph, subset, shortcut_matrix=shortcut
+            )
+        else:
+            transition, order = schur_transition_matrix(self.graph, subset)
+        # Corollary 3: one extra product (QR) on top of the shortcut work.
+        ledger.charge_matmul(self.graph.n, count=1, note="schur graph")
+        return transition, order

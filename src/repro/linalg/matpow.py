@@ -75,11 +75,14 @@ class PowerLadder:
         Optional round ledger; when given, each squaring charges one
         matmul (entry width derived from ``bits``).
     matmul:
-        Optional multiplication backend with a ``multiply(a, b)`` method
-        (e.g. :class:`repro.clique.matmul3d.SimulatedMatmul`). When set,
+        Optional multiplication backend satisfying the
+        :class:`~repro.engine.backends.MatmulBackend` protocol (e.g.
+        :class:`repro.clique.matmul3d.SimulatedMatmul` or
+        :class:`~repro.engine.backends.AnalyticMatmul`). When set,
         squarings run through it and *it* is responsible for round
         charges (the analytic ``ledger`` charge is skipped to avoid
-        double counting).
+        double counting). ``self.squarings`` and ``self.entry_words``
+        record the charge recipe so caches can replay it.
 
     Notes
     -----
@@ -113,14 +116,22 @@ class PowerLadder:
             None if bits is None else max(1, math.ceil(bits / math.log2(max(self.n, 2))))
         )
         k = 1
+        self.squarings = 0
+        self.entry_words = entry_words
         while k < ell:
             if matmul is not None:
-                squared = matmul.multiply(self._powers[k], self._powers[k])
+                squared = matmul.multiply(
+                    self._powers[k],
+                    self._powers[k],
+                    entry_words=entry_words,
+                    note=note or f"P^{2 * k}",
+                )
             else:
                 squared = self._powers[k] @ self._powers[k]
+            k *= 2
+            self.squarings += 1
             if bits is not None:
                 squared = round_matrix_down(squared, bits)
-            k *= 2
             self._powers[k] = squared
             if ledger is not None and matmul is None:
                 ledger.charge_matmul(

@@ -29,7 +29,11 @@ from typing import Hashable, Sequence
 import numpy as np
 
 from repro.errors import MatchingError
-from repro.matching.permanent import _compositions, permanent_ryser
+from repro.matching.permanent import (
+    _compositions,
+    compositions_array,
+    permanent_ryser,
+)
 
 __all__ = [
     "ClassifiedBipartite",
@@ -197,8 +201,44 @@ class ClassifiedBipartite:
         return np.asarray(self.class_weights)[np.ix_(rows, cols)]
 
 
+_SMALL_INSTANCE_SIZE = 6
+
+
+def _trivial_table(instance: ClassifiedBipartite) -> np.ndarray | None:
+    """Closed-form table for single-row/column instances (one atom law).
+
+    With one column class every row multiset lands in it; with one row
+    class every column receives that class. Either way the contingency
+    table is forced, so no DP or randomness is needed -- only the
+    positive-weight feasibility check.
+    """
+    a = instance.row_counts
+    b = instance.col_counts
+    weights = np.asarray(instance.class_weights, dtype=np.float64)
+    if len(b) == 1:
+        for r, count in enumerate(a):
+            if count > 0 and weights[r, 0] <= 0.0:
+                raise MatchingError(
+                    "instance admits no positive-weight perfect matching "
+                    "(class permanent is zero)"
+                )
+        return np.asarray(a, dtype=np.int64).reshape(len(a), 1)
+    if len(a) == 1:
+        for c, count in enumerate(b):
+            if count > 0 and weights[0, c] <= 0.0:
+                raise MatchingError(
+                    "instance admits no positive-weight perfect matching "
+                    "(class permanent is zero)"
+                )
+        return np.asarray(b, dtype=np.int64).reshape(1, len(b))
+    return None
+
+
 def sample_contingency_table(
-    instance: ClassifiedBipartite, rng: np.random.Generator | None = None
+    instance: ClassifiedBipartite,
+    rng: np.random.Generator | None = None,
+    *,
+    implementation: str = "auto",
 ) -> np.ndarray:
     """Exactly sample the class-contingency table of a weighted matching.
 
@@ -211,6 +251,212 @@ def sample_contingency_table(
         prod_r w[r,c]^{k_r} / k_r!  *  Z(c + 1, remaining - k)
 
     where Z is the memoized suffix partition function.
+
+    ``implementation`` selects the evaluator -- all sample the same law:
+
+    - ``"auto"`` (default): closed form for single-row/column instances,
+      the pure-Python recursion for small general instances, and the
+      layered numpy DP for everything else (numpy overhead beats Python
+      only once instances carry roughly > 6 midpoints);
+    - ``"vectorized"``: always the layered numpy DP;
+    - ``"reference"``: always the original pure-Python DP (seed-faithful
+      baseline for benchmarks and cross-validation).
+    """
+    if implementation == "auto":
+        trivial = _trivial_table(instance)
+        if trivial is not None:
+            return trivial
+        if instance.size <= _SMALL_INSTANCE_SIZE:
+            return _sample_contingency_table_reference(instance, rng)
+    elif implementation == "reference":
+        return _sample_contingency_table_reference(instance, rng)
+    elif implementation != "vectorized":
+        raise MatchingError(
+            f"unknown contingency DP implementation {implementation!r}"
+        )
+    rng = np.random.default_rng(rng)
+    weights = np.asarray(instance.class_weights, dtype=np.float64)
+    a = tuple(int(k) for k in instance.row_counts)
+    b = tuple(int(k) for k in instance.col_counts)
+    num_rows = len(a)
+    num_cols = len(b)
+
+    # Everything value-dependent is precomputed once per call: log weights
+    # (zero weights masked, handled via feasibility tests so 0 * -inf never
+    # appears), a factorial table for the 1/k! terms, and -- the hot part --
+    # one composition table per column, capped at the *full* row counts.
+    # Any state's options {k : sum k = b_c, k <= remaining} are the
+    # order-preserving subset of that table with k <= remaining, so each
+    # state costs one vectorized comparison instead of a fresh enumeration.
+    # States (remaining row-count vectors) are encoded in a mixed radix so
+    # layers can be deduplicated, sorted, and joined with searchsorted. A
+    # state space too large to encode in int64 falls back to the reference
+    # recursion, which only materializes reachable states lazily -- checked
+    # *before* enumerating per-column composition tables, whose size grows
+    # with the same combinatorics.
+    state_space = 1
+    for count in a:
+        state_space *= count + 1
+    if state_space >= (1 << 62):
+        return _sample_contingency_table_reference(instance, rng)
+
+    positive = weights > 0.0
+    with np.errstate(divide="ignore"):
+        log_weights = np.where(positive, np.log(np.where(positive, weights, 1.0)), 0.0)
+    max_count = max(a, default=0)
+    lgamma_table = np.array([math.lgamma(k + 1) for k in range(max_count + 1)])
+
+    col_comps: list[np.ndarray] = []
+    col_log_factors: list[np.ndarray] = []
+    for c in range(num_cols):
+        caps = tuple(min(r, b[c]) for r in a)
+        comps = compositions_array(b[c], caps)
+        if comps.shape[0] == 0:
+            log_factors = np.empty(0)
+        else:
+            log_factors = (
+                comps @ log_weights[:, c] - lgamma_table[comps].sum(axis=1)
+            )
+            blocked = ~positive[:, c]
+            if blocked.any():
+                infeasible = (comps[:, blocked] > 0).any(axis=1)
+                log_factors = np.where(infeasible, -np.inf, log_factors)
+        col_comps.append(comps)
+        col_log_factors.append(log_factors)
+
+    a_arr = np.asarray(a, dtype=np.int64)
+    strides = np.empty(num_rows, dtype=np.int64)
+    acc = 1
+    for r in range(num_rows - 1, -1, -1):
+        strides[r] = acc
+        acc *= a[r] + 1
+
+    def _finite_columns(col_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Allocations with a finite weight factor (the only contributors)."""
+        finite = np.isfinite(col_log_factors[col_index])
+        return col_comps[col_index][finite], col_log_factors[col_index][finite]
+
+    def _lookup(
+        codes: np.ndarray, layer_codes: np.ndarray, layer_values: np.ndarray
+    ) -> np.ndarray:
+        """Values of encoded states in a sorted layer; -inf when absent."""
+        if layer_codes.shape[0] == 0:
+            return np.full(codes.shape, -np.inf)
+        index = np.searchsorted(layer_codes, codes)
+        index = np.minimum(index, layer_codes.shape[0] - 1)
+        found = layer_codes[index] == codes
+        return np.where(found, layer_values[index], -np.inf)
+
+    # Forward pass: reachable states after each column's allocation.
+    _BLOCK_ELEMENTS = 4_000_000
+    layers: list[tuple[np.ndarray, np.ndarray]] = []
+    states = a_arr.reshape(1, num_rows)
+    layers.append((states, states @ strides))
+    for c in range(num_cols):
+        comps_f, __ = _finite_columns(c)
+        states = layers[-1][0]
+        rest_blocks: list[np.ndarray] = []
+        if comps_f.shape[0] and states.shape[0]:
+            block = max(1, _BLOCK_ELEMENTS // (comps_f.shape[0] * num_rows + 1))
+            for lo in range(0, states.shape[0], block):
+                chunk = states[lo:lo + block]
+                feasible = (comps_f[None, :, :] <= chunk[:, None, :]).all(axis=2)
+                rest_blocks.append(
+                    (chunk[:, None, :] - comps_f[None, :, :])[feasible]
+                )
+        if rest_blocks:
+            rests = np.concatenate(rest_blocks, axis=0)
+        else:
+            rests = np.empty((0, num_rows), dtype=np.int64)
+        codes = rests @ strides
+        codes, first = np.unique(codes, return_index=True)
+        layers.append((rests[first], codes))
+
+    # Backward pass: log partition values per layer (the log_suffix DP,
+    # vectorized over whole (state, allocation) blocks at once).
+    values: list[np.ndarray | None] = [None] * (num_cols + 1)
+    final_codes = layers[num_cols][1]
+    values[num_cols] = np.where(final_codes == 0, 0.0, -np.inf)
+    for c in range(num_cols - 1, -1, -1):
+        states, codes = layers[c]
+        comps_f, log_factors_f = _finite_columns(c)
+        level = np.full(states.shape[0], -np.inf)
+        if comps_f.shape[0] and states.shape[0]:
+            next_codes = layers[c + 1][1]
+            next_values = values[c + 1]
+            comp_codes = comps_f @ strides
+            block = max(1, _BLOCK_ELEMENTS // (comps_f.shape[0] * num_rows + 1))
+            for lo in range(0, states.shape[0], block):
+                chunk = states[lo:lo + block]
+                feasible = (comps_f[None, :, :] <= chunk[:, None, :]).all(axis=2)
+                rest_codes = codes[lo:lo + block, None] - comp_codes[None, :]
+                tails = _lookup(rest_codes, next_codes, next_values)
+                totals = np.where(
+                    feasible & np.isfinite(tails),
+                    log_factors_f[None, :] + tails,
+                    -np.inf,
+                )
+                peak = totals.max(axis=1)
+                live = peak > -np.inf
+                if live.any():
+                    shifted = np.exp(totals[live] - peak[live, None])
+                    level[lo:lo + block][live] = (
+                        peak[live] + np.log(shifted.sum(axis=1))
+                    )
+        values[c] = level
+
+    if values[0][0] == -math.inf:
+        raise MatchingError(
+            "instance admits no positive-weight perfect matching "
+            "(class permanent is zero)"
+        )
+
+    # Sampling pass: one allocation draw per column class, options indexed
+    # in composition-enumeration order (same order as the reference DP).
+    remaining = a
+    remaining_code = int(a_arr @ strides)
+    table = np.zeros((num_rows, num_cols), dtype=np.int64)
+    for col_index in range(num_cols):
+        comps = col_comps[col_index]
+        log_factors = col_log_factors[col_index]
+        option_logs = np.full(comps.shape[0], -np.inf)
+        if comps.shape[0]:
+            remaining_arr = np.asarray(remaining, dtype=np.int64)
+            feasible = (
+                (comps <= remaining_arr).all(axis=1) & np.isfinite(log_factors)
+            )
+            if feasible.any():
+                rest_codes = remaining_code - (comps[feasible] @ strides)
+                tails = _lookup(
+                    rest_codes, layers[col_index + 1][1], values[col_index + 1]
+                )
+                option_logs[feasible] = log_factors[feasible] + tails
+        options = np.flatnonzero(np.isfinite(option_logs))
+        if options.shape[0] == 0:
+            raise MatchingError(
+                f"dead end at column class {col_index}: no feasible allocation"
+            )
+        logs = option_logs[options]
+        probabilities = np.exp(logs - logs.max())
+        probabilities = probabilities / probabilities.sum()
+        choice = int(rng.choice(options.shape[0], p=probabilities))
+        allocation = comps[options[choice]]
+        table[:, col_index] = allocation
+        remaining = tuple(
+            int(r) - int(k) for r, k in zip(remaining, allocation)
+        )
+        remaining_code -= int(allocation @ strides)
+    return table
+
+
+def _sample_contingency_table_reference(
+    instance: ClassifiedBipartite, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """The original pure-Python contingency DP (cross-validation baseline).
+
+    Identical law and option ordering to the vectorized default; kept so
+    tests can A/B the two evaluators and so throughput benchmarks can
+    measure the seed implementation's wall-clock faithfully.
     """
     rng = np.random.default_rng(rng)
     weights = np.asarray(instance.class_weights, dtype=np.float64)
@@ -333,7 +579,10 @@ def expand_table_to_assignment(
 
 
 def sample_assignment_by_classes(
-    instance: ClassifiedBipartite, rng: np.random.Generator | None = None
+    instance: ClassifiedBipartite,
+    rng: np.random.Generator | None = None,
+    *,
+    implementation: str = "auto",
 ) -> list[list[Hashable]]:
     """Exact weight-proportional matching sample, returned per column class.
 
@@ -341,8 +590,9 @@ def sample_assignment_by_classes(
     :func:`expand_table_to_assignment`: distributionally identical to
     sampling a perfect matching of the expanded bipartite graph with
     probability proportional to its weight, but in time polynomial in the
-    number of classes.
+    number of classes. ``implementation`` is forwarded to the contingency
+    DP (``"auto"``, ``"vectorized"``, or ``"reference"``).
     """
     rng = np.random.default_rng(rng)
-    table = sample_contingency_table(instance, rng)
+    table = sample_contingency_table(instance, rng, implementation=implementation)
     return expand_table_to_assignment(instance, table, rng)

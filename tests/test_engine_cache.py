@@ -1,0 +1,150 @@
+"""Tests for the cross-sample derived-graph cache (engine layer 2).
+
+The load-bearing property: the cache may only change wall-clock, never
+outputs or round bills. Same-seed runs with and without the cache must
+produce byte-identical trees and identical round charges, for both
+sampler variants and both matmul backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.core import CongestedCliqueTreeSampler, SamplerConfig
+from repro.engine import DerivedGraphCache, SamplerEngine
+from repro.errors import ConfigError
+
+
+def _draws(graph, config, variant, seed, count=4):
+    sampler = CongestedCliqueTreeSampler(graph, config, variant=variant)
+    return sampler.sample_many(count, np.random.default_rng(seed))
+
+
+class TestCacheTransparency:
+    @pytest.mark.parametrize("variant", ["approximate", "exact"])
+    def test_same_trees_and_rounds_with_and_without_cache(self, variant):
+        g = graphs.erdos_renyi_graph(20, rng=np.random.default_rng(7))
+        cached = _draws(g, SamplerConfig(ell=1 << 10), variant, seed=5)
+        uncached = _draws(
+            g, SamplerConfig(ell=1 << 10, derived_cache=False), variant, seed=5
+        )
+        assert [r.tree for r in cached] == [r.tree for r in uncached]
+        assert [r.rounds for r in cached] == [r.rounds for r in uncached]
+        assert [r.rounds_by_category() for r in cached] == [
+            r.rounds_by_category() for r in uncached
+        ]
+
+    @pytest.mark.parametrize("variant", ["approximate", "exact"])
+    def test_transparency_with_simulated_backend(self, variant):
+        """Measured (3D protocol) charges replay exactly on cache hits."""
+        g = graphs.cycle_with_chord(12)
+        base = dict(ell=1 << 9, matmul_backend="simulated-3d")
+        cached = _draws(g, SamplerConfig(**base), variant, seed=3)
+        uncached = _draws(
+            g, SamplerConfig(**base, derived_cache=False), variant, seed=3
+        )
+        assert [r.tree for r in cached] == [r.tree for r in uncached]
+        assert [r.rounds_by_category() for r in cached] == [
+            r.rounds_by_category() for r in uncached
+        ]
+
+    def test_transparency_with_precision_bits(self):
+        """Lemma 7 entry widths survive the replay charge recipe."""
+        g = graphs.complete_graph(10)
+        cached = _draws(
+            g, SamplerConfig(ell=1 << 9, precision_bits=48), "approximate", 1
+        )
+        uncached = _draws(
+            g,
+            SamplerConfig(
+                ell=1 << 9, precision_bits=48, derived_cache=False
+            ),
+            "approximate",
+            1,
+        )
+        assert [r.tree for r in cached] == [r.tree for r in uncached]
+        assert [r.rounds for r in cached] == [r.rounds for r in uncached]
+
+
+class TestCacheBehavior:
+    def test_phase_one_hits_across_draws(self):
+        g = graphs.complete_graph(12)
+        sampler = CongestedCliqueTreeSampler(g, SamplerConfig(ell=1 << 9))
+        sampler.sample_many(5, np.random.default_rng(0))
+        stats = sampler.engine.cache.stats()
+        # Phase 1 runs on S = V every draw: at least draws-1 hits.
+        assert stats["hits"] >= 4
+        assert stats["misses"] >= 1
+
+    def test_disabled_cache_is_none(self):
+        g = graphs.path_graph(5)
+        engine = SamplerEngine(g, SamplerConfig(ell=1 << 9, derived_cache=False))
+        assert engine.cache is None
+        engine.run(np.random.default_rng(0))  # still samples fine
+
+    def test_external_cache_shared_between_engines(self):
+        g = graphs.complete_graph(9)
+        cache = DerivedGraphCache(max_entries=32)
+        config = SamplerConfig(ell=1 << 9)
+        a = SamplerEngine(g, config, cache=cache)
+        b = SamplerEngine(g, config, cache=cache)
+        a.run(np.random.default_rng(1))
+        misses_after_a = cache.misses
+        b.run(np.random.default_rng(2))
+        # Engine b's phase 1 reuses engine a's entry.
+        assert cache.hits >= 1
+        assert cache.misses >= misses_after_a
+
+    def test_shared_cache_isolates_different_graphs(self):
+        """A shared cache must never serve another graph's numerics."""
+        cache = DerivedGraphCache(max_entries=32)
+        config = SamplerConfig(ell=1 << 9)
+        g_a = graphs.complete_graph(9)
+        g_b = graphs.wheel_graph(9)
+        a = SamplerEngine(g_a, config, cache=cache)
+        b = SamplerEngine(g_b, config, cache=cache)
+        result_a = a.run(np.random.default_rng(1))
+        hits_after_a = cache.hits
+        result_b = b.run(np.random.default_rng(1))
+        # Same n, same subsets -- but b must miss a's entries entirely.
+        assert cache.hits == hits_after_a
+        from repro.graphs import is_spanning_tree
+
+        assert is_spanning_tree(g_a, result_a.tree)
+        assert is_spanning_tree(g_b, result_b.tree)
+
+    def test_shared_cache_isolates_different_configs(self):
+        """Numerics-relevant config changes partition the shared cache."""
+        cache = DerivedGraphCache(max_entries=32)
+        g = graphs.complete_graph(9)
+        a = SamplerEngine(g, SamplerConfig(ell=1 << 9), cache=cache)
+        b = SamplerEngine(g, SamplerConfig(ell=1 << 10), cache=cache)
+        a.run(np.random.default_rng(1))
+        hits_after_a = cache.hits
+        b.run(np.random.default_rng(1))
+        assert cache.hits == hits_after_a  # different ell => no sharing
+
+    def test_lru_eviction_bounds_entries(self):
+        cache = DerivedGraphCache(max_entries=2)
+        for key in [(1,), (2,), (3,)]:
+            cache.store(key, object())
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.lookup((1,)) is None  # evicted (oldest)
+        assert cache.lookup((3,)) is not None
+
+    def test_clear_and_stats(self):
+        cache = DerivedGraphCache()
+        cache.store((0, 1), object())
+        assert cache.stats()["entries"] == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.lookup((0, 1)) is None
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            DerivedGraphCache(max_entries=0)
+        with pytest.raises(ConfigError):
+            SamplerConfig(derived_cache_entries=0)

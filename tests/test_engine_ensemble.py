@@ -1,0 +1,162 @@
+"""Tests for the parallel ensemble driver (engine layer 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.core import CongestedCliqueTreeSampler, SamplerConfig
+from repro.engine import (
+    EnsembleEngine,
+    EnsembleResult,
+    SamplerEngine,
+    sample_tree_ensemble,
+)
+from repro.errors import GraphError
+from repro.graphs import is_spanning_tree
+
+FAST = SamplerConfig(ell=1 << 10)
+
+
+class TestSampleEnsemble:
+    def test_count_and_validity(self):
+        g = graphs.erdos_renyi_graph(16, rng=np.random.default_rng(1))
+        result = sample_tree_ensemble(g, 6, config=FAST, seed=0, jobs=1)
+        assert result.count == 6
+        for tree in result.trees:
+            assert is_spanning_tree(g, tree)
+
+    def test_jobs_do_not_change_outputs(self):
+        """Single- and multi-process runs are byte-identical per seed."""
+        g = graphs.erdos_renyi_graph(16, rng=np.random.default_rng(2))
+        single = sample_tree_ensemble(g, 8, config=FAST, seed=123, jobs=1)
+        multi = sample_tree_ensemble(g, 8, config=FAST, seed=123, jobs=3)
+        assert single.trees == multi.trees
+        assert [r.rounds for r in single.results] == [
+            r.rounds for r in multi.results
+        ]
+
+    def test_seed_reproducibility(self):
+        g = graphs.cycle_with_chord(10)
+        a = sample_tree_ensemble(g, 5, config=FAST, seed=9, jobs=1)
+        b = sample_tree_ensemble(g, 5, config=FAST, seed=9, jobs=1)
+        assert a.trees == b.trees
+        assert a.entropy == b.entropy == 9
+
+    def test_seed_shapes_accepted(self):
+        g = graphs.cycle_graph(8)
+        engine = EnsembleEngine(g, FAST)
+        by_int = engine.sample_ensemble(3, seed=7, jobs=1)
+        by_seq = engine.sample_ensemble(
+            3, seed=np.random.SeedSequence(7), jobs=1
+        )
+        assert by_int.trees == by_seq.trees
+        by_gen = engine.sample_ensemble(
+            3, seed=np.random.default_rng(7), jobs=1
+        )
+        assert len(by_gen.trees) == 3
+        # SeedSequence entropy may be a list; only scalar entropy is
+        # reported back, but sampling must succeed either way.
+        by_list = engine.sample_ensemble(
+            3, seed=np.random.SeedSequence([1, 2]), jobs=1
+        )
+        assert len(by_list.trees) == 3
+        assert by_list.entropy is None
+
+    def test_draws_are_independent(self):
+        g = graphs.complete_graph(7)
+        result = sample_tree_ensemble(g, 16, config=FAST, seed=0, jobs=1)
+        assert len(set(result.trees)) > 1
+
+    def test_count_validation(self):
+        g = graphs.path_graph(4)
+        engine = EnsembleEngine(g, FAST)
+        with pytest.raises(GraphError):
+            engine.sample_ensemble(0)
+        with pytest.raises(GraphError):
+            engine.run_sequential(0)
+        with pytest.raises(GraphError):
+            engine.sample_ensemble(2, jobs=0)
+
+    def test_variant_forwarded(self):
+        g = graphs.cycle_with_chord(9)
+        result = sample_tree_ensemble(
+            g, 3, config=FAST, variant="exact", seed=1, jobs=1
+        )
+        for tree in result.trees:
+            assert is_spanning_tree(g, tree)
+
+
+class TestEnsembleResult:
+    def test_diagnostics(self):
+        g = graphs.complete_graph(8)
+        result = sample_tree_ensemble(g, 4, config=FAST, seed=0, jobs=1)
+        assert result.seconds > 0
+        assert result.trees_per_second() > 0
+        assert result.total_rounds() == sum(r.rounds for r in result.results)
+        assert result.mean_rounds() == pytest.approx(
+            result.total_rounds() / 4
+        )
+        assert result.jobs == 1
+        assert result.cache_stats.get("hits", 0) >= 1  # warm phase-1 entry
+
+    def test_empty_helpers_guarded(self):
+        result = EnsembleResult(results=[], seconds=0.0, jobs=1)
+        assert result.count == 0
+        assert result.mean_rounds() == 0.0
+
+
+class TestFacadeDelegation:
+    def test_sample_many_delegates_to_engine(self):
+        """sample_many shares one rng stream and the engine's warm cache."""
+        g = graphs.complete_graph(10)
+        sampler = CongestedCliqueTreeSampler(g, FAST)
+        results = sampler.sample_many(3, np.random.default_rng(4))
+        assert len(results) == 3
+        assert sampler.engine.cache.hits >= 2  # phase 1 reused across draws
+
+    def test_sample_many_equals_sequential_engine_runs(self):
+        g = graphs.cycle_with_chord(10)
+        facade = CongestedCliqueTreeSampler(g, FAST).sample_many(
+            3, np.random.default_rng(8)
+        )
+        engine = SamplerEngine(g, FAST)
+        rng = np.random.default_rng(8)
+        direct = [engine.run(rng) for _ in range(3)]
+        assert [r.tree for r in facade] == [r.tree for r in direct]
+
+    def test_sample_many_count_validation(self):
+        g = graphs.path_graph(4)
+        with pytest.raises(GraphError):
+            CongestedCliqueTreeSampler(g, FAST).sample_many(0)
+
+    def test_facade_is_thin(self):
+        """The facade exposes its engine (thin-orchestrator contract)."""
+        g = graphs.path_graph(5)
+        sampler = CongestedCliqueTreeSampler(g, FAST)
+        assert isinstance(sampler.engine, SamplerEngine)
+        assert sampler.engine.graph is g
+        assert sampler.config is sampler.engine.config
+
+
+class TestEnsembleEngineConstruction:
+    def test_conflicting_overrides_rejected(self):
+        g = graphs.path_graph(5)
+        engine = SamplerEngine(g, FAST, variant="exact")
+        with pytest.raises(GraphError):
+            EnsembleEngine(engine, FAST)
+        with pytest.raises(GraphError):
+            EnsembleEngine(engine, variant="approximate")
+        # Matching or omitted variant is fine (sample_many relies on it).
+        assert EnsembleEngine(engine).engine is engine
+        assert EnsembleEngine(engine, variant="exact").engine is engine
+
+    def test_exact_facade_sample_many_still_works(self):
+        from repro.core import ExactTreeSampler
+
+        g = graphs.cycle_with_chord(8)
+        results = ExactTreeSampler(g, FAST).sample_many(
+            2, np.random.default_rng(3)
+        )
+        assert len(results) == 2

@@ -233,3 +233,75 @@ class TestClassSamplerVsExpandedSampler:
         assert permanent_class_dp(
             weights, [1, 2], [2, 1]
         ) == pytest.approx(permanent_ryser(inst.expanded_weights()), rel=1e-9)
+
+
+class TestVectorizedVsReferenceDP:
+    """The vectorized contingency DP is a drop-in for the original."""
+
+    def _instance(self):
+        return ClassifiedBipartite(
+            row_labels=(0, 1, 2),
+            row_counts=(2, 1, 2),
+            col_labels=("a", "b"),
+            col_counts=(3, 2),
+            class_weights=np.array(
+                [[0.5, 1.0], [2.0, 0.3], [1.0, 0.0]]
+            ),
+        )
+
+    def test_same_law(self, rng):
+        from repro.matching.sampler import sample_contingency_table
+
+        inst = self._instance()
+        fast: Counter = Counter()
+        slow: Counter = Counter()
+        trials = 2500
+        for _ in range(trials):
+            fast[sample_contingency_table(inst, rng).tobytes()] += 1
+            slow[
+                sample_contingency_table(
+                    inst, rng, implementation="reference"
+                ).tobytes()
+            ] += 1
+        keys = set(fast) | set(slow)
+        total_variation = 0.5 * sum(
+            abs(fast[k] / trials - slow[k] / trials) for k in keys
+        )
+        assert total_variation < 0.05
+
+    def test_infeasible_rejected_by_both(self):
+        from repro.matching.sampler import sample_contingency_table
+
+        inst = ClassifiedBipartite(
+            row_labels=(0, 1),
+            row_counts=(1, 1),
+            col_labels=("a",),
+            col_counts=(2,),
+            class_weights=np.array([[0.0], [1.0]]),
+        )
+        for implementation in ("vectorized", "reference"):
+            with pytest.raises(MatchingError):
+                sample_contingency_table(
+                    inst, implementation=implementation
+                )
+
+    def test_unknown_implementation_rejected(self):
+        from repro.matching.sampler import sample_contingency_table
+
+        with pytest.raises(MatchingError):
+            sample_contingency_table(
+                self._instance(), implementation="gpu"
+            )
+
+    def test_reference_matching_method_end_to_end(self, rng):
+        """The sampler runs under matching_method='exact-dp-reference'."""
+        from repro import graphs
+        from repro.core import CongestedCliqueTreeSampler, SamplerConfig
+        from repro.graphs import is_spanning_tree
+
+        g = graphs.cycle_with_chord(8)
+        config = SamplerConfig(
+            ell=1 << 9, matching_method="exact-dp-reference"
+        )
+        tree = CongestedCliqueTreeSampler(g, config).sample_tree(rng)
+        assert is_spanning_tree(g, tree)

@@ -82,3 +82,105 @@ class TestPowerLadderBackend:
         assert "matmul-simulated" in categories
         assert "matmul" not in categories
         assert backend.calls == 4
+
+
+class TestMatmulBackendProtocol:
+    """Both realizations behave consistently through the shared interface."""
+
+    def test_both_backends_satisfy_protocol(self):
+        from repro.engine.backends import (
+            AnalyticMatmul,
+            MatmulBackend,
+            make_matmul_backend,
+        )
+
+        assert isinstance(AnalyticMatmul(), MatmulBackend)
+        assert isinstance(SimulatedMatmul(4), MatmulBackend)
+        assert make_matmul_backend("analytic", 4).name == "analytic"
+        assert make_matmul_backend("simulated-3d", 4).name == "simulated-3d"
+
+    def test_unknown_backend_rejected(self):
+        from repro.engine.backends import make_matmul_backend
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            make_matmul_backend("quantum", 4)
+
+    def test_analytic_backend_charges_match_inline_ladder(self, rng):
+        """PowerLadder via AnalyticMatmul == PowerLadder's own charging."""
+        from repro.engine.backends import AnalyticMatmul
+
+        g = graphs.cycle_with_chord(8)
+        p = g.transition_matrix()
+        inline_ledger = RoundLedger()
+        PowerLadder(p, 16, ledger=inline_ledger, note="phase ladder")
+        backend_ledger = RoundLedger()
+        backend = AnalyticMatmul(backend_ledger)
+        ladder = PowerLadder(
+            p, 16, matmul=backend, note="phase ladder"
+        )
+        assert backend.calls == 4
+        assert ladder.squarings == 4
+        assert (
+            backend_ledger.rounds_by_category()
+            == inline_ledger.rounds_by_category()
+        )
+
+    def test_replay_matches_live_charges_analytic(self):
+        from repro.engine.backends import AnalyticMatmul
+
+        live_ledger = RoundLedger()
+        live = AnalyticMatmul(live_ledger)
+        a = np.eye(9)
+        for _ in range(3):
+            live.multiply(a, a, entry_words=2)
+        replay_ledger = RoundLedger()
+        AnalyticMatmul(replay_ledger).charge_replay(9, count=3, entry_words=2)
+        assert live_ledger.total_rounds() == replay_ledger.total_rounds()
+
+    def test_replay_matches_live_charges_simulated(self, rng):
+        live_ledger = RoundLedger()
+        live = SimulatedMatmul(8, ledger=live_ledger)
+        a = rng.random((8, 8))
+        for _ in range(3):
+            live.multiply(a, a)
+        replay_ledger = RoundLedger()
+        replay = SimulatedMatmul(8, ledger=replay_ledger)
+        replay.charge_replay(count=3)
+        assert live_ledger.total_rounds() == replay_ledger.total_rounds()
+        assert replay.total_rounds == live.total_rounds
+        assert replay.calls == 0  # replays are not multiplications
+
+    def test_simulated_replay_size_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            SimulatedMatmul(8).charge_replay(size=9)
+
+    def test_round_cost_deterministic_and_consistent(self, rng):
+        backend = SimulatedMatmul(27)
+        cost = backend.round_cost()
+        a = rng.random((27, 27))
+        backend.multiply(a, a)
+        assert backend.total_rounds == cost
+        assert backend.round_cost() == cost
+
+    def test_sampler_consistent_across_shared_interface(self, rng):
+        """The full sampler charges each backend's own category, and the
+        ladder charges agree with the backend's closed-form recipe."""
+        from repro.core import CongestedCliqueTreeSampler, SamplerConfig
+
+        g = graphs.cycle_with_chord(9)
+        trees = {}
+        for name in ("analytic", "simulated-3d"):
+            config = SamplerConfig(ell=1 << 9, matmul_backend=name)
+            result = CongestedCliqueTreeSampler(g, config).sample(
+                np.random.default_rng(13)
+            )
+            categories = result.rounds_by_category()
+            if name == "analytic":
+                assert "matmul-simulated" not in categories
+            else:
+                assert categories.get("matmul-simulated", 0) > 0
+            trees[name] = result.tree
+        # Identical rng stream and numerics => identical trees; only the
+        # round accounting differs between backends.
+        assert trees["analytic"] == trees["simulated-3d"]

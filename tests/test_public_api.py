@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.clique",
     "repro.core",
+    "repro.engine",
     "repro.graphs",
     "repro.linalg",
     "repro.matching",
