@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from repro import graphs
 from repro.walks import doubling_random_walk

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from repro import graphs
 from repro.core import sample_tree_fast_cover

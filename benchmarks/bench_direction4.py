@@ -11,7 +11,6 @@ distinct-vertex minima of the Direction 4 sampler across n and families
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import graphs
 from repro.core import CongestedCliqueTreeSampler, Direction4Sampler, SamplerConfig

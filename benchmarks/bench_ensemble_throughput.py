@@ -34,7 +34,8 @@ from pathlib import Path
 import numpy as np
 
 from repro import graphs
-from repro.core import CongestedCliqueTreeSampler, SamplerConfig
+from repro.api import get_preset, preset_config
+from repro.core import CongestedCliqueTreeSampler
 from repro.engine import EnsembleEngine
 
 NS = [32, 64, 128]
@@ -49,8 +50,8 @@ def _graph(n: int) -> "graphs.WeightedGraph":
 
 def _baseline_rate(n: int) -> float:
     """Trees/second of the seed-equivalent sample_many Python loop."""
-    config = SamplerConfig(
-        ell=1 << 10,
+    config = preset_config(
+        "fast-audit",
         derived_cache=False,
         matching_method="exact-dp-reference",
     )
@@ -66,7 +67,7 @@ def test_ensemble_throughput(benchmark, report):
 
     def experiment():
         for n in NS:
-            engine = EnsembleEngine(_graph(n), SamplerConfig(ell=1 << 10))
+            engine = EnsembleEngine(_graph(n), get_preset("fast-audit").config)
             single = engine.sample_ensemble(DRAWS, seed=7, jobs=1)
             multi = engine.sample_ensemble(DRAWS, seed=7, jobs=2)
             baseline = _baseline_rate(n)

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from collections import Counter
 
-import numpy as np
 
 from repro import graphs
 from repro.core.midpoints import MidpointBank

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro import graphs
 from repro.analysis import ensemble_leverage_report
-from repro.core import SamplerConfig
+from repro.api import get_preset
 from repro.graphs import count_spanning_trees
 
 N_TREES = 500
@@ -29,7 +29,7 @@ def test_leverage_score_marginals(benchmark, report):
             ensemble_leverage_report(
                 g,
                 N_TREES,
-                config=SamplerConfig(ell=1 << 12),
+                config=get_preset("fast-bench").config,
                 seed=424242,
                 jobs=1,
             )

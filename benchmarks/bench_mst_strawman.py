@@ -9,7 +9,6 @@ strawman vs our sampler on graphs where the bias is pronounced.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import graphs
 from repro.analysis import (
@@ -17,11 +16,12 @@ from repro.analysis import (
     expected_tv_noise,
     tv_to_uniform,
 )
-from repro.core import CongestedCliqueTreeSampler, SamplerConfig
+from repro.api import get_preset
+from repro.core import CongestedCliqueTreeSampler
 from repro.graphs import count_spanning_trees
 from repro.walks import random_weight_mst_tree
 
-CONFIG = SamplerConfig(ell=1 << 10)
+CONFIG = get_preset("fast-audit").config
 N_SAMPLES = 1500
 
 

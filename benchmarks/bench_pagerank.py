@@ -9,7 +9,6 @@ the walk budget grows, and the round bill of each budget.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import graphs
 from repro.walks import pagerank_exact, pagerank_via_walks

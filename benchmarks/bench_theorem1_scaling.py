@@ -15,9 +15,10 @@ import numpy as np
 from repro import graphs
 from repro.analysis import loglog_fit
 from repro.clique.cost import ALPHA
-from repro.core import CongestedCliqueTreeSampler, SamplerConfig, expected_phases
+from repro.api import get_preset
+from repro.core import CongestedCliqueTreeSampler, expected_phases
 
-CONFIG = SamplerConfig(ell=1 << 12)
+CONFIG = get_preset("fast-bench").config
 NS = [16, 32, 64, 96, 128]
 
 

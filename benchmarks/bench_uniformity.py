@@ -14,12 +14,12 @@ from repro.analysis import (
     expected_tv_noise,
     tv_to_uniform,
 )
-from repro.core import SamplerConfig
+from repro.api import get_preset
 from repro.graphs import count_spanning_trees
 from repro.walks import random_weight_mst_tree, wilson_tree
 
 GRAPH = graphs.cycle_with_chord(5)
-CONFIG = SamplerConfig(ell=1 << 10)
+CONFIG = get_preset("fast-audit").config
 N_SAMPLES = 800
 
 

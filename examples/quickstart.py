@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
-"""Quickstart: sample spanning trees in the simulated CongestedClique.
+"""Quickstart: sample spanning trees through the session API.
 
-Demonstrates the three samplers the paper contributes --
+Opens one :class:`repro.api.Session` on a graph and runs the three
+samplers the paper contributes --
 
 1. the Theorem 1 approximate sampler (O~(n^{1/2 + alpha}) rounds),
 2. the Appendix exact sampler (O~(n^{2/3 + alpha}) rounds),
 3. the Corollary 1 fast sampler for small-cover-time graphs --
 
-and prints their round bills side by side with the classical sequential
-baselines (Aldous-Broder, Wilson).
+as declarative requests against the same session (shared derived-graph
+cache, one RNG lineage), then prints their round bills side by side with
+the classical sequential baselines (Aldous-Broder, Wilson).
 
 Run:  python examples/quickstart.py
 """
@@ -18,12 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import graphs
-from repro.core import (
-    CongestedCliqueTreeSampler,
-    ExactTreeSampler,
-    SamplerConfig,
-    sample_tree_fast_cover,
-)
+from repro.api import RoundBillRequest, SampleRequest, Session
 from repro.graphs import count_spanning_trees
 from repro.walks import aldous_broder_tree, wilson_tree
 
@@ -36,16 +33,18 @@ def main() -> None:
     print(f"spanning trees (Matrix-Tree): {count_spanning_trees(graph):.3e}")
     print()
 
-    # A shorter nominal walk length than the paper's Theta~(n^3) default
-    # keeps the demo snappy; the Las-Vegas extension of Appendix 5.1
-    # preserves the output distribution exactly.
-    config = SamplerConfig(ell=1 << 12, epsilon=1e-3)
+    # The "fast-bench" preset shortens the nominal walk length from the
+    # paper's Theta~(n^3) default to keep the demo snappy; the Las-Vegas
+    # extension of Appendix 5.1 preserves the output distribution exactly.
+    session = Session(graph, "fast-bench", seed=2025)
 
     print("=== Theorem 1: approximate sampler ===")
-    result = CongestedCliqueTreeSampler(graph, config).sample(rng)
+    response = session.run(SampleRequest(variant="approximate"))
+    result = response.result
     print(f"tree (first 5 edges): {result.tree[:5]} ...")
     print(f"phases: {result.phases}  (rho = floor(sqrt(n)) = {int(np.sqrt(n))})")
-    print(f"total rounds: {result.rounds}")
+    print(f"total rounds: {result.rounds}  "
+          f"({response.meta['seconds']:.2f}s wall clock)")
     for category, rounds in list(result.rounds_by_category().items())[:4]:
         print(f"  {category:<28s} {rounds}")
     print("first charges on the round ledger (full protocol trace "
@@ -55,15 +54,23 @@ def main() -> None:
     print()
 
     print("=== Appendix: exact sampler ===")
-    exact = ExactTreeSampler(graph, config).sample(rng)
+    exact = session.run(SampleRequest(variant="exact")).result
     print(f"phases: {exact.phases}  (rho = floor(n^(1/3)) = {round(n ** (1/3))})")
     print(f"total rounds: {exact.rounds}")
     print()
 
     print("=== Corollary 1: fast sampler (doubling walks) ===")
-    fast = sample_tree_fast_cover(graph, rng)
+    fast = session.run(SampleRequest(variant="fastcover")).result
     print(f"cover-time estimate: {fast.cover_time_estimate:.0f}")
     print(f"walk length: {fast.walk_length}, rounds: {fast.rounds}")
+    print()
+
+    print("=== All three, one request (the CLI's `rounds` table) ===")
+    bill = session.run(RoundBillRequest(seed=7)).result
+    print(f"{'variant':<14s} {'rounds':>8s}")
+    print(f"{'approximate':<14s} {bill.approximate_rounds:>8d}")
+    print(f"{'exact':<14s} {bill.exact_rounds:>8d}")
+    print(f"{'fastcover':<14s} {bill.fastcover_rounds:>8d}")
     print()
 
     print("=== Sequential baselines (0 rounds, wall-clock only) ===")

@@ -24,12 +24,8 @@ from repro.analysis import (
     expected_tv_noise,
     tv_to_uniform,
 )
-from repro.core import (
-    CongestedCliqueTreeSampler,
-    ExactTreeSampler,
-    SamplerConfig,
-    sample_tree_fast_cover,
-)
+from repro.api import EnsembleRequest, Session
+from repro.core import sample_tree_fast_cover
 from repro.graphs import count_spanning_trees
 from repro.walks import (
     aldous_broder_tree,
@@ -46,22 +42,36 @@ def main() -> None:
     print(f"graph: theta(1,1,3), {num_trees} spanning trees")
     print(f"samples per sampler: {n_samples}; TV noise floor ~ {noise:.4f}\n")
 
-    config = SamplerConfig(ell=1 << 10)
-    samplers = {
-        "theorem1 (approx)": CongestedCliqueTreeSampler(graph, config).sample_tree,
-        "appendix (exact)": ExactTreeSampler(graph, config).sample_tree,
-        "corollary1 (fast)": lambda r: sample_tree_fast_cover(graph, r).tree,
-        "aldous-broder": lambda r: aldous_broder_tree(graph, r),
-        "wilson": lambda r: wilson_tree(graph, r),
-        "random-weight MST": lambda r: random_weight_mst_tree(graph, r),
-    }
+    # Both clique samplers stream their ensembles out of one session
+    # (shared derived-graph cache across variants, per-draw spawned
+    # seeds); the sequential baselines stay plain callables.
+    session = Session(graph, "fast-audit", seed=13)
 
-    print(f"{'sampler':<20s} {'TV':>8s} {'TV/noise':>9s} {'chi2 p':>10s}  verdict")
-    for index, (name, sampler) in enumerate(samplers.items()):
+    def clique_trees(variant: str, seed: int) -> list:
+        request = EnsembleRequest(count=n_samples, variant=variant, seed=seed)
+        return [result.tree for result in session.stream(request)]
+
+    def loop_trees(sampler, index: int) -> list:
         # Independent per-sampler streams: one sampler's draw count can
         # never shift another's randomness (stable verdicts).
         rng = np.random.default_rng([13, index])
-        trees = [sampler(rng) for _ in range(n_samples)]
+        return [sampler(rng) for _ in range(n_samples)]
+
+    ensembles = {
+        "theorem1 (approx)": clique_trees("approximate", seed=130),
+        "appendix (exact)": clique_trees("exact", seed=131),
+        "corollary1 (fast)": loop_trees(
+            lambda r: sample_tree_fast_cover(graph, r).tree, 2
+        ),
+        "aldous-broder": loop_trees(lambda r: aldous_broder_tree(graph, r), 3),
+        "wilson": loop_trees(lambda r: wilson_tree(graph, r), 4),
+        "random-weight MST": loop_trees(
+            lambda r: random_weight_mst_tree(graph, r), 5
+        ),
+    }
+
+    print(f"{'sampler':<20s} {'TV':>8s} {'TV/noise':>9s} {'chi2 p':>10s}  verdict")
+    for name, trees in ensembles.items():
         tv = tv_to_uniform(graph, trees)
         __, p_value = chi_square_uniformity(graph, trees)
         verdict = "UNIFORM" if p_value > 1e-3 else "BIASED"

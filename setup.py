@@ -9,13 +9,13 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Sublinear-time sampling of spanning trees in the Congested Clique "
         "(PODC 2025) - full reproduction"
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.10",
+    python_requires=">=3.11",
     install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
 )

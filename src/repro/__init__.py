@@ -20,7 +20,8 @@ See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-claim-by-claim reproduction results.
 """
 
-from repro import analysis, clique, engine, graphs, linalg, matching, walks
+from repro import analysis, api, clique, engine, graphs, linalg, matching, walks
+from repro.api import Session
 from repro.core import (
     CongestedCliqueTreeSampler,
     ExactTreeSampler,
@@ -34,10 +35,12 @@ from repro.core import (
 from repro.errors import ReproError
 from repro.graphs import WeightedGraph
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
+    "api",
+    "Session",
     "clique",
     "engine",
     "graphs",

@@ -11,6 +11,7 @@ from repro.analysis.ensemble import (
     edge_frequencies,
     ensemble_leverage_report,
     ensemble_summary,
+    leverage_report_from_result,
     leverage_score_deviation,
 )
 from repro.analysis.stats import (
@@ -31,6 +32,7 @@ __all__ = [
     "edge_frequencies",
     "ensemble_leverage_report",
     "ensemble_summary",
+    "leverage_report_from_result",
     "leverage_score_deviation",
     "bootstrap_mean_ci",
     "geometric_mean",

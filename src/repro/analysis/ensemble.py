@@ -25,6 +25,7 @@ __all__ = [
     "leverage_score_deviation",
     "ensemble_summary",
     "ensemble_leverage_report",
+    "leverage_report_from_result",
 ]
 
 
@@ -92,6 +93,16 @@ def ensemble_leverage_report(
     result = sample_tree_ensemble(
         graph, count, config=config, variant=variant, seed=seed, jobs=jobs
     )
+    return leverage_report_from_result(graph, result)
+
+
+def leverage_report_from_result(graph: WeightedGraph, result) -> dict[str, float]:
+    """Leverage-marginal audit of an already-drawn ensemble.
+
+    Takes a :class:`~repro.engine.ensemble.EnsembleResult` so callers
+    that already hold a batch (the session API, benchmarks) never pay for
+    a second round of sampling just to audit it.
+    """
     stats = leverage_score_deviation(graph, result.trees)
     stats.update(
         {

@@ -1,0 +1,74 @@
+"""The session-based public API: the one way in for every workload.
+
+This package is the service-facing surface the ROADMAP's production story
+builds on (and the CLI's only backend):
+
+- :class:`~repro.api.session.Session` -- a long-lived binding of one
+  graph to shared execution state (derived-graph cache, per-variant
+  engines, RNG lineage);
+- :mod:`~repro.api.requests` -- frozen, JSON-serializable request
+  dataclasses (:class:`SampleRequest`, :class:`EnsembleRequest`,
+  :class:`AuditRequest`, :class:`RoundBillRequest`,
+  :class:`PageRankRequest`);
+- :mod:`~repro.api.responses` -- the uniform :class:`Response` envelope
+  with lossless ``to_dict``/:func:`response_from_dict` JSON round trips
+  for every result type;
+- :mod:`~repro.api.presets` -- the named configuration recipes
+  (``"paper-approximate"``, ``"paper-exact"``, ``"fast-bench"``,
+  ``"fast-audit"``).
+
+The pre-session entry points (:func:`repro.sample_spanning_tree`,
+:meth:`~repro.core.sampler.CongestedCliqueTreeSampler.sample_many`,
+:func:`repro.engine.ensemble.sample_tree_ensemble`) remain supported as
+thin shims over the same engines.
+"""
+
+from repro.api.presets import (
+    PRESETS,
+    Preset,
+    get_preset,
+    preset_config,
+    resolve_config,
+)
+from repro.api.requests import (
+    REQUEST_TYPES,
+    AuditRequest,
+    EnsembleRequest,
+    PageRankRequest,
+    RoundBillRequest,
+    SampleRequest,
+    request_from_dict,
+)
+from repro.api.responses import (
+    RESULT_TYPES,
+    AuditReport,
+    FastCoverReport,
+    PageRankReport,
+    Response,
+    RoundBillReport,
+    response_from_dict,
+)
+from repro.api.session import Session
+
+__all__ = [
+    "Session",
+    "SampleRequest",
+    "EnsembleRequest",
+    "AuditRequest",
+    "RoundBillRequest",
+    "PageRankRequest",
+    "request_from_dict",
+    "REQUEST_TYPES",
+    "Response",
+    "AuditReport",
+    "RoundBillReport",
+    "FastCoverReport",
+    "PageRankReport",
+    "response_from_dict",
+    "RESULT_TYPES",
+    "Preset",
+    "PRESETS",
+    "get_preset",
+    "preset_config",
+    "resolve_config",
+]

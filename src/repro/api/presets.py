@@ -1,0 +1,96 @@
+"""Named configuration presets: one source for the recurring recipes.
+
+Benchmarks, examples, and the CLI used to copy-paste the same
+:class:`~repro.core.config.SamplerConfig` incantations (the paper's
+nominal parameters; the demo-friendly shortened walk lengths). Each
+recipe now lives here once, keyed by name, so a session can be opened as
+``Session(graph, "fast-bench")`` and a benchmark tweak propagates
+everywhere at once.
+
+- ``"paper-approximate"`` -- Theorem 1 defaults: ``rho = floor(sqrt(n))``,
+  the paper's nominal ``ell = Theta~(n^3)`` walk length.
+- ``"paper-exact"`` -- Appendix 5 defaults: ``rho = floor(n^(1/3))``,
+  per-pair multiset placement, zero distributional error.
+- ``"fast-bench"`` -- the demo/benchmark recipe: ``ell = 2^12`` (the
+  Appendix 5.1 Las-Vegas extension keeps the output law exact).
+- ``"fast-audit"`` -- the statistical-audit recipe: ``ell = 2^10`` for
+  high-volume small-graph ensembles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import SamplerConfig
+from repro.errors import ConfigError
+
+__all__ = ["Preset", "PRESETS", "get_preset", "preset_config", "resolve_config"]
+
+
+@dataclass(frozen=True)
+class Preset:
+    """A named recipe: sampler variant + configuration + rationale."""
+
+    name: str
+    description: str
+    variant: str
+    config: SamplerConfig
+
+
+PRESETS: dict[str, Preset] = {
+    preset.name: preset
+    for preset in [
+        Preset(
+            "paper-approximate",
+            "Theorem 1 as published: nominal ell, rho = floor(sqrt(n))",
+            "approximate",
+            SamplerConfig(),
+        ),
+        Preset(
+            "paper-exact",
+            "Appendix 5 as published: exact placement, rho = floor(n^(1/3))",
+            "exact",
+            SamplerConfig(),
+        ),
+        Preset(
+            "fast-bench",
+            "demo/benchmark recipe: ell = 2^12 with Las-Vegas extension",
+            "approximate",
+            SamplerConfig(ell=1 << 12),
+        ),
+        Preset(
+            "fast-audit",
+            "statistical-audit recipe: ell = 2^10 for high-volume ensembles",
+            "approximate",
+            SamplerConfig(ell=1 << 10),
+        ),
+    ]
+}
+
+
+def get_preset(name: str) -> Preset:
+    """Look up a preset; raises :class:`ConfigError` on unknown names."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None
+
+
+def preset_config(name: str, **overrides) -> SamplerConfig:
+    """A preset's config with field overrides applied.
+
+    ``preset_config("fast-bench", ell=1 << 10)`` is the supported way to
+    vary one knob without restating the whole recipe.
+    """
+    return replace(get_preset(name).config, **overrides)
+
+
+def resolve_config(config: SamplerConfig | str | None) -> SamplerConfig:
+    """Normalize a config argument: instance, preset name, or None."""
+    if config is None:
+        return SamplerConfig()
+    if isinstance(config, str):
+        return get_preset(config).config
+    return config

@@ -1,0 +1,197 @@
+"""Declarative request dataclasses for the session API.
+
+A request is a frozen, JSON-serializable description of one unit of work
+against a :class:`~repro.api.session.Session`-held graph: what to run
+(sample / ensemble / audit / round bill / pagerank) and with which
+algorithm parameters. The graph itself and the heavyweight machinery
+(derived-graph cache, matmul backend, RNG lineage) live on the session;
+requests stay cheap to build, ship over a wire, and log.
+
+``seed=None`` (the default) asks the session to derive the seed from its
+own reproducible RNG lineage; an explicit integer pins the request's
+randomness independently of session history, which is what services
+replaying requests want. Likewise ``variant=None`` defers to the
+session's default variant (set by its preset -- ``"paper-exact"``
+sessions run the exact sampler unless a request overrides it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import ClassVar
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "SampleRequest",
+    "EnsembleRequest",
+    "AuditRequest",
+    "RoundBillRequest",
+    "PageRankRequest",
+    "request_from_dict",
+    "REQUEST_TYPES",
+]
+
+_SAMPLE_VARIANTS = ("approximate", "exact", "fastcover")
+_ENSEMBLE_VARIANTS = ("approximate", "exact")
+
+
+class _RequestBase:
+    """Shared wire format: ``{"request": <tag>, ...fields}``."""
+
+    kind: ClassVar[str]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable wire form, tagged with the request kind."""
+        return {"request": self.kind, **asdict(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "_RequestBase":
+        """Rebuild a request from :meth:`to_dict` output.
+
+        Unknown keys are rejected rather than dropped: a misspelled or
+        stale field in a replayed request must fail loudly at the wire
+        boundary, not run a default-valued workload.
+        """
+        allowed = {f.name for f in fields(cls)}
+        unknown = set(payload) - allowed - {"request"}
+        if unknown:
+            raise ConfigError(
+                f"unknown field(s) {sorted(unknown)} for "
+                f"{cls.kind!r} request; allowed: {sorted(allowed)}"
+            )
+        return cls(**{k: v for k, v in payload.items() if k in allowed})
+
+
+@dataclass(frozen=True)
+class SampleRequest(_RequestBase):
+    """Draw one spanning tree.
+
+    ``variant`` selects the Theorem 1 approximate sampler, the Appendix 5
+    exact sampler, or the Corollary 1 fast-cover sampler.
+    """
+
+    kind: ClassVar[str] = "sample"
+
+    variant: str | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.variant is not None and self.variant not in _SAMPLE_VARIANTS:
+            raise ConfigError(
+                f"unknown sample variant {self.variant!r}; "
+                f"choose from {_SAMPLE_VARIANTS}"
+            )
+
+
+@dataclass(frozen=True)
+class EnsembleRequest(_RequestBase):
+    """Draw a batch of independent trees (optionally across processes).
+
+    ``jobs=None`` uses all CPUs; results never depend on the jobs count
+    (each draw is keyed to its own spawned seed). ``leverage_audit``
+    additionally compares the batch's empirical edge marginals to the
+    exact leverage scores and attaches the statistics to the response
+    metadata.
+    """
+
+    kind: ClassVar[str] = "ensemble"
+
+    count: int = 100
+    variant: str | None = None
+    seed: int | None = None
+    jobs: int | None = None
+    leverage_audit: bool = False
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigError(f"count must be >= 1, got {self.count}")
+        if self.variant is not None and self.variant not in _ENSEMBLE_VARIANTS:
+            raise ConfigError(
+                f"unknown ensemble variant {self.variant!r}; "
+                f"choose from {_ENSEMBLE_VARIANTS}"
+            )
+        if self.jobs is not None and self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+
+
+@dataclass(frozen=True)
+class AuditRequest(_RequestBase):
+    """Uniformity audit against exact spanning-tree enumeration.
+
+    Refuses graphs whose spanning-tree count exceeds
+    ``max_enumeration`` (exact enumeration would be intractable).
+    """
+
+    kind: ClassVar[str] = "audit"
+
+    samples: int = 500
+    variant: str | None = None
+    seed: int | None = None
+    jobs: int = 1
+    max_enumeration: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        if self.samples < 1:
+            raise ConfigError(f"samples must be >= 1, got {self.samples}")
+        if self.variant is not None and self.variant not in _ENSEMBLE_VARIANTS:
+            raise ConfigError(
+                f"unknown audit variant {self.variant!r}; "
+                f"choose from {_ENSEMBLE_VARIANTS}"
+            )
+        if self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+
+
+@dataclass(frozen=True)
+class RoundBillRequest(_RequestBase):
+    """Run all three samplers once and compare their round bills."""
+
+    kind: ClassVar[str] = "roundbill"
+
+    seed: int | None = None
+
+
+@dataclass(frozen=True)
+class PageRankRequest(_RequestBase):
+    """Walk-based PageRank estimate vs the exact solve."""
+
+    kind: ClassVar[str] = "pagerank"
+
+    damping: float = 0.85
+    walks_per_vertex: int = 64
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.damping < 1.0):
+            raise ConfigError(
+                f"damping must be in (0, 1), got {self.damping}"
+            )
+        if self.walks_per_vertex < 1:
+            raise ConfigError(
+                f"walks_per_vertex must be >= 1, got {self.walks_per_vertex}"
+            )
+
+
+REQUEST_TYPES: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        SampleRequest,
+        EnsembleRequest,
+        AuditRequest,
+        RoundBillRequest,
+        PageRankRequest,
+    )
+}
+
+
+def request_from_dict(payload: dict) -> _RequestBase:
+    """Rebuild any request from its tagged wire form."""
+    try:
+        cls = REQUEST_TYPES[payload["request"]]
+    except KeyError:
+        raise ConfigError(
+            f"unknown request tag {payload.get('request')!r}; "
+            f"choose from {sorted(REQUEST_TYPES)}"
+        ) from None
+    return cls.from_dict(payload)

@@ -1,0 +1,175 @@
+"""The uniform response envelope and wire-level report payloads.
+
+Every :meth:`~repro.api.session.Session.run` call returns a
+:class:`Response`: the request kind, a typed result payload, and a
+JSON-able ``meta`` dict (graph identity, seeds, timings, family
+adjustments). ``Response.to_dict()`` / :func:`response_from_dict` give a
+lossless JSON round trip for every payload type -- the engine's
+:class:`~repro.engine.results.SampleResult` and
+:class:`~repro.engine.ensemble.EnsembleResult` (which in turn serialize
+their :class:`~repro.clique.cost.RoundLedger` and
+:class:`~repro.core.phase.PhaseStats`), plus the flat report dataclasses
+defined here for workloads whose native results hold non-wire-safe
+internals (fast-cover's doubling walks, PageRank's ndarray scores).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+
+from repro.engine.ensemble import EnsembleResult
+from repro.engine.results import SampleResult
+from repro.errors import ConfigError
+
+__all__ = [
+    "Response",
+    "AuditReport",
+    "RoundBillReport",
+    "FastCoverReport",
+    "PageRankReport",
+    "RESULT_TYPES",
+    "response_from_dict",
+]
+
+
+class _ReportBase:
+    """Flat JSON-able report payloads (plain dataclass fields only)."""
+
+    def to_dict(self) -> dict:
+        """JSON-serializable wire form."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "_ReportBase":
+        """Rebuild a report from :meth:`to_dict` output."""
+        allowed = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in allowed})
+
+
+@dataclass(frozen=True)
+class AuditReport(_ReportBase):
+    """Uniformity-audit verdict against exact enumeration."""
+
+    spanning_trees: int
+    samples: int
+    tv_to_uniform: float
+    chi_square_p: float
+    noise_floor: float
+    verdict: str
+    mean_rounds: float
+
+
+@dataclass(frozen=True)
+class RoundBillReport(_ReportBase):
+    """Round bills of the three samplers on one graph, side by side."""
+
+    approximate_rounds: int
+    approximate_phases: int
+    exact_rounds: int
+    exact_phases: int
+    fastcover_rounds: int
+    fastcover_walk_length: int
+
+
+@dataclass(frozen=True)
+class FastCoverReport(_ReportBase):
+    """Wire form of a Corollary 1 fast-cover draw.
+
+    The native :class:`~repro.core.fastcover.FastCoverResult` carries the
+    full doubling walks (O(n * walk-length) ints); this report keeps the
+    tree and the diagnostics a service actually returns.
+    """
+
+    tree: list = field(default_factory=list)
+    rounds: int = 0
+    walk_length: int = 0
+    cover_time_estimate: float = 0.0
+    doubling_rounds: int = 0
+
+    @classmethod
+    def from_result(cls, result) -> "FastCoverReport":
+        """Build the wire report from a native FastCoverResult."""
+        return cls(
+            tree=[[int(u), int(v)] for u, v in result.tree],
+            rounds=int(result.rounds),
+            walk_length=int(result.walk_length),
+            cover_time_estimate=float(result.cover_time_estimate),
+            doubling_rounds=int(result.doubling.rounds),
+        )
+
+
+@dataclass(frozen=True)
+class PageRankReport(_ReportBase):
+    """Walk-estimated PageRank scores and their error vs the exact solve."""
+
+    damping: float
+    walks_per_vertex: int
+    walk_length: int
+    rounds: int
+    l1_error: float
+    scores: list = field(default_factory=list)
+    exact_scores: list = field(default_factory=list)
+
+
+RESULT_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        SampleResult,
+        EnsembleResult,
+        AuditReport,
+        RoundBillReport,
+        FastCoverReport,
+        PageRankReport,
+    )
+}
+
+
+@dataclass(frozen=True)
+class Response:
+    """The uniform envelope every session call returns.
+
+    Attributes
+    ----------
+    kind:
+        The request kind that produced this response (``"sample"``,
+        ``"ensemble"``, ``"audit"``, ``"roundbill"``, ``"pagerank"``).
+    result:
+        The typed payload -- one of :data:`RESULT_TYPES`.
+    meta:
+        JSON-able context: graph size, family adjustment, the seed
+        lineage, wall-clock seconds, optional analysis attachments.
+    """
+
+    kind: str
+    result: object
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable wire form, tagged with the payload type."""
+        return {
+            "kind": self.kind,
+            "result_type": type(self.result).__name__,
+            "result": self.result.to_dict(),
+            "meta": self.meta,
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """The envelope as a JSON string (the CLI's ``--json`` output)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def response_from_dict(payload: dict) -> Response:
+    """Rebuild a :class:`Response` (typed payload included) from JSON."""
+    try:
+        result_cls = RESULT_TYPES[payload["result_type"]]
+    except KeyError:
+        raise ConfigError(
+            f"unknown result type {payload.get('result_type')!r}; "
+            f"choose from {sorted(RESULT_TYPES)}"
+        ) from None
+    return Response(
+        kind=payload["kind"],
+        result=result_cls.from_dict(payload["result"]),
+        meta=dict(payload.get("meta", {})),
+    )

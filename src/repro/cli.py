@@ -1,11 +1,26 @@
-"""Command-line interface: sample trees and inspect round bills.
+"""Command-line interface: thin adapters over the session API.
 
 Usage (installed as ``python -m repro``)::
 
     python -m repro sample --family expander --n 32 --variant approximate
     python -m repro sample --family lollipop --n 24 --variant exact --seed 7
     python -m repro rounds --family gnp --n 48
-    python -m repro families
+    python -m repro ensemble --family expander --n 32 --samples 200 --jobs 4
+    python -m repro families --json
+    python -m repro --version
+
+Every subcommand follows the same shape: parse args, build the graph
+from the shared family registry (:mod:`repro.graphs.families`), build a
+frozen request, execute it through :class:`repro.api.Session`, and
+render the uniform :class:`~repro.api.responses.Response` envelope --
+as human-readable text by default, or as the envelope's JSON wire form
+with ``--json`` (loadable back into typed results via
+:func:`repro.api.response_from_dict`).
+
+Families that cannot realize the requested vertex count exactly (a
+4-regular expander needs even ``n``) surface the substitution in both
+renderings instead of silently bumping the size; see
+``response.meta["size_adjusted"]``.
 
 Subcommands:
 
@@ -15,77 +30,105 @@ Subcommands:
 ``rounds``
     Run all three samplers on one graph and print a round-bill comparison
     (the quickstart's table, scriptable).
+``pagerank``
+    Walk-based PageRank estimate vs the exact solve.
 ``ensemble``
-    Draw a batch of trees through the
-    :class:`~repro.engine.ensemble.EnsembleEngine` (per-draw spawned
+    Draw a batch of trees through the ensemble engine (per-draw spawned
     seeds, ``--jobs`` process fan-out) and report throughput plus the
     leverage-score marginal audit.
 ``audit``
     Uniformity audit against exact enumeration (engine-backed batch).
 ``families``
-    List the available graph families and their parameters.
+    List the available graph families (``--json`` for the machine-
+    readable registry).
+``verify``
+    Run the installation self-check battery.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Callable
 
 import numpy as np
 
-from repro import graphs
-from repro.core import (
-    CongestedCliqueTreeSampler,
-    ExactTreeSampler,
-    SamplerConfig,
-    sample_tree_fast_cover,
+from repro.api import (
+    AuditRequest,
+    EnsembleRequest,
+    PageRankRequest,
+    Response,
+    RoundBillRequest,
+    SampleRequest,
+    Session,
+    preset_config,
 )
 from repro.errors import ReproError
 from repro.graphs.core import WeightedGraph
+from repro.graphs.families import (
+    FAMILY_REGISTRY,
+    build_family,
+    family_catalog,
+    family_names,
+)
 
 __all__ = ["main", "build_graph", "FAMILIES"]
 
+# Back-compat view of the shared registry (the pre-session CLI exposed a
+# local name -> builder dict; scripts importing it keep working).
 FAMILIES: dict[str, Callable[[int, np.random.Generator], WeightedGraph]] = {
-    "expander": lambda n, rng: graphs.random_regular_graph(
-        n if n % 2 == 0 else n + 1, 4, rng=rng
-    ),
-    "gnp": lambda n, rng: graphs.erdos_renyi_graph(n, rng=rng),
-    "complete": lambda n, rng: graphs.complete_graph(n),
-    "cycle": lambda n, rng: graphs.cycle_graph(n),
-    "path": lambda n, rng: graphs.path_graph(n),
-    "star": lambda n, rng: graphs.star_graph(n),
-    "wheel": lambda n, rng: graphs.wheel_graph(n),
-    "lollipop": lambda n, rng: graphs.lollipop_graph(n),
-    "barbell": lambda n, rng: graphs.barbell_graph(n),
-    "bipartite": lambda n, rng: graphs.complete_bipartite_unbalanced(n),
-    "grid": lambda n, rng: graphs.grid_graph(
-        max(2, int(np.sqrt(n))), max(2, int(np.ceil(n / max(2, int(np.sqrt(n))))))
-    ),
+    name: spec.build for name, spec in FAMILY_REGISTRY.items()
 }
 
 
 def build_graph(family: str, n: int, rng: np.random.Generator) -> WeightedGraph:
     """Instantiate a named family at (roughly) n vertices."""
-    try:
-        factory = FAMILIES[family]
-    except KeyError:
-        raise ReproError(
-            f"unknown family {family!r}; choose from {sorted(FAMILIES)}"
-        ) from None
-    return factory(n, rng)
+    graph, _ = build_family(family, n, rng)
+    return graph
+
+
+def _open_session(args: argparse.Namespace, ell: int | None = None) -> Session:
+    """Build the graph named by ``args`` and bind a session to it."""
+    rng = np.random.default_rng(args.seed)
+    graph, meta = build_family(args.family, args.n, rng)
+    config = preset_config(
+        "fast-bench", **({} if ell is None else {"ell": ell})
+    )
+    return Session(graph, config, seed=args.seed, meta=meta)
+
+
+def _emit(
+    response: Response,
+    as_json: bool,
+    render: Callable[[Response], None],
+) -> int:
+    """Render a response: JSON envelope or the human view."""
+    if as_json:
+        print(response.to_json())
+    else:
+        if response.meta.get("size_adjusted"):
+            print(
+                f"note: family {response.meta['family']!r} adjusted n "
+                f"{response.meta['requested_n']} -> {response.meta['n']}"
+            )
+        render(response)
+    return 0
 
 
 def _make_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Spanning tree sampling in the simulated CongestedClique",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sample = sub.add_parser("sample", help="draw one spanning tree")
-    sample.add_argument("--family", default="expander", choices=sorted(FAMILIES))
+    sample.add_argument("--family", default="expander", choices=family_names())
     sample.add_argument("--n", type=int, default=32)
     sample.add_argument(
         "--variant", default="approximate",
@@ -98,26 +141,30 @@ def _make_parser() -> argparse.ArgumentParser:
                         help="machine-readable output")
 
     rounds = sub.add_parser("rounds", help="compare sampler round bills")
-    rounds.add_argument("--family", default="expander", choices=sorted(FAMILIES))
+    rounds.add_argument("--family", default="expander", choices=family_names())
     rounds.add_argument("--n", type=int, default=32)
     rounds.add_argument("--seed", type=int, default=0)
     rounds.add_argument("--ell", type=int, default=1 << 12)
+    rounds.add_argument("--json", action="store_true",
+                        help="machine-readable output")
 
     pagerank = sub.add_parser(
         "pagerank", help="walk-based PageRank vs the exact solve"
     )
-    pagerank.add_argument("--family", default="wheel", choices=sorted(FAMILIES))
+    pagerank.add_argument("--family", default="wheel", choices=family_names())
     pagerank.add_argument("--n", type=int, default=32)
     pagerank.add_argument("--damping", type=float, default=0.85)
     pagerank.add_argument("--walks", type=int, default=64,
                           help="walks per vertex")
     pagerank.add_argument("--seed", type=int, default=0)
+    pagerank.add_argument("--json", action="store_true",
+                          help="machine-readable output")
 
     ensemble = sub.add_parser(
         "ensemble",
         help="batch-sample trees via the ensemble engine; report throughput",
     )
-    ensemble.add_argument("--family", default="expander", choices=sorted(FAMILIES))
+    ensemble.add_argument("--family", default="expander", choices=family_names())
     ensemble.add_argument("--n", type=int, default=32)
     ensemble.add_argument("--samples", type=int, default=100)
     ensemble.add_argument(
@@ -135,7 +182,7 @@ def _make_parser() -> argparse.ArgumentParser:
     audit = sub.add_parser(
         "audit", help="uniformity audit against exact enumeration"
     )
-    audit.add_argument("--family", default="cycle", choices=sorted(FAMILIES))
+    audit.add_argument("--family", default="cycle", choices=family_names())
     audit.add_argument("--n", type=int, default=6)
     audit.add_argument("--samples", type=int, default=500)
     audit.add_argument("--seed", type=int, default=0)
@@ -144,169 +191,138 @@ def _make_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the sampling batch",
     )
+    audit.add_argument("--json", action="store_true",
+                       help="machine-readable output")
 
-    sub.add_parser("families", help="list graph families")
+    families = sub.add_parser("families", help="list graph families")
+    families.add_argument("--json", action="store_true",
+                          help="machine-readable family registry")
     sub.add_parser("verify", help="run the installation self-check battery")
     return parser
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
-    rng = np.random.default_rng(args.seed)
-    graph = build_graph(args.family, args.n, rng)
-    config = SamplerConfig(ell=args.ell)
-    if args.variant == "fastcover":
-        result = sample_tree_fast_cover(graph, rng)
-        payload = {
-            "family": args.family,
-            "n": graph.n,
-            "variant": args.variant,
-            "rounds": result.rounds,
-            "walk_length": result.walk_length,
-            "tree": [list(edge) for edge in result.tree],
-        }
-    else:
-        sampler_cls = (
-            ExactTreeSampler if args.variant == "exact"
-            else CongestedCliqueTreeSampler
-        )
-        result = sampler_cls(graph, config).sample(rng)
-        payload = {
-            "family": args.family,
-            "n": graph.n,
-            "variant": args.variant,
-            "rounds": result.rounds,
-            "phases": result.phases,
-            "rounds_by_category": result.rounds_by_category(),
-            "tree": [list(edge) for edge in result.tree],
-        }
-    if args.json:
-        print(json.dumps(payload, indent=2))
-    else:
-        print(f"{args.variant} sampler on {args.family} (n={graph.n})")
-        for key, value in payload.items():
-            if key == "tree":
-                print(f"  tree: {len(value)} edges: {value[:6]}...")
-            elif key == "rounds_by_category":
-                for category, count in value.items():
-                    print(f"    {category:<26s} {count}")
-            else:
-                print(f"  {key}: {value}")
-    return 0
+    session = _open_session(args, ell=args.ell)
+    response = session.run(
+        SampleRequest(variant=args.variant, seed=args.seed)
+    )
+
+    def render(response: Response) -> None:
+        meta = response.meta
+        result = response.result
+        print(f"{args.variant} sampler on {meta['family']} (n={meta['n']})")
+        print(f"  rounds: {result.rounds}")
+        if args.variant == "fastcover":
+            print(f"  walk_length: {result.walk_length}")
+        else:
+            print(f"  phases: {result.phases}")
+            for category, count in result.rounds_by_category().items():
+                print(f"    {category:<26s} {count}")
+        tree = [list(edge) for edge in result.tree]
+        print(f"  tree: {len(tree)} edges: {tree[:6]}...")
+
+    return _emit(response, args.json, render)
 
 
 def _cmd_rounds(args: argparse.Namespace) -> int:
-    rng = np.random.default_rng(args.seed)
-    graph = build_graph(args.family, args.n, rng)
-    config = SamplerConfig(ell=args.ell)
-    approx = CongestedCliqueTreeSampler(graph, config).sample(rng)
-    exact = ExactTreeSampler(graph, config).sample(rng)
-    fast = sample_tree_fast_cover(graph, rng)
-    print(f"{args.family} (n={graph.n}, m={graph.m})")
-    print(f"{'variant':<14s} {'rounds':>8s} {'phases':>7s}")
-    print(f"{'approximate':<14s} {approx.rounds:>8d} {approx.phases:>7d}")
-    print(f"{'exact':<14s} {exact.rounds:>8d} {exact.phases:>7d}")
-    print(f"{'fastcover':<14s} {fast.rounds:>8d} {'-':>7s}")
-    return 0
+    session = _open_session(args, ell=args.ell)
+    response = session.run(RoundBillRequest(seed=args.seed))
+
+    def render(response: Response) -> None:
+        meta = response.meta
+        bill = response.result
+        print(f"{meta['family']} (n={meta['n']}, m={meta['m']})")
+        print(f"{'variant':<14s} {'rounds':>8s} {'phases':>7s}")
+        print(f"{'approximate':<14s} {bill.approximate_rounds:>8d} "
+              f"{bill.approximate_phases:>7d}")
+        print(f"{'exact':<14s} {bill.exact_rounds:>8d} "
+              f"{bill.exact_phases:>7d}")
+        print(f"{'fastcover':<14s} {bill.fastcover_rounds:>8d} {'-':>7s}")
+
+    return _emit(response, args.json, render)
 
 
 def _cmd_pagerank(args: argparse.Namespace) -> int:
-    from repro.walks import pagerank_exact, pagerank_via_walks
-
-    rng = np.random.default_rng(args.seed)
-    graph = build_graph(args.family, args.n, rng)
-    exact = pagerank_exact(graph, damping=args.damping)
-    estimate = pagerank_via_walks(
-        graph, damping=args.damping, walks_per_vertex=args.walks, rng=rng
+    session = _open_session(args)
+    response = session.run(
+        PageRankRequest(
+            damping=args.damping, walks_per_vertex=args.walks, seed=args.seed
+        )
     )
-    print(f"PageRank on {args.family} (n={graph.n}), damping {args.damping}")
-    print(f"walks/vertex: {args.walks}, walk length: {estimate.walk_length}, "
-          f"rounds: {estimate.rounds}")
-    print(f"L1 error vs exact solve: {estimate.l1_error(exact):.4f}")
-    top = np.argsort(exact)[::-1][:5]
-    print(f"{'vertex':>7s} {'exact':>8s} {'estimate':>9s}")
-    for v in top:
-        print(f"{int(v):>7d} {exact[v]:>8.4f} {estimate.scores[v]:>9.4f}")
-    return 0
+
+    def render(response: Response) -> None:
+        meta = response.meta
+        report = response.result
+        print(f"PageRank on {meta['family']} (n={meta['n']}), "
+              f"damping {report.damping}")
+        print(f"walks/vertex: {report.walks_per_vertex}, "
+              f"walk length: {report.walk_length}, rounds: {report.rounds}")
+        print(f"L1 error vs exact solve: {report.l1_error:.4f}")
+        exact = np.asarray(report.exact_scores)
+        top = np.argsort(exact)[::-1][:5]
+        print(f"{'vertex':>7s} {'exact':>8s} {'estimate':>9s}")
+        for v in top:
+            print(f"{int(v):>7d} {exact[v]:>8.4f} "
+                  f"{report.scores[int(v)]:>9.4f}")
+
+    return _emit(response, args.json, render)
 
 
 def _cmd_ensemble(args: argparse.Namespace) -> int:
-    from repro.analysis import ensemble_leverage_report
-
-    rng = np.random.default_rng(args.seed)
-    graph = build_graph(args.family, args.n, rng)
-    stats = ensemble_leverage_report(
-        graph,
-        args.samples,
-        config=SamplerConfig(ell=args.ell),
-        variant=args.variant,
-        seed=args.seed,
-        jobs=args.jobs,
+    session = _open_session(args, ell=args.ell)
+    response = session.run(
+        EnsembleRequest(
+            count=args.samples,
+            variant=args.variant,
+            seed=args.seed,
+            jobs=args.jobs,
+            leverage_audit=True,
+        )
     )
-    payload = {
-        "family": args.family,
-        "n": graph.n,
-        "variant": args.variant,
-        "samples": int(stats["num_trees"]),
-        "jobs": int(stats["jobs"]),
-        "seconds": round(stats["seconds"], 4),
-        "trees_per_second": round(stats["trees_per_second"], 2),
-        "mean_rounds": round(stats["mean_rounds"], 1),
-        "max_abs_deviation": round(stats["max_abs_deviation"], 5),
-        "mean_abs_deviation": round(stats["mean_abs_deviation"], 5),
-        "noise_scale": round(stats["max_noise_scale"], 5),
-    }
-    if args.json:
-        print(json.dumps(payload, indent=2))
-    else:
+
+    def render(response: Response) -> None:
+        meta = response.meta
+        result = response.result
+        leverage = meta["leverage"]
         print(
-            f"ensemble: {payload['samples']} {args.variant} trees on "
-            f"{args.family} (n={graph.n}), {payload['jobs']} job(s)"
+            f"ensemble: {result.count} {args.variant} trees on "
+            f"{meta['family']} (n={meta['n']}), {result.jobs} job(s)"
         )
         print(
-            f"  throughput: {payload['trees_per_second']} trees/s "
-            f"({payload['seconds']}s); mean rounds {payload['mean_rounds']}"
+            f"  throughput: {result.trees_per_second():.2f} trees/s "
+            f"({result.seconds:.4f}s); mean rounds {result.mean_rounds():.1f}"
         )
         print(
-            f"  leverage marginals: max dev {payload['max_abs_deviation']} / "
-            f"mean {payload['mean_abs_deviation']} "
-            f"(noise ~ {payload['noise_scale']})"
+            f"  leverage marginals: max dev "
+            f"{leverage['max_abs_deviation']:.5f} / "
+            f"mean {leverage['mean_abs_deviation']:.5f} "
+            f"(noise ~ {leverage['max_noise_scale']:.5f})"
         )
-    return 0
+
+    return _emit(response, args.json, render)
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
-    from repro.analysis import (
-        chi_square_uniformity,
-        expected_tv_noise,
-        tv_to_uniform,
-    )
-    from repro.engine.ensemble import sample_tree_ensemble
-    from repro.graphs import count_spanning_trees
-
-    rng = np.random.default_rng(args.seed)
-    graph = build_graph(args.family, args.n, rng)
-    num_trees = count_spanning_trees(graph)
-    if num_trees > 100_000:
-        raise ReproError(
-            f"{args.family}(n={graph.n}) has {num_trees:.2e} trees; pick a "
-            "smaller instance for exact-enumeration auditing"
+    session = _open_session(args, ell=args.ell)
+    response = session.run(
+        AuditRequest(
+            samples=args.samples,
+            seed=args.seed,
+            jobs=args.jobs,
         )
-    trees = sample_tree_ensemble(
-        graph,
-        args.samples,
-        config=SamplerConfig(ell=args.ell),
-        seed=args.seed,
-        jobs=args.jobs,
-    ).trees
-    tv = tv_to_uniform(graph, trees)
-    __, p_value = chi_square_uniformity(graph, trees)
-    noise = expected_tv_noise(int(round(num_trees)), args.samples)
-    print(f"audit: {args.family} (n={graph.n}), {int(num_trees)} trees, "
-          f"{args.samples} samples")
-    print(f"TV to uniform: {tv:.4f} (perfect-sampler noise ~ {noise:.4f})")
-    print(f"chi-square p-value: {p_value:.3g}")
-    print("verdict:", "UNIFORM" if p_value > 1e-3 else "BIASED")
-    return 0
+    )
+
+    def render(response: Response) -> None:
+        meta = response.meta
+        report = response.result
+        print(f"audit: {meta['family']} (n={meta['n']}), "
+              f"{report.spanning_trees} trees, {report.samples} samples")
+        print(f"TV to uniform: {report.tv_to_uniform:.4f} "
+              f"(perfect-sampler noise ~ {report.noise_floor:.4f})")
+        print(f"chi-square p-value: {report.chi_square_p:.3g}")
+        print("verdict:", report.verdict)
+
+    return _emit(response, args.json, render)
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -316,7 +332,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_families(args: argparse.Namespace) -> int:
-    for name in sorted(FAMILIES):
+    if args.json:
+        import json as json_module
+
+        print(json_module.dumps(family_catalog(), indent=2))
+        return 0
+    for name in family_names():
         print(name)
     return 0
 

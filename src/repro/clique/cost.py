@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import ModelError
@@ -192,6 +192,48 @@ class RoundLedger:
     def merge(self, other: "RoundLedger") -> None:
         """Fold another ledger's entries into this one (for sub-protocols)."""
         self._entries.extend(other._entries)
+
+    # -- wire format ----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Ledgers are equal when model and charge history coincide."""
+        if not isinstance(other, RoundLedger):
+            return NotImplemented
+        return self.model == other.model and self._entries == other._entries
+
+    def to_dict(self) -> dict:
+        """JSON-serializable wire form (model parameters + charge log)."""
+        return {
+            "model": {
+                "alpha": float(self.model.alpha),
+                "matmul_constant": float(self.model.matmul_constant),
+                "polylog_matmul": int(self.model.polylog_matmul),
+            },
+            "entries": [
+                {
+                    "category": entry.category,
+                    "rounds": int(entry.rounds),
+                    "section": entry.section,
+                    "note": entry.note,
+                }
+                for entry in self._entries
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RoundLedger":
+        """Rebuild a ledger from :meth:`to_dict` output."""
+        ledger = cls(CostModel(**payload.get("model", {})))
+        ledger._entries = [
+            LedgerEntry(
+                category=entry["category"],
+                rounds=int(entry["rounds"]),
+                section=entry.get("section", ""),
+                note=entry.get("note", ""),
+            )
+            for entry in payload.get("entries", [])
+        ]
+        return ledger
 
     def report(self) -> str:
         """Human-readable multi-line summary."""

@@ -25,7 +25,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.clique.cost import RoundLedger
 from repro.clique.network import CongestedClique
 from repro.errors import GraphError, SamplingError
 from repro.graphs.core import WeightedGraph

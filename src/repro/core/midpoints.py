@@ -24,7 +24,7 @@ Round costs are charged on the shared clique when one is supplied.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 

@@ -54,6 +54,24 @@ class PhaseStats:
     brute_force_fallbacks: int = 0
     new_vertices: list[int] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable wire form."""
+        return {
+            "subset_size": int(self.subset_size),
+            "rho_eff": int(self.rho_eff),
+            "walk_length": int(self.walk_length),
+            "distinct_visited": int(self.distinct_visited),
+            "levels": int(self.levels),
+            "extensions": int(self.extensions),
+            "brute_force_fallbacks": int(self.brute_force_fallbacks),
+            "new_vertices": [int(v) for v in self.new_vertices],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PhaseStats":
+        """Rebuild phase diagnostics from :meth:`to_dict` output."""
+        return cls(**payload)
+
 
 def _segment_fill(
     ladder: PowerLadder,

@@ -27,7 +27,7 @@ from collections import Counter
 import numpy as np
 
 from repro.clique.network import CongestedClique
-from repro.core.midpoints import MidpointBank, Pair
+from repro.core.midpoints import Pair
 from repro.core.truncation import LevelView
 from repro.errors import SamplingError, WalkError
 from repro.matching.sampler import (

@@ -31,6 +31,13 @@ full per-run round charges, and batch workloads should prefer
 :class:`~repro.engine.ensemble.EnsembleEngine` /
 :func:`~repro.engine.ensemble.sample_tree_ensemble` for multi-process
 fan-out.
+
+New code should prefer the session layer (:class:`repro.api.Session` with
+:class:`~repro.api.requests.SampleRequest` et al.): it shares the
+derived-graph cache across variants, owns a reproducible RNG lineage, and
+returns the serializable response envelope. The classes and functions
+here remain supported as thin shims over the same
+:class:`~repro.engine.runner.SamplerEngine`.
 """
 
 from __future__ import annotations

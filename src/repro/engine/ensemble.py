@@ -15,6 +15,10 @@ from the same sampler. :class:`EnsembleEngine` runs them two ways:
   to its own spawned seed, single- and multi-process runs of the same
   master seed produce byte-identical tree sequences -- parallelism never
   changes outputs, only wall-clock.
+- :meth:`~EnsembleEngine.iter_ensemble` -- the streaming API behind
+  :meth:`repro.api.session.Session.stream`: identical seed spawning, but
+  draws are yielded incrementally (in draw order) as their worker chunks
+  complete instead of after the whole batch.
 
 Workers receive ``(weights, config, variant, seeds)`` payloads; results
 (:class:`~repro.engine.results.SampleResult`) are plain dataclasses and
@@ -75,6 +79,35 @@ class EnsembleResult:
     def mean_rounds(self) -> float:
         """Average per-draw round bill."""
         return self.total_rounds() / max(1, self.count)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable wire form (per-draw results included)."""
+        return {
+            "results": [result.to_dict() for result in self.results],
+            "seconds": float(self.seconds),
+            "jobs": int(self.jobs),
+            "entropy": None if self.entropy is None else int(self.entropy),
+            "cache_stats": {
+                key: int(value) for key, value in self.cache_stats.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EnsembleResult":
+        """Rebuild a batch result from :meth:`to_dict` output."""
+        return cls(
+            results=[
+                SampleResult.from_dict(result)
+                for result in payload.get("results", [])
+            ],
+            seconds=float(payload["seconds"]),
+            jobs=int(payload["jobs"]),
+            entropy=(
+                None if payload.get("entropy") is None
+                else int(payload["entropy"])
+            ),
+            cache_stats=dict(payload.get("cache_stats", {})),
+        )
 
 
 def _draw_chunk(
@@ -174,6 +207,64 @@ class EnsembleEngine:
             cache_stats=cache.stats() if (cache is not None and jobs <= 1) else {},
         )
 
+    def iter_ensemble(
+        self,
+        count: int,
+        *,
+        seed: np.random.SeedSequence | np.random.Generator | int | None = None,
+        jobs: int | None = None,
+    ):
+        """Stream ``count`` independent draws, yielding each as it lands.
+
+        Seeds are spawned exactly as in :meth:`sample_ensemble`, and every
+        draw is keyed to its own spawned child -- so for the same master
+        seed this generator yields the same trees and round bills, in the
+        same order, as the batch call (and as any jobs count). With
+        ``jobs > 1`` draws fan out over worker processes in small chunks
+        and are yielded in draw order as their chunks complete; consumers
+        see results incrementally instead of waiting for the full batch.
+
+        Yields :class:`~repro.engine.results.SampleResult` instances.
+        """
+        if count < 1:
+            raise GraphError(f"count must be >= 1, got {count}")
+        master = self._seed_sequence(seed)
+        seeds = master.spawn(count)
+        jobs = self._resolve_jobs(jobs, count)
+        engine = self.engine
+
+        delivered = 0
+        if jobs > 1:
+            # Smaller chunks than the batch path (which slices count/jobs)
+            # so results surface early; identical output either way since
+            # every draw is keyed to its own spawned seed.
+            chunk_size = max(1, (len(seeds) + 4 * jobs - 1) // (4 * jobs))
+            payloads = self._chunk_payloads(seeds, chunk_size)
+            pool = None
+            try:
+                pool = ProcessPoolExecutor(max_workers=jobs)
+                futures = [
+                    pool.submit(_draw_chunk, payload)
+                    for payload in payloads
+                ]
+                for future in futures:
+                    for result in future.result():
+                        delivered += 1
+                        yield result
+            except (OSError, BrokenProcessPool, pickle.PicklingError):
+                # Same degradation contract as sample_ensemble: process
+                # machinery failed, so finish the not-yet-yielded suffix
+                # sequentially with the same per-draw seeds.
+                pass
+            finally:
+                # No `with` block: a consumer abandoning the stream must
+                # not hang in executor shutdown until every queued chunk
+                # finishes. Cancel what hasn't started, don't wait.
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+        for child in seeds[delivered:]:
+            yield engine.run(np.random.default_rng(child))
+
     # ------------------------------------------------------------------
 
     @staticmethod
@@ -195,13 +286,16 @@ class EnsembleEngine:
             raise GraphError(f"jobs must be >= 1, got {jobs}")
         return min(jobs, count)
 
-    def _run_parallel(
-        self, seeds: list[np.random.SeedSequence], jobs: int
-    ) -> list[SampleResult]:
-        """Fan contiguous seed chunks across processes; order-preserving."""
+    def _chunk_payloads(
+        self, seeds: list[np.random.SeedSequence], chunk_size: int
+    ) -> list[tuple]:
+        """Contiguous seed chunks as :func:`_draw_chunk` worker payloads.
+
+        The payload shape is the wire contract with the worker; batch and
+        streaming paths must build it here so they can never drift.
+        """
         engine = self.engine
-        chunk_size = (len(seeds) + jobs - 1) // jobs
-        payloads = [
+        return [
             (
                 engine.graph.weights,
                 engine.config,
@@ -210,6 +304,13 @@ class EnsembleEngine:
             )
             for low in range(0, len(seeds), chunk_size)
         ]
+
+    def _run_parallel(
+        self, seeds: list[np.random.SeedSequence], jobs: int
+    ) -> list[SampleResult]:
+        """Fan contiguous seed chunks across processes; order-preserving."""
+        engine = self.engine
+        payloads = self._chunk_payloads(seeds, (len(seeds) + jobs - 1) // jobs)
         try:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 chunked = list(pool.map(_draw_chunk, payloads))

@@ -34,3 +34,33 @@ class SampleResult:
     def rounds_by_category(self) -> dict[str, int]:
         """Total rounds per ledger category, descending."""
         return self.ledger.rounds_by_category()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable wire form (full diagnostics included)."""
+        return {
+            "tree": [[int(u), int(v)] for u, v in self.tree],
+            "rounds": int(self.rounds),
+            "phases": int(self.phases),
+            "ledger": self.ledger.to_dict(),
+            "phase_stats": [stats.to_dict() for stats in self.phase_stats],
+            "clique_stats": {
+                key: int(value) for key, value in self.clique_stats.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SampleResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        from repro.core.phase import PhaseStats
+
+        return cls(
+            tree=tuple((int(u), int(v)) for u, v in payload["tree"]),
+            rounds=int(payload["rounds"]),
+            phases=int(payload["phases"]),
+            ledger=RoundLedger.from_dict(payload["ledger"]),
+            phase_stats=[
+                PhaseStats.from_dict(stats)
+                for stats in payload.get("phase_stats", [])
+            ],
+            clique_stats=dict(payload.get("clique_stats", {})),
+        )

@@ -59,9 +59,23 @@ from repro.graphs.spectral import (
     spectral_gap,
     walk_eigenvalues,
 )
+from repro.graphs.families import (
+    FAMILY_REGISTRY,
+    FamilySpec,
+    build_family,
+    family_catalog,
+    family_names,
+    get_family,
+)
 
 __all__ = [
     "WeightedGraph",
+    "FAMILY_REGISTRY",
+    "FamilySpec",
+    "build_family",
+    "family_catalog",
+    "family_names",
+    "get_family",
     "barbell_graph",
     "binary_tree_graph",
     "complete_bipartite_unbalanced",

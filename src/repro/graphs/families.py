@@ -1,0 +1,204 @@
+"""The graph-family registry: one source of truth for named families.
+
+Every surface that accepts a family *name* -- the CLI, the session API's
+response metadata, benchmarks -- resolves it here. Each
+:class:`FamilySpec` couples the builder with machine-readable metadata
+(description, randomization, the size rule), so ``python -m repro
+families --json`` and the CLI's ``choices=`` list can never drift apart.
+
+Some families cannot realize every requested vertex count exactly (a
+4-regular expander needs an even ``n``; a grid wants ``rows * cols``).
+:attr:`FamilySpec.size_rule` documents the adjustment, and
+:func:`build_family` reports the size actually built so callers can
+surface it instead of silently substituting a different instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graphs import generators
+from repro.graphs.core import WeightedGraph
+
+__all__ = [
+    "FamilySpec",
+    "FAMILY_REGISTRY",
+    "family_names",
+    "family_catalog",
+    "get_family",
+    "build_family",
+]
+
+
+def _grid_shape(n: int) -> tuple[int, int]:
+    """The ``rows x cols`` grid with roughly ``n`` vertices."""
+    rows = max(2, int(np.sqrt(n)))
+    cols = max(2, int(np.ceil(n / rows)))
+    return rows, cols
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """A named graph family: builder plus machine-readable metadata.
+
+    Attributes
+    ----------
+    name:
+        Registry key (what the CLI's ``--family`` accepts).
+    description:
+        One-line human description, surfaced by ``families --json``.
+    build:
+        ``(n, rng) -> WeightedGraph`` factory. Deterministic families
+        ignore the rng.
+    randomized:
+        Whether the instance depends on the rng (expander, gnp).
+    min_n:
+        Smallest requested size the builder accepts.
+    size_rule:
+        Human note on how requested sizes map to realized sizes
+        (``None`` when the family always builds exactly ``n`` vertices).
+    """
+
+    name: str
+    description: str
+    build: Callable[[int, np.random.Generator], WeightedGraph]
+    randomized: bool = False
+    min_n: int = 2
+    size_rule: str | None = None
+
+    def describe(self) -> dict:
+        """JSON-able metadata record (the ``families --json`` row)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "randomized": self.randomized,
+            "min_n": self.min_n,
+            "size_rule": self.size_rule,
+        }
+
+
+FAMILY_REGISTRY: dict[str, FamilySpec] = {
+    spec.name: spec
+    for spec in [
+        FamilySpec(
+            "expander",
+            "random 4-regular graph (spectral expander w.h.p.)",
+            lambda n, rng: generators.random_regular_graph(
+                n if n % 2 == 0 else n + 1, 4, rng=rng
+            ),
+            randomized=True,
+            min_n=5,
+            size_rule="odd n is rounded up to n + 1 (4-regular needs even n)",
+        ),
+        FamilySpec(
+            "gnp",
+            "Erdos-Renyi G(n, p) above the connectivity threshold",
+            lambda n, rng: generators.erdos_renyi_graph(n, rng=rng),
+            randomized=True,
+            min_n=2,
+        ),
+        FamilySpec(
+            "complete",
+            "complete graph K_n",
+            lambda n, rng: generators.complete_graph(n),
+            min_n=2,
+        ),
+        FamilySpec(
+            "cycle",
+            "cycle C_n",
+            lambda n, rng: generators.cycle_graph(n),
+            min_n=3,
+        ),
+        FamilySpec(
+            "path",
+            "path P_n",
+            lambda n, rng: generators.path_graph(n),
+            min_n=2,
+        ),
+        FamilySpec(
+            "star",
+            "star K_{1,n-1}",
+            lambda n, rng: generators.star_graph(n),
+            min_n=2,
+        ),
+        FamilySpec(
+            "wheel",
+            "wheel (cycle + hub)",
+            lambda n, rng: generators.wheel_graph(n),
+            min_n=4,
+        ),
+        FamilySpec(
+            "lollipop",
+            "clique with a pendant path (Theta(n^3) cover time)",
+            lambda n, rng: generators.lollipop_graph(n),
+            min_n=4,
+        ),
+        FamilySpec(
+            "barbell",
+            "two cliques joined by a path",
+            lambda n, rng: generators.barbell_graph(n),
+            min_n=6,
+        ),
+        FamilySpec(
+            "bipartite",
+            "dense irregular K_{n-sqrt(n), sqrt(n)} (Section 1.2)",
+            lambda n, rng: generators.complete_bipartite_unbalanced(n),
+            min_n=4,
+        ),
+        FamilySpec(
+            "grid",
+            "near-square rows x cols grid",
+            lambda n, rng: generators.grid_graph(*_grid_shape(n)),
+            min_n=4,
+            size_rule="builds the rows x cols grid closest to n vertices",
+        ),
+    ]
+}
+
+
+def family_names() -> list[str]:
+    """Sorted registry keys (the CLI's ``choices=`` list)."""
+    return sorted(FAMILY_REGISTRY)
+
+
+def family_catalog() -> list[dict]:
+    """JSON-able metadata for every family, sorted by name."""
+    return [FAMILY_REGISTRY[name].describe() for name in family_names()]
+
+
+def get_family(name: str) -> FamilySpec:
+    """Look up a family spec; raises :class:`ReproError` on unknown names."""
+    try:
+        return FAMILY_REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown family {name!r}; choose from {family_names()}"
+        ) from None
+
+
+def build_family(
+    name: str, n: int, rng: np.random.Generator | int | None = None
+) -> tuple[WeightedGraph, dict]:
+    """Build family ``name`` at (roughly) ``n`` vertices.
+
+    Returns ``(graph, meta)`` where ``meta`` records the requested and
+    realized sizes -- families that cannot hit ``n`` exactly (see
+    :attr:`FamilySpec.size_rule`) set ``size_adjusted`` so callers can
+    surface the substitution instead of hiding it.
+    """
+    spec = get_family(name)
+    if n < spec.min_n:
+        raise ReproError(
+            f"family {name!r} needs n >= {spec.min_n}, got {n}"
+        )
+    graph = spec.build(n, np.random.default_rng(rng))
+    return graph, {
+        "family": name,
+        "requested_n": int(n),
+        "n": int(graph.n),
+        "size_adjusted": int(graph.n) != int(n),
+    }

@@ -17,7 +17,6 @@ broken environment (e.g. a miscompiled BLAS) is localized immediately.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable
 

@@ -30,7 +30,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.clique.cost import RoundLedger
 from repro.clique.hashing import KWiseHashFamily
 from repro.clique.network import CongestedClique
 from repro.clique.routing import broadcast_rounds, lenzen_rounds

@@ -1,0 +1,154 @@
+"""Wire-format tests: lossless JSON round trips for every result type.
+
+`from_dict(to_dict(x))` must reconstruct an equal object after passing
+through an actual JSON encode/decode (not just dict identity), for the
+request dataclasses, the engine results (including their nested
+`RoundLedger` and `PhaseStats`), the flat reports, and the full
+`Response` envelope.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import graphs
+from repro.api import (
+    AuditRequest,
+    EnsembleRequest,
+    FastCoverReport,
+    Response,
+    RoundBillRequest,
+    SampleRequest,
+    Session,
+    response_from_dict,
+)
+from repro.clique.cost import CostModel, RoundLedger
+from repro.core.phase import PhaseStats
+from repro.engine.ensemble import EnsembleResult
+from repro.engine.results import SampleResult
+from repro.errors import ConfigError
+
+
+def json_round_trip(payload: dict) -> dict:
+    """Force an actual wire trip: encode to JSON text and back."""
+    return json.loads(json.dumps(payload))
+
+
+@pytest.fixture(scope="module")
+def session() -> Session:
+    return Session(graphs.cycle_graph(6), "fast-audit", seed=5)
+
+
+class TestLeafTypes:
+    def test_round_ledger(self):
+        ledger = RoundLedger(CostModel(matmul_constant=2.0))
+        ledger.charge("matmul", 7, "unit test")
+        with ledger.section("phase-1"):
+            ledger.charge_matmul(8, count=2, note="ladder")
+        rebuilt = RoundLedger.from_dict(json_round_trip(ledger.to_dict()))
+        assert rebuilt == ledger
+        assert rebuilt.total_rounds() == ledger.total_rounds()
+        assert rebuilt.rounds_by_category() == ledger.rounds_by_category()
+
+    def test_phase_stats(self):
+        stats = PhaseStats(
+            subset_size=6, rho_eff=2, walk_length=40, distinct_visited=2,
+            levels=3, extensions=1, new_vertices=[4, 2],
+        )
+        assert PhaseStats.from_dict(json_round_trip(stats.to_dict())) == stats
+
+
+class TestResultRoundTrips:
+    def test_sample_result(self, session):
+        result = session.run(SampleRequest(seed=1)).result
+        rebuilt = SampleResult.from_dict(json_round_trip(result.to_dict()))
+        assert rebuilt == result
+        assert rebuilt.tree == result.tree
+        assert rebuilt.ledger.total_rounds() == result.rounds
+
+    def test_ensemble_result(self, session):
+        result = session.run(EnsembleRequest(count=3, seed=2, jobs=1)).result
+        rebuilt = EnsembleResult.from_dict(json_round_trip(result.to_dict()))
+        assert rebuilt == result
+        assert rebuilt.trees == result.trees
+
+    def test_audit_report(self, session):
+        report = session.run(AuditRequest(samples=60, seed=3)).result
+        rebuilt = type(report).from_dict(json_round_trip(report.to_dict()))
+        assert rebuilt == report
+
+    def test_roundbill_report(self, session):
+        report = session.run(RoundBillRequest(seed=4)).result
+        rebuilt = type(report).from_dict(json_round_trip(report.to_dict()))
+        assert rebuilt == report
+
+    def test_fastcover_report(self, session):
+        report = session.run(SampleRequest(variant="fastcover", seed=5)).result
+        rebuilt = FastCoverReport.from_dict(json_round_trip(report.to_dict()))
+        assert rebuilt == report
+
+
+class TestResponseEnvelope:
+    @pytest.mark.parametrize(
+        "request_obj",
+        [
+            SampleRequest(seed=1),
+            SampleRequest(variant="fastcover", seed=2),
+            EnsembleRequest(count=3, seed=3, jobs=1, leverage_audit=True),
+            AuditRequest(samples=40, seed=4),
+            RoundBillRequest(seed=5),
+        ],
+        ids=["sample", "fastcover", "ensemble", "audit", "roundbill"],
+    )
+    def test_full_envelope_round_trip(self, session, request_obj):
+        response = session.run(request_obj)
+        wire = json_round_trip(response.to_dict())
+        rebuilt = response_from_dict(wire)
+        assert rebuilt.kind == response.kind
+        assert rebuilt.meta == response.meta
+        assert rebuilt.result == response.result
+        # a second trip is stable (canonical wire form)
+        assert rebuilt.to_dict() == wire
+
+    def test_to_json_is_loadable(self, session):
+        response = session.run(SampleRequest(seed=9))
+        assert json.loads(response.to_json())["kind"] == "sample"
+
+    def test_unknown_result_type_rejected(self):
+        with pytest.raises(ConfigError, match="unknown result type"):
+            response_from_dict(
+                {"kind": "sample", "result_type": "Hologram", "result": {}}
+            )
+
+    def test_streamed_results_serialize_like_batch(self, session):
+        request = EnsembleRequest(count=3, seed=8, jobs=1)
+        batch = session.run(request).result.results
+        streamed = list(session.stream(request))
+        assert [r.to_dict() for r in streamed] == [
+            r.to_dict() for r in batch
+        ]
+
+
+class TestEnvelopeShape:
+    def test_result_type_tags(self, session):
+        assert (
+            session.run(SampleRequest(seed=1)).to_dict()["result_type"]
+            == "SampleResult"
+        )
+        assert (
+            session.run(RoundBillRequest(seed=1)).to_dict()["result_type"]
+            == "RoundBillReport"
+        )
+
+    def test_meta_is_json_safe(self, session):
+        response = session.run(
+            EnsembleRequest(count=4, seed=6, jobs=1, leverage_audit=True)
+        )
+        json.dumps(response.meta)  # must not raise
+
+    def test_response_is_dataclass_with_kind(self, session):
+        response = session.run(SampleRequest(seed=0))
+        assert isinstance(response, Response)
+        assert response.kind == "sample"

@@ -42,16 +42,51 @@ class TestSampleCommand:
         ])
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["n"] == 6
-        assert len(payload["tree"]) == 5
+        assert payload["kind"] == "sample"
+        assert payload["meta"]["n"] == 6
+        assert len(payload["result"]["tree"]) == 5
+
+    def test_json_envelope_loads_as_typed_response(self, capsys):
+        from repro.api import response_from_dict
+
+        main(["sample", "--family", "cycle", "--n", "6", "--json",
+              "--ell", "1024", "--seed", "3"])
+        response = response_from_dict(json.loads(capsys.readouterr().out))
+        assert response.kind == "sample"
+        assert response.result.rounds > 0
+        assert len(response.result.tree) == 5
+
+    def test_json_golden(self, capsys):
+        """Golden test: the --json envelope for a pinned seed/instance."""
+        code = main([
+            "sample", "--family", "cycle", "--n", "6", "--json",
+            "--seed", "0", "--ell", "1024",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "sample"
+        assert payload["result_type"] == "SampleResult"
+        for key, value in {
+            "family": "cycle", "requested_n": 6, "n": 6,
+            "size_adjusted": False, "variant": "approximate", "seed": 0,
+        }.items():
+            assert payload["meta"][key] == value, key
+        assert payload["result"]["tree"] == [
+            [0, 5], [1, 2], [2, 3], [3, 4], [4, 5]
+        ]
+        assert payload["result"]["rounds"] == 1111
+        assert payload["result"]["phases"] == 5
 
     def test_deterministic_given_seed(self, capsys):
         argv = ["sample", "--family", "wheel", "--n", "8", "--json",
                 "--seed", "9", "--ell", "1024"]
         main(argv)
-        first = capsys.readouterr().out
+        first = json.loads(capsys.readouterr().out)
         main(argv)
-        second = capsys.readouterr().out
+        second = json.loads(capsys.readouterr().out)
+        # Identical modulo wall-clock timing, which is honest about time.
+        first["meta"].pop("seconds")
+        second["meta"].pop("seconds")
         assert first == second
 
 
@@ -95,3 +130,53 @@ class TestFamiliesCommand:
         assert main(["families"]) == 0
         out = capsys.readouterr().out.split()
         assert sorted(out) == sorted(FAMILIES)
+
+    def test_json_registry(self, capsys):
+        """families --json exposes the registry's machine-readable form."""
+        assert main(["families", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert sorted(row["name"] for row in catalog) == sorted(FAMILIES)
+        by_name = {row["name"]: row for row in catalog}
+        assert by_name["expander"]["randomized"] is True
+        assert "even" in by_name["expander"]["size_rule"]
+        for row in catalog:
+            assert row["description"], row["name"]
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        import repro
+
+        assert repro.__version__ in out
+
+
+class TestExpanderSizeAdjustment:
+    """Regression: odd expander sizes must be surfaced, never silent."""
+
+    def test_odd_n_surfaced_in_json_meta(self, capsys):
+        code = main(["sample", "--family", "expander", "--n", "9",
+                     "--json", "--ell", "1024"])
+        assert code == 0
+        meta = json.loads(capsys.readouterr().out)["meta"]
+        assert meta["requested_n"] == 9
+        assert meta["n"] == 10
+        assert meta["size_adjusted"] is True
+
+    def test_odd_n_noted_in_human_output(self, capsys):
+        code = main(["sample", "--family", "expander", "--n", "9",
+                     "--ell", "1024"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adjusted n 9 -> 10" in out
+        assert "n=10" in out
+
+    def test_even_n_not_flagged(self, capsys):
+        code = main(["sample", "--family", "expander", "--n", "8",
+                     "--json", "--ell", "1024"])
+        assert code == 0
+        meta = json.loads(capsys.readouterr().out)["meta"]
+        assert meta["size_adjusted"] is False

@@ -16,6 +16,7 @@ import repro
 
 SUBPACKAGES = [
     "repro.analysis",
+    "repro.api",
     "repro.clique",
     "repro.core",
     "repro.engine",
