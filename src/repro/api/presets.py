@@ -15,6 +15,10 @@ everywhere at once.
   Appendix 5.1 Las-Vegas extension keeps the output law exact).
 - ``"fast-audit"`` -- the statistical-audit recipe: ``ell = 2^10`` for
   high-volume small-graph ensembles.
+- ``"sparse-scale"`` -- the large-sparse-instance recipe: the fast-bench
+  walk length with the scipy CSR numerics backend pinned on
+  (``linalg_backend="sparse"``), for cycle/grid/bounded-degree inputs
+  past the dense crossover (see ``benchmarks/bench_sparse_scaling.py``).
 """
 
 from __future__ import annotations
@@ -63,6 +67,12 @@ PRESETS: dict[str, Preset] = {
             "statistical-audit recipe: ell = 2^10 for high-volume ensembles",
             "approximate",
             SamplerConfig(ell=1 << 10),
+        ),
+        Preset(
+            "sparse-scale",
+            "large sparse instances: fast-bench walk length + CSR numerics",
+            "approximate",
+            SamplerConfig(ell=1 << 12, linalg_backend="sparse"),
         ),
     ]
 }

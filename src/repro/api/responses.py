@@ -30,7 +30,74 @@ __all__ = [
     "PageRankReport",
     "RESULT_TYPES",
     "response_from_dict",
+    "sanitize_nonfinite",
+    "restore_nonfinite",
 ]
+
+# RFC 8259 has no NaN/Infinity tokens, but stats over degenerate
+# ensembles (a TV estimate on zero draws, a chi-square on a single tree
+# class) legitimately produce non-finite floats. The wire form carries
+# them as these string sentinels; ``response_from_dict`` restores them.
+# Genuine string values that *look* like a sentinel are escaped with a
+# leading backslash on the way out and unescaped on the way back, so
+# the round trip is lossless for every payload.
+_NONFINITE_TO_WIRE = {"nan": "NaN", "inf": "Infinity", "-inf": "-Infinity"}
+_WIRE_TO_NONFINITE = {
+    "NaN": float("nan"),
+    "Infinity": float("inf"),
+    "-Infinity": float("-inf"),
+}
+
+
+def _sentinel_like(text: str) -> bool:
+    """True for sentinels and their backslash-escaped forms."""
+    return text.lstrip("\\") in _WIRE_TO_NONFINITE
+
+
+def sanitize_nonfinite(value):
+    """Recursively replace non-finite floats with string sentinels.
+
+    Returns a structure :func:`json.dumps` accepts with
+    ``allow_nan=False`` (i.e. strictly RFC 8259): ``nan`` becomes
+    ``"NaN"``, the infinities become ``"Infinity"`` / ``"-Infinity"``.
+    Pre-existing strings that collide with a sentinel (or an escaped
+    sentinel) gain one leading backslash so :func:`restore_nonfinite`
+    can tell them apart. Everything else passes through unchanged.
+    """
+    if isinstance(value, float):
+        if value != value:  # NaN is the only value unequal to itself
+            return _NONFINITE_TO_WIRE["nan"]
+        if value == float("inf"):
+            return _NONFINITE_TO_WIRE["inf"]
+        if value == float("-inf"):
+            return _NONFINITE_TO_WIRE["-inf"]
+        return value
+    if isinstance(value, str):
+        return "\\" + value if _sentinel_like(value) else value
+    if isinstance(value, dict):
+        return {key: sanitize_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_nonfinite(item) for item in value]
+    return value
+
+
+def restore_nonfinite(value):
+    """Inverse of :func:`sanitize_nonfinite`: sentinels back to floats.
+
+    Bare sentinels become their float values; escaped sentinels shed
+    exactly one backslash (restoring the original string).
+    """
+    if isinstance(value, str):
+        if value in _WIRE_TO_NONFINITE:
+            return _WIRE_TO_NONFINITE[value]
+        if value.startswith("\\") and _sentinel_like(value):
+            return value[1:]
+        return value
+    if isinstance(value, dict):
+        return {key: restore_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [restore_nonfinite(item) for item in value]
+    return value
 
 
 class _ReportBase:
@@ -146,21 +213,46 @@ class Response:
     meta: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        """JSON-serializable wire form, tagged with the payload type."""
-        return {
-            "kind": self.kind,
-            "result_type": type(self.result).__name__,
-            "result": self.result.to_dict(),
-            "meta": self.meta,
-        }
+        """JSON-serializable wire form, tagged with the payload type.
+
+        The wire form is always *sanitized*: non-finite floats appear as
+        their string sentinels and colliding genuine strings are
+        escaped (see :func:`sanitize_nonfinite`), so the output is safe
+        for strict RFC 8259 emitters and :func:`response_from_dict` can
+        restore it losslessly whether it traveled through JSON text or
+        stayed an in-memory dict.
+        """
+        return sanitize_nonfinite(
+            {
+                "kind": self.kind,
+                "result_type": type(self.result).__name__,
+                "result": self.result.to_dict(),
+                "meta": self.meta,
+            }
+        )
 
     def to_json(self, *, indent: int | None = 2) -> str:
-        """The envelope as a JSON string (the CLI's ``--json`` output)."""
-        return json.dumps(self.to_dict(), indent=indent)
+        """The envelope as a JSON string (the CLI's ``--json`` output).
+
+        Strictly RFC 8259: serialization runs with ``allow_nan=False``;
+        :meth:`to_dict` already carries any non-finite float (a TV
+        estimate on a degenerate ensemble, say) as its string sentinel
+        (``"NaN"`` / ``"Infinity"`` / ``"-Infinity"``) rather than the
+        non-standard bare tokens Python's default emitter would produce.
+        :func:`response_from_dict` maps the sentinels back to floats.
+        """
+        return json.dumps(self.to_dict(), indent=indent, allow_nan=False)
 
 
 def response_from_dict(payload: dict) -> Response:
-    """Rebuild a :class:`Response` (typed payload included) from JSON."""
+    """Rebuild a :class:`Response` (typed payload included) from JSON.
+
+    Accepts both in-memory :meth:`Response.to_dict` output and parsed
+    :meth:`Response.to_json` wire documents -- the two are identical
+    sanitized structures, so the non-finite string sentinels are
+    restored to their float values (and escaped lookalike strings
+    unescaped) before the typed payload is rebuilt.
+    """
     try:
         result_cls = RESULT_TYPES[payload["result_type"]]
     except KeyError:
@@ -170,6 +262,6 @@ def response_from_dict(payload: dict) -> Response:
         ) from None
     return Response(
         kind=payload["kind"],
-        result=result_cls.from_dict(payload["result"]),
-        meta=dict(payload.get("meta", {})),
+        result=result_cls.from_dict(restore_nonfinite(payload["result"])),
+        meta=dict(restore_nonfinite(payload.get("meta", {}))),
     )

@@ -57,6 +57,7 @@ from repro.engine.ensemble import EnsembleEngine
 from repro.engine.runner import SamplerEngine
 from repro.errors import ConfigError, ReproError
 from repro.graphs.core import WeightedGraph
+from repro.linalg.backend import resolve_linalg_backend
 
 __all__ = ["Session"]
 
@@ -100,6 +101,11 @@ class Session:
             self.config = resolve_config(config)
             self.default_variant = "approximate"
         self.meta = dict(meta or {})
+        # The numerics realization is resolved once per session (the
+        # "auto" choice depends only on config + graph) and surfaced in
+        # every response's meta so --json consumers can see which
+        # backend produced their numbers.
+        self._linalg_name = resolve_linalg_backend(self.config, graph).name
         self._root = np.random.SeedSequence(seed)
         self._cache = (
             DerivedGraphCache(self.config.derived_cache_entries)
@@ -166,6 +172,7 @@ class Session:
             **self.meta,
             "n": int(self.graph.n),
             "seed": request.seed,
+            "linalg_backend": self._linalg_name,
             "seconds": round(time.perf_counter() - start, 6),
             **extra_meta,
         }

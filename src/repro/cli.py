@@ -4,6 +4,7 @@ Usage (installed as ``python -m repro``)::
 
     python -m repro sample --family expander --n 32 --variant approximate
     python -m repro sample --family lollipop --n 24 --variant exact --seed 7
+    python -m repro sample --family cycle --n 512 --linalg-backend sparse
     python -m repro rounds --family gnp --n 48
     python -m repro ensemble --family expander --n 32 --samples 200 --jobs 4
     python -m repro families --json
@@ -91,9 +92,10 @@ def _open_session(args: argparse.Namespace, ell: int | None = None) -> Session:
     """Build the graph named by ``args`` and bind a session to it."""
     rng = np.random.default_rng(args.seed)
     graph, meta = build_family(args.family, args.n, rng)
-    config = preset_config(
-        "fast-bench", **({} if ell is None else {"ell": ell})
-    )
+    overrides: dict = {} if ell is None else {"ell": ell}
+    if getattr(args, "linalg_backend", None) is not None:
+        overrides["linalg_backend"] = args.linalg_backend
+    config = preset_config("fast-bench", **overrides)
     return Session(graph, config, seed=args.seed, meta=meta)
 
 
@@ -113,6 +115,18 @@ def _emit(
             )
         render(response)
     return 0
+
+
+def _add_linalg_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared numerics-backend override flag."""
+    parser.add_argument(
+        "--linalg-backend",
+        dest="linalg_backend",
+        default=None,
+        choices=["auto", "dense", "sparse"],
+        help="numerics realization: dense numpy, scipy CSR, or "
+             "auto-select by graph size/density (default: auto)",
+    )
 
 
 def _make_parser() -> argparse.ArgumentParser:
@@ -139,6 +153,7 @@ def _make_parser() -> argparse.ArgumentParser:
                         help="nominal walk length (power of two)")
     sample.add_argument("--json", action="store_true",
                         help="machine-readable output")
+    _add_linalg_flag(sample)
 
     rounds = sub.add_parser("rounds", help="compare sampler round bills")
     rounds.add_argument("--family", default="expander", choices=family_names())
@@ -147,6 +162,7 @@ def _make_parser() -> argparse.ArgumentParser:
     rounds.add_argument("--ell", type=int, default=1 << 12)
     rounds.add_argument("--json", action="store_true",
                         help="machine-readable output")
+    _add_linalg_flag(rounds)
 
     pagerank = sub.add_parser(
         "pagerank", help="walk-based PageRank vs the exact solve"
@@ -178,6 +194,7 @@ def _make_parser() -> argparse.ArgumentParser:
     )
     ensemble.add_argument("--json", action="store_true",
                           help="machine-readable output")
+    _add_linalg_flag(ensemble)
 
     audit = sub.add_parser(
         "audit", help="uniformity audit against exact enumeration"
@@ -193,6 +210,7 @@ def _make_parser() -> argparse.ArgumentParser:
     )
     audit.add_argument("--json", action="store_true",
                        help="machine-readable output")
+    _add_linalg_flag(audit)
 
     families = sub.add_parser("families", help="list graph families")
     families.add_argument("--json", action="store_true",

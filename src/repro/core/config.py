@@ -77,6 +77,22 @@ class SamplerConfig:
         runs the executable combinatorial O(n^{1/3})-round protocol
         (:class:`repro.clique.matmul3d.SimulatedMatmul`) and charges its
         *measured* rounds instead.
+    linalg_backend:
+        Numerics realization for the derived graphs and power ladders
+        (:mod:`repro.linalg.backend`): ``"dense"`` is the numpy/LAPACK
+        reference path, ``"sparse"`` stores matrices as ``scipy.sparse``
+        CSR and uses the elimination-block kernels, and ``"auto"``
+        (default) picks sparse only for large sparse inputs
+        (``sparse_auto_min_n`` vertices or more at graph density at most
+        ``sparse_auto_density``). Round bills are backend-independent
+        (the charging model is analytic); trees for the same seed agree
+        as well -- cross-backend property tests pin them byte-identical
+        at n <= 128. ``"sparse"`` cannot combine with the dense-word
+        ``"simulated-3d"`` matmul protocol.
+    sparse_auto_min_n / sparse_auto_density:
+        The ``"auto"`` crossover: below ``sparse_auto_min_n`` vertices,
+        or above ``sparse_auto_density`` edge density, CSR bookkeeping
+        costs more than it saves and auto stays dense.
     normalizer_floor_exponent:
         The ``c`` of Section 5.2's check ``W^2[p, q] >= 1/n^c``; midpoint
         normalizers below ``n ** -c`` trigger the brute-force fallback in
@@ -109,6 +125,9 @@ class SamplerConfig:
     schur_method: SchurMethod = "block"
     shortcut_method: ShortcutMethod = "solve"
     matmul_backend: Literal["analytic", "simulated-3d"] = "analytic"
+    linalg_backend: Literal["auto", "dense", "sparse"] = "auto"
+    sparse_auto_min_n: int = 192
+    sparse_auto_density: float = 0.25
     normalizer_floor_exponent: float = 40.0
     start_vertex: int = 0
     max_extensions: int = 64
@@ -147,6 +166,28 @@ class SamplerConfig:
         if self.matmul_backend not in ("analytic", "simulated-3d"):
             raise ConfigError(
                 f"unknown matmul backend {self.matmul_backend!r}"
+            )
+        if self.linalg_backend not in ("auto", "dense", "sparse"):
+            raise ConfigError(
+                f"unknown linalg backend {self.linalg_backend!r}"
+            )
+        if (
+            self.linalg_backend == "sparse"
+            and self.matmul_backend == "simulated-3d"
+        ):
+            raise ConfigError(
+                "linalg_backend='sparse' cannot combine with "
+                "matmul_backend='simulated-3d': the executable 3D protocol "
+                "is a dense word-matrix simulation"
+            )
+        if self.sparse_auto_min_n < 2:
+            raise ConfigError(
+                f"sparse_auto_min_n must be >= 2, got {self.sparse_auto_min_n}"
+            )
+        if not (0.0 < self.sparse_auto_density <= 1.0):
+            raise ConfigError(
+                f"sparse_auto_density must be in (0, 1], got "
+                f"{self.sparse_auto_density}"
             )
         if self.max_extensions < 1:
             raise ConfigError("max_extensions must be >= 1")

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.clique.network import CongestedClique
 from repro.errors import PrecisionError, WalkError
+from repro.linalg.backend import matrix_col, matrix_row
 
 __all__ = ["MidpointBank"]
 
@@ -45,7 +46,9 @@ class MidpointBank:
         ``c_{p,q}``: the number of occurrences of each distinct (start,
         end) pair among consecutive entries of ``W_i``.
     half_power:
-        ``P^{delta/2}`` (or the Schur-matrix analogue) used by Formula 1.
+        ``P^{delta/2}`` (or the Schur-matrix analogue) used by Formula 1,
+        in whichever storage format the linalg backend produced (dense
+        ndarray or scipy CSR).
     rng:
         Randomness source shared with the leader simulation.
     normalizer_floor:
@@ -62,7 +65,7 @@ class MidpointBank:
     def __init__(
         self,
         pair_counts: Mapping[Pair, int],
-        half_power: np.ndarray,
+        half_power,
         rng: np.random.Generator,
         *,
         normalizer_floor: float = 0.0,
@@ -99,7 +102,7 @@ class MidpointBank:
             if count < 0:
                 raise WalkError(f"negative count for pair {pair}")
             p, q = pair
-            law = half_power[p, :] * half_power[:, q]
+            law = matrix_row(half_power, p) * matrix_col(half_power, q)
             total = float(law.sum())
             if total <= normalizer_floor or total <= 0.0:
                 raise PrecisionError(

@@ -35,6 +35,7 @@ from repro.core.midpoints import MidpointBank
 from repro.core.placement import place_by_pair_multisets, place_midpoints
 from repro.core.truncation import LevelView, find_truncation_index
 from repro.errors import PrecisionError, SamplingError
+from repro.linalg.backend import matrix_row
 from repro.linalg.matpow import PowerLadder
 from repro.walks.fill import PartialWalk, _fill_level, _truncate_at_distinct
 
@@ -91,7 +92,7 @@ def _segment_fill(
     """
     n = ladder.power(1).shape[0]
     ell = ladder.ell
-    end_law = ladder.power(ell)[start, :]
+    end_law = matrix_row(ladder.power(ell), start)
     end = int(rng.choice(n, p=end_law / end_law.sum()))
     if clique is not None:
         # Algorithm 1 step 4: the leader samples W[ell] from its own row.
@@ -140,7 +141,7 @@ def _segment_fill(
 
 
 def run_phase_walk(
-    transition: np.ndarray,
+    transition,
     start: int,
     rho_eff: int,
     config: SamplerConfig,
@@ -154,9 +155,11 @@ def run_phase_walk(
     """Sample a phase walk stopping at its rho_eff-th distinct vertex.
 
     ``transition`` is the phase graph's transition matrix (indices are
-    phase-local). Returns the walk as a list of phase-local vertex
-    indices, guaranteed to end at the first occurrence of its rho_eff-th
-    distinct vertex.
+    phase-local), in whichever storage format the configured linalg
+    backend produced -- dense ndarray or scipy CSR; the walk machinery
+    only touches it through the format-agnostic accessors. Returns the
+    walk as a list of phase-local vertex indices, guaranteed to end at
+    the first occurrence of its rho_eff-th distinct vertex.
     """
     if stats is None:
         stats = PhaseStats(subset_size=transition.shape[0], rho_eff=rho_eff)

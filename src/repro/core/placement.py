@@ -30,6 +30,7 @@ from repro.clique.network import CongestedClique
 from repro.core.midpoints import Pair
 from repro.core.truncation import LevelView
 from repro.errors import SamplingError, WalkError
+from repro.linalg.backend import matrix_col, matrix_row
 from repro.matching.sampler import (
     ClassifiedBipartite,
     sample_assignment_by_classes,
@@ -97,7 +98,7 @@ def _assemble(
 def place_midpoints(
     view: LevelView,
     t_star: int,
-    half_power: np.ndarray,
+    half_power,
     rng: np.random.Generator,
     *,
     method: str = "exact-dp",
@@ -152,10 +153,15 @@ def place_midpoints(
         col_classes: list[Pair] = sorted(set(pair_for_position.values()))
         col_counts = Counter(pair_for_position.values())
         row_labels = sorted(multiset)
+        # One column per (p, q) class, filled from the backend-format
+        # half power via whole-row/column extraction (works for dense
+        # and CSR alike; entry values match scalar indexing exactly).
+        labels_arr = np.asarray(row_labels, dtype=np.intp)
         weights = np.empty((len(row_labels), len(col_classes)))
-        for r, x in enumerate(row_labels):
-            for c, (p, q) in enumerate(col_classes):
-                weights[r, c] = half_power[p, x] * half_power[x, q]
+        for c, (p, q) in enumerate(col_classes):
+            from_p = matrix_row(half_power, p)
+            into_q = matrix_col(half_power, q)
+            weights[:, c] = from_p[labels_arr] * into_q[labels_arr]
         instance = ClassifiedBipartite(
             row_labels=tuple(row_labels),
             row_counts=tuple(multiset[x] for x in row_labels),

@@ -27,15 +27,40 @@ bounded.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Hashable
-
-import numpy as np
 
 from repro.errors import ConfigError
 from repro.linalg.matpow import PowerLadder
 
-__all__ = ["PhaseNumerics", "DerivedGraphCache"]
+__all__ = ["PhaseNumerics", "DerivedGraphCache", "config_fingerprint"]
+
+
+def config_fingerprint(config, *, resolved_ell: int, linalg_backend: str) -> str:
+    """Canonical string over *every* configuration field plus resolved state.
+
+    Cache keys used to be derived from a hand-picked list of
+    "numerics-relevant" fields, which silently went stale whenever a new
+    numerics-affecting knob was added (two sessions sharing a cache with
+    different truncation/precision settings could then exchange
+    :class:`PhaseNumerics` entries). Fingerprinting the complete
+    dataclass -- plus the resolved walk length and the resolved linalg
+    backend, which are functions of config *and* graph -- over-partitions
+    harmlessly (a non-numeric field change just forfeits sharing) but can
+    never alias two configurations that compute different numbers.
+    """
+    parts: list[tuple[str, str]] = []
+    for field in fields(config):
+        value = getattr(config, field.name)
+        if field.name == "extra":
+            try:
+                value = sorted((str(k), repr(v)) for k, v in value.items())
+            except Exception:  # unsortable/exotic payloads still fingerprint
+                value = repr(value)
+        parts.append((field.name, repr(value)))
+    parts.append(("resolved_ell", repr(int(resolved_ell))))
+    parts.append(("resolved_linalg", repr(str(linalg_backend))))
+    return repr(parts)
 
 
 @dataclass
@@ -45,10 +70,13 @@ class PhaseNumerics:
     ``shortcut`` / ``transition`` / ``order`` / ``ladder`` are what phase
     execution consumes; the remaining fields record how a cold build
     charged the ledger so a cache hit can replay identical rounds.
+    ``shortcut`` and ``transition`` are stored in whichever format the
+    engine's linalg backend produced (dense ndarray or scipy CSR) --
+    the backend name is part of the cache key, so formats never mix.
     """
 
-    shortcut: np.ndarray
-    transition: np.ndarray
+    shortcut: object
+    transition: object
     order: list[int]
     ladder: PowerLadder
     is_phase_one: bool

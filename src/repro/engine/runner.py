@@ -29,18 +29,18 @@ from repro.clique.network import CongestedClique
 from repro.core.config import SamplerConfig
 from repro.core.phase import PhaseStats, run_phase_walk
 from repro.engine.backends import MatmulBackend, make_matmul_backend
-from repro.engine.cache import DerivedGraphCache, PhaseNumerics
+from repro.engine.cache import (
+    DerivedGraphCache,
+    PhaseNumerics,
+    config_fingerprint,
+)
 from repro.engine.results import SampleResult
 from repro.errors import GraphError, SamplingError
 from repro.graphs.core import WeightedGraph
 from repro.graphs.spanning import is_spanning_tree, tree_key
+from repro.linalg.backend import resolve_linalg_backend
 from repro.linalg.matpow import PowerLadder
-from repro.linalg.schur import schur_transition_matrix, schur_via_qr_product
-from repro.linalg.shortcut import (
-    first_visit_edge_distribution,
-    shortcut_transition_matrix,
-    shortcut_via_power_iteration,
-)
+from repro.linalg.shortcut import first_visit_edge_distribution
 
 __all__ = ["SamplerEngine"]
 
@@ -86,23 +86,25 @@ class SamplerEngine:
         if cache is None and self.config.derived_cache:
             cache = DerivedGraphCache(self.config.derived_cache_entries)
         self.cache = cache
-        # Cache entries are deterministic functions of (graph, the
-        # numerics-relevant config); key them under a fingerprint so an
-        # externally shared cache can never serve another graph's (or
-        # another configuration's) numerics. The variant is excluded on
-        # purpose: it changes rho, never the derived graphs.
+        # Numerics realization (dense numpy vs scipy CSR), resolved once
+        # per engine: "auto" decides from the graph's size and density.
+        self.linalg = resolve_linalg_backend(self.config, graph)
+        # Cache entries are deterministic functions of (graph, config,
+        # resolved numerics backend); key them under a fingerprint over
+        # the *complete* configuration so an externally shared cache can
+        # never serve numerics computed for another graph or any
+        # differing configuration (a partial field list silently went
+        # stale whenever a numerics-affecting knob was added). The
+        # variant is excluded on purpose: it changes rho, never the
+        # derived graphs -- which is what lets a session's approximate
+        # and exact engines warm each other.
         digest = hashlib.sha1()
         digest.update(np.ascontiguousarray(graph.weights).tobytes())
         digest.update(
-            repr(
-                (
-                    graph.n,
-                    self.config.resolve_ell(graph.n),
-                    self.config.precision_bits,
-                    self.config.shortcut_method,
-                    self.config.schur_method,
-                    self.config.normalizer_floor_exponent,
-                )
+            config_fingerprint(
+                self.config,
+                resolved_ell=self.config.resolve_ell(graph.n),
+                linalg_backend=self.linalg.name,
             ).encode()
         )
         self._cache_token = digest.hexdigest()
@@ -280,7 +282,7 @@ class SamplerEngine:
             subset, is_phase_one, ledger
         )
         if is_phase_one:
-            transition = graph.transition_matrix().copy()
+            transition = self.linalg.transition_matrix(graph)
             order = list(range(graph.n))
         else:
             transition, order = self._compute_schur(subset, shortcut, ledger)
@@ -337,10 +339,9 @@ class SamplerEngine:
         """
         config = self.config
         beta = config.normalizer_floor(self.graph.n)
-        if config.shortcut_method == "power-iteration":
-            shortcut = shortcut_via_power_iteration(self.graph, subset, beta=beta)
-        else:
-            shortcut = shortcut_transition_matrix(self.graph, subset)
+        shortcut = self.linalg.shortcut_matrix(
+            self.graph, subset, method=config.shortcut_method, beta=beta
+        )
         squarings = 0
         if not is_phase_one:
             # Corollary 2: log(k) squarings of the 2n x 2n auxiliary chain.
@@ -364,12 +365,9 @@ class SamplerEngine:
         ledger: RoundLedger,
     ) -> tuple[np.ndarray, list[int]]:
         """Schur(G, S) transition matrix + its Corollary 3 round charge."""
-        if self.config.schur_method == "qr-product":
-            transition, order = schur_via_qr_product(
-                self.graph, subset, shortcut_matrix=shortcut
-            )
-        else:
-            transition, order = schur_transition_matrix(self.graph, subset)
+        transition, order = self.linalg.schur_transition(
+            self.graph, subset, shortcut, method=self.config.schur_method
+        )
         # Corollary 3: one extra product (QR) on top of the shortcut work.
         ledger.charge_matmul(self.graph.n, count=1, note="schur graph")
         return transition, order

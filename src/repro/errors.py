@@ -33,6 +33,18 @@ class WeightError(GraphError):
     """
 
 
+class FormatError(GraphError):
+    """A serialized graph/tree document is malformed.
+
+    Raised at *parse time* by :mod:`repro.graphs.io` -- with the file
+    path and line number (edge lists) or edge index (JSON documents) --
+    for problems that used to surface only much later as inscrutable
+    failures deep inside phase numerics: duplicate edges, self-loops,
+    out-of-range endpoints, non-positive weights, unparseable tokens,
+    and empty documents.
+    """
+
+
 class ModelError(ReproError):
     """A CongestedClique model constraint was violated.
 

@@ -10,15 +10,23 @@ Formats:
 - **JSON document**: ``{"n": ..., "edges": [[u, v, w], ...]}`` for graphs
   and ``{"n": ..., "tree": [[u, v], ...]}`` for trees, with an explicit
   ``"format"`` tag and version.
+
+Both readers validate at parse time: duplicate edges, self-loops,
+out-of-range or negative endpoints, non-positive weights, unparseable
+tokens, and empty documents raise :class:`~repro.errors.FormatError`
+carrying the offending line number (edge lists) or edge index (JSON) --
+instead of handing phase numerics a graph that only fails much later,
+deep inside a Schur solve.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Iterable
 
-from repro.errors import GraphError
+from repro.errors import FormatError
 from repro.graphs.core import WeightedGraph
 from repro.graphs.spanning import TreeKey, tree_key
 
@@ -48,11 +56,47 @@ def write_edge_list(graph: WeightedGraph, path: str | Path) -> None:
     path.write_text("\n".join(lines) + "\n")
 
 
+def _validated_edge(
+    u: int, v: int, weight: float, seen: dict[tuple[int, int], str], where: str
+) -> tuple[int, int]:
+    """Shared parse-time edge checks; returns the normalized (min, max) key.
+
+    ``seen`` maps normalized edges to the location that first declared
+    them; ``where`` names the current location (``path:lineno`` for edge
+    lists, ``edge #k`` for JSON documents).
+    """
+    if u < 0 or v < 0:
+        raise FormatError(f"{where}: negative vertex in edge ({u}, {v})")
+    if u == v:
+        raise FormatError(f"{where}: self-loop ({u}, {u}) is not allowed")
+    if not (math.isfinite(weight) and weight > 0):
+        raise FormatError(
+            f"{where}: edge ({u}, {v}) has non-positive or non-finite "
+            f"weight {weight!r}"
+        )
+    key = (min(u, v), max(u, v))
+    first = seen.get(key)
+    if first is not None:
+        raise FormatError(
+            f"{where}: duplicate edge ({u}, {v}); first declared at {first}"
+        )
+    seen[key] = where
+    return key
+
+
 def read_edge_list(path: str | Path) -> WeightedGraph:
-    """Read a graph written by :func:`write_edge_list` (or compatible)."""
+    """Read a graph written by :func:`write_edge_list` (or compatible).
+
+    Malformed input -- unparseable tokens, self-loops, duplicate edges,
+    negative vertices, non-positive weights, a header contradicting the
+    edges, or a document with no header and no edges -- raises
+    :class:`~repro.errors.FormatError` with the offending ``path:line``.
+    Blank lines and ``#`` comments are ignored as before.
+    """
     path = Path(path)
     n: int | None = None
     edges: list[tuple[int, int, float]] = []
+    seen: dict[tuple[int, int], str] = {}
     max_vertex = -1
     for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
         line = raw.strip()
@@ -61,19 +105,35 @@ def read_edge_list(path: str | Path) -> WeightedGraph:
         if line.startswith("#"):
             body = line[1:].strip()
             if body.startswith("vertices:"):
-                n = int(body.split(":", 1)[1])
+                try:
+                    n = int(body.split(":", 1)[1])
+                except ValueError:
+                    raise FormatError(
+                        f"{path}:{lineno}: malformed vertex-count header "
+                        f"{line!r}"
+                    ) from None
             continue
         parts = line.split()
         if len(parts) not in (2, 3):
-            raise GraphError(f"{path}:{lineno}: malformed edge line {line!r}")
-        u, v = int(parts[0]), int(parts[1])
-        weight = float(parts[2]) if len(parts) == 3 else 1.0
+            raise FormatError(f"{path}:{lineno}: malformed edge line {line!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+            weight = float(parts[2]) if len(parts) == 3 else 1.0
+        except ValueError:
+            raise FormatError(
+                f"{path}:{lineno}: unparseable edge line {line!r}"
+            ) from None
+        _validated_edge(u, v, weight, seen, f"{path}:{lineno}")
         edges.append((u, v, weight))
         max_vertex = max(max_vertex, u, v)
+    if n is None and not edges:
+        raise FormatError(
+            f"{path}: empty edge list (no edges and no '# vertices:' header)"
+        )
     if n is None:
         n = max_vertex + 1
     if n <= max_vertex:
-        raise GraphError(
+        raise FormatError(
             f"{path}: header says {n} vertices but edge references "
             f"vertex {max_vertex}"
         )
@@ -94,17 +154,43 @@ def graph_to_json(graph: WeightedGraph) -> str:
 
 
 def graph_from_json(document: str) -> WeightedGraph:
-    """Parse a graph from :func:`graph_to_json` output."""
+    """Parse a graph from :func:`graph_to_json` output.
+
+    Mirrors :func:`read_edge_list`'s parse-time validation -- duplicate
+    edges, self-loops, out-of-range endpoints, non-positive weights, and
+    malformed rows raise :class:`~repro.errors.FormatError` with the
+    offending edge index.
+    """
     payload = json.loads(document)
     if payload.get("format") != _FORMAT_GRAPH:
-        raise GraphError(
+        raise FormatError(
             f"not a {_FORMAT_GRAPH} document (format="
             f"{payload.get('format')!r})"
         )
-    return WeightedGraph.from_edges(
-        int(payload["n"]),
-        [(int(u), int(v), float(w)) for u, v, w in payload["edges"]],
-    )
+    try:
+        n = int(payload["n"])
+    except (KeyError, TypeError, ValueError):
+        raise FormatError(
+            f"graph document needs an integer 'n', got "
+            f"{payload.get('n')!r}"
+        ) from None
+    if n < 0:
+        raise FormatError(f"graph document has negative n = {n}")
+    edges: list[tuple[int, int, float]] = []
+    seen: dict[tuple[int, int], str] = {}
+    for index, row in enumerate(payload.get("edges", [])):
+        where = f"edge #{index}"
+        try:
+            u, v, w = int(row[0]), int(row[1]), float(row[2])
+        except (TypeError, ValueError, IndexError):
+            raise FormatError(f"{where}: malformed edge row {row!r}") from None
+        if u >= n or v >= n:
+            raise FormatError(
+                f"{where}: edge ({u}, {v}) out of range for n={n}"
+            )
+        _validated_edge(u, v, w, seen, where)
+        edges.append((u, v, w))
+    return WeightedGraph.from_edges(n, edges)
 
 
 def tree_to_json(n: int, tree: Iterable[tuple[int, int]]) -> str:
@@ -122,7 +208,7 @@ def tree_from_json(document: str) -> tuple[int, TreeKey]:
     """Parse ``(n, tree_key)`` from :func:`tree_to_json` output."""
     payload = json.loads(document)
     if payload.get("format") != _FORMAT_TREE:
-        raise GraphError(
+        raise FormatError(
             f"not a {_FORMAT_TREE} document (format="
             f"{payload.get('format')!r})"
         )

@@ -10,9 +10,29 @@ subtractive error):
 - :mod:`repro.linalg.shortcut` -- ``ShortCut(G, S)`` (Definition 3) via
   the fundamental matrix and via Corollary 2's absorbing power iteration;
 - :mod:`repro.linalg.matpow` -- the repeated-squaring power ladder with
-  per-squaring entry rounding and the Lemma 7 error recurrence.
+  per-squaring entry rounding and the Lemma 7 error recurrence;
+- :mod:`repro.linalg.backend` -- the sparse/dense dual-backend dispatch
+  (:class:`~repro.linalg.backend.DenseLinalg` /
+  :class:`~repro.linalg.backend.SparseLinalg`) plus the format-agnostic
+  matrix accessors the walk layer consumes;
+- :mod:`repro.linalg.sparse` -- the scipy CSR kernels behind the sparse
+  backend (eliminated-block shortcut, boundary-block Schur complement).
 """
 
+from repro.linalg.backend import (
+    DenseLinalg,
+    SparseLinalg,
+    auto_linalg_name,
+    is_sparse_matrix,
+    matrix_col,
+    make_linalg_backend,
+    matrix_density,
+    matrix_entry,
+    matrix_row,
+    maybe_densify,
+    resolve_linalg_backend,
+    to_dense,
+)
 from repro.linalg.matpow import (
     PowerLadder,
     lemma7_error_bound,
@@ -33,6 +53,18 @@ from repro.linalg.shortcut import (
 )
 
 __all__ = [
+    "DenseLinalg",
+    "SparseLinalg",
+    "auto_linalg_name",
+    "is_sparse_matrix",
+    "make_linalg_backend",
+    "matrix_col",
+    "matrix_density",
+    "matrix_entry",
+    "matrix_row",
+    "maybe_densify",
+    "resolve_linalg_backend",
+    "to_dense",
     "PowerLadder",
     "lemma7_error_bound",
     "round_matrix_down",

@@ -1,0 +1,279 @@
+"""The sparse/dense dual-backend numerics layer (``LinalgBackend``).
+
+Every heavy matrix object the sampler touches -- transition matrices,
+ShortCut(G, S) matrices, Schur complements, power-ladder entries -- used
+to be a dense ``(n, n)`` numpy array, so wall-clock and memory grew
+quadratically with ``n`` regardless of how sparse the input graph was.
+This module introduces the dispatch point between two realizations:
+
+- :class:`DenseLinalg` -- the reference path: plain numpy arrays and the
+  existing LAPACK-backed constructions in :mod:`repro.linalg.schur` and
+  :mod:`repro.linalg.shortcut`, byte-for-byte the seed behavior.
+- :class:`SparseLinalg` -- ``scipy.sparse`` CSR matrices and the
+  elimination-based constructions in :mod:`repro.linalg.sparse`, which
+  exploit the block structure of the absorbing chains (visits before
+  entering S are confined to the eliminated region) to replace the
+  O(n^3) dense inverses with solves against the much smaller eliminated
+  block.
+
+Selection: :func:`resolve_linalg_backend` honours the explicit
+``SamplerConfig.linalg_backend`` override and otherwise auto-selects by
+graph size and density (``sparse_auto_min_n`` / ``sparse_auto_density``)
+-- dense for small or dense instances where BLAS wins, sparse for large
+sparse families where the asymptotics win. The executable
+``simulated-3d`` matmul protocol is defined over dense word matrices,
+so it always pairs with the dense backend.
+
+Numerical contract: both backends evaluate the same formulas over the
+same float64 inputs, so sampled trees and (analytic) round bills agree
+for the same seed; cross-backend property tests pin byte-identical
+trees and ledgers at n <= 128 across every registered graph family.
+Individual matrix entries may differ in final ulps (sparse kernels
+accumulate sums in a different order than BLAS), which is why the
+backend is part of the derived-graph cache key.
+
+The module-level helpers (:func:`matrix_row`, :func:`matrix_col`,
+:func:`to_dense`, ...) are the format-agnostic accessors the walk layer
+uses instead of raw ``matrix[i, j]`` indexing, so the same walk code
+consumes whichever matrix type the backend hands it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+try:  # pragma: no cover - exercised implicitly by every sparse test
+    import scipy.sparse as _sp
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - the CI image ships scipy
+    _sp = None
+    HAVE_SCIPY = False
+
+__all__ = [
+    "HAVE_SCIPY",
+    "LINALG_BACKENDS",
+    "DenseLinalg",
+    "SparseLinalg",
+    "auto_linalg_name",
+    "make_linalg_backend",
+    "resolve_linalg_backend",
+    "is_sparse_matrix",
+    "to_dense",
+    "matrix_row",
+    "matrix_col",
+    "matrix_entry",
+    "matrix_density",
+    "maybe_densify",
+]
+
+LINALG_BACKENDS = ("auto", "dense", "sparse")
+
+# A sparse intermediate denser than this is converted back to a numpy
+# array: beyond ~1/4 fill, CSR products cost more than BLAS and the index
+# arrays cost more memory than they save. Power ladders hit this quickly
+# (P^k fills in as k grows); the guard keeps the sparse backend from ever
+# being asymptotically worse than the dense one.
+DENSIFY_FILL = 0.25
+
+
+# ----------------------------------------------------------------------
+# Format-agnostic matrix accessors (the walk layer's vocabulary)
+# ----------------------------------------------------------------------
+
+
+def is_sparse_matrix(matrix) -> bool:
+    """True when ``matrix`` is a scipy sparse container."""
+    return HAVE_SCIPY and _sp.issparse(matrix)
+
+
+def to_dense(matrix) -> np.ndarray:
+    """``matrix`` as a dense ndarray (no copy when already dense)."""
+    if is_sparse_matrix(matrix):
+        return matrix.toarray()
+    return np.asarray(matrix)
+
+
+def matrix_row(matrix, i: int) -> np.ndarray:
+    """Row ``i`` as a dense 1-D vector (a view for dense inputs)."""
+    if is_sparse_matrix(matrix):
+        return matrix[[i], :].toarray().ravel()
+    return matrix[i, :]
+
+
+def matrix_col(matrix, j: int) -> np.ndarray:
+    """Column ``j`` as a dense 1-D vector (a view for dense inputs)."""
+    if is_sparse_matrix(matrix):
+        return matrix[:, [j]].toarray().ravel()
+    return matrix[:, j]
+
+
+def matrix_entry(matrix, i: int, j: int) -> float:
+    """Scalar entry ``[i, j]`` regardless of storage format."""
+    return float(matrix[i, j])
+
+
+def matrix_density(matrix) -> float:
+    """Fraction of stored-nonzero entries (1.0 for dense arrays)."""
+    rows, cols = matrix.shape
+    size = rows * cols
+    if size == 0:
+        return 0.0
+    if is_sparse_matrix(matrix):
+        return matrix.nnz / size
+    return float(np.count_nonzero(matrix)) / size
+
+def maybe_densify(matrix, threshold: float = DENSIFY_FILL):
+    """Convert a sparse matrix back to dense once fill-in crosses ``threshold``.
+
+    Dense inputs pass through untouched; values are preserved exactly
+    either way (this changes storage, never numbers).
+    """
+    if is_sparse_matrix(matrix) and matrix.nnz > threshold * (
+        matrix.shape[0] * matrix.shape[1]
+    ):
+        return matrix.toarray()
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+
+
+class DenseLinalg:
+    """Reference realization: numpy arrays + the LAPACK constructions."""
+
+    name = "dense"
+
+    def transition_matrix(self, graph):
+        """The phase-1 walk matrix (a private dense copy)."""
+        return graph.transition_matrix().copy()
+
+    def shortcut_matrix(
+        self, graph, subset, *, method: str = "solve", beta: float = 1e-12
+    ):
+        """``ShortCut(G, S)`` via the configured construction."""
+        from repro.linalg.shortcut import (
+            shortcut_transition_matrix,
+            shortcut_via_power_iteration,
+        )
+
+        if method == "power-iteration":
+            return shortcut_via_power_iteration(graph, subset, beta=beta)
+        return shortcut_transition_matrix(graph, subset)
+
+    def schur_transition(self, graph, subset, shortcut, *, method: str = "block"):
+        """``Schur(G, S)`` transition matrix via the configured construction."""
+        from repro.linalg.schur import (
+            schur_transition_matrix,
+            schur_via_qr_product,
+        )
+
+        if method == "qr-product":
+            return schur_via_qr_product(graph, subset, shortcut_matrix=shortcut)
+        return schur_transition_matrix(graph, subset)
+
+
+class SparseLinalg:
+    """CSR realization: scipy.sparse storage + elimination-block kernels."""
+
+    name = "sparse"
+
+    def __init__(self) -> None:
+        if not HAVE_SCIPY:
+            raise ConfigError(
+                "linalg_backend='sparse' requires scipy; install scipy or "
+                "use the dense backend"
+            )
+
+    def transition_matrix(self, graph):
+        """Phase-1 walk matrix as CSR (entries identical to the dense P)."""
+        return _sp.csr_array(graph.transition_matrix())
+
+    def shortcut_matrix(
+        self, graph, subset, *, method: str = "solve", beta: float = 1e-12
+    ):
+        from repro.linalg.sparse import (
+            sparse_shortcut_matrix,
+            sparse_shortcut_via_power_iteration,
+        )
+
+        if method == "power-iteration":
+            return sparse_shortcut_via_power_iteration(graph, subset, beta=beta)
+        return sparse_shortcut_matrix(graph, subset)
+
+    def schur_transition(self, graph, subset, shortcut, *, method: str = "block"):
+        from repro.linalg.sparse import (
+            sparse_schur_transition,
+            sparse_schur_via_qr_product,
+        )
+
+        if method == "qr-product":
+            return sparse_schur_via_qr_product(
+                graph, subset, shortcut_matrix=shortcut
+            )
+        return sparse_schur_transition(graph, subset)
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+
+
+def auto_linalg_name(config, graph) -> str:
+    """The backend ``"auto"`` resolves to for this (config, graph) pair.
+
+    Sparse wins only when all of the following hold: scipy is available,
+    the matmul realization is the analytic black box (the executable 3D
+    protocol is a dense word-matrix simulation), the instance is large
+    enough that CSR overhead amortizes (``sparse_auto_min_n``), and the
+    input graph is actually sparse (``sparse_auto_density``).
+    """
+    if not HAVE_SCIPY:
+        return "dense"
+    if getattr(config, "matmul_backend", "analytic") == "simulated-3d":
+        return "dense"
+    n = graph.n
+    if n < config.sparse_auto_min_n:
+        return "dense"
+    # count_nonzero over the weight matrix, not graph.m: the latter
+    # materializes the full edge tuple just to throw it away.
+    density = float(np.count_nonzero(graph.weights)) / max(1, n * (n - 1))
+    if density > config.sparse_auto_density:
+        return "dense"
+    return "sparse"
+
+
+def make_linalg_backend(name: str):
+    """Instantiate a backend by its explicit name (``"dense"``/``"sparse"``).
+
+    The single name->class mapping; every dispatch site (engine, the
+    sequential samplers) goes through here so a new backend only has to
+    be registered once. ``"sparse"`` raises
+    :class:`~repro.errors.ConfigError` when scipy is missing rather
+    than silently downgrading the numerics the caller asked for.
+    """
+    if name == "dense":
+        return DenseLinalg()
+    if name == "sparse":
+        return SparseLinalg()
+    raise ConfigError(
+        f"unknown linalg backend {name!r}; explicit backends are "
+        "'dense' and 'sparse' ('auto' resolves to one of them via "
+        "resolve_linalg_backend)"
+    )
+
+
+def resolve_linalg_backend(config, graph):
+    """Instantiate the backend named by ``config.linalg_backend``.
+
+    ``"auto"`` defers to :func:`auto_linalg_name`; explicit names are
+    honoured verbatim via :func:`make_linalg_backend`.
+    """
+    name = getattr(config, "linalg_backend", "dense")
+    if name == "auto":
+        name = auto_linalg_name(config, graph)
+    return make_linalg_backend(name)

@@ -24,19 +24,28 @@ import numpy as np
 
 from repro.clique.cost import RoundLedger
 from repro.errors import GraphError, PrecisionError
+from repro.linalg.backend import is_sparse_matrix, maybe_densify
 
 __all__ = ["PowerLadder", "round_matrix_down", "lemma7_error_bound"]
 
 
-def round_matrix_down(matrix: np.ndarray, bits: int) -> np.ndarray:
+def round_matrix_down(matrix, bits: int):
     """Truncate each entry down to ``bits`` fractional bits.
 
     This is the paper's ``round``: each entry incurs subtractive error in
     ``[0, 2^-bits)``. Entries are assumed non-negative (probabilities).
+    Accepts dense arrays or scipy sparse matrices (implicit zeros floor
+    to zero either way; entries truncated to zero are dropped from the
+    sparse structure).
     """
     if bits < 1:
         raise PrecisionError(f"rounding needs at least 1 bit, got {bits}")
     scale = float(1 << bits) if bits < 63 else 2.0 ** bits
+    if is_sparse_matrix(matrix):
+        rounded = matrix.copy()
+        rounded.data = np.floor(rounded.data * scale) / scale
+        rounded.eliminate_zeros()
+        return rounded
     return np.floor(matrix * scale) / scale
 
 
@@ -101,7 +110,8 @@ class PowerLadder:
         matmul=None,
         note: str = "",
     ) -> None:
-        matrix = np.asarray(matrix, dtype=np.float64)
+        if not is_sparse_matrix(matrix):
+            matrix = np.asarray(matrix, dtype=np.float64)
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise GraphError(f"matrix must be square, got {matrix.shape}")
         if ell < 1 or (ell & (ell - 1)) != 0:
@@ -132,7 +142,9 @@ class PowerLadder:
             self.squarings += 1
             if bits is not None:
                 squared = round_matrix_down(squared, bits)
-            self._powers[k] = squared
+            # Sparse ladders densify once repeated squaring fills a power
+            # past the CSR break-even point (values are unchanged).
+            self._powers[k] = maybe_densify(squared)
             if ledger is not None and matmul is None:
                 ledger.charge_matmul(
                     self.n, entry_words=entry_words, note=note or f"P^{k}"

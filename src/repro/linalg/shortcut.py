@@ -132,7 +132,7 @@ def shortcut_via_power_iteration(
 def first_visit_edge_distribution(
     graph: WeightedGraph,
     subset: Sequence[int],
-    shortcut: np.ndarray,
+    shortcut,
     prev_s_vertex: int,
     new_vertex: int,
 ) -> tuple[list[int], np.ndarray]:
@@ -145,15 +145,19 @@ def first_visit_edge_distribution(
         Pr[u] proportional to Q[prev, u] * w(u, new_vertex) / w_S(u)
 
     over G-neighbors ``u`` of ``new_vertex`` (for unweighted graphs the
-    ratio is the paper's ``1 / deg_S(u)``). Returns (neighbors,
-    probabilities).
+    ratio is the paper's ``1 / deg_S(u)``). ``shortcut`` may be a dense
+    array or a scipy CSR matrix (the linalg backends hand over either).
+    Returns (neighbors, probabilities).
     """
+    from repro.linalg.backend import matrix_row
+
     mask = _subset_mask(graph.n, subset)
     if not mask[new_vertex]:
         raise GraphError(f"new vertex {new_vertex} must lie in S")
     neighbors = list(graph.neighbors(new_vertex))
     if not neighbors:
         raise GraphError(f"vertex {new_vertex} has no neighbors")
+    from_prev = matrix_row(shortcut, prev_s_vertex)
     weights = np.empty(len(neighbors))
     for idx, u in enumerate(neighbors):
         weight_into_s = float(graph.weights[u, mask].sum())
@@ -162,7 +166,7 @@ def first_visit_edge_distribution(
             weights[idx] = 0.0
             continue
         weights[idx] = (
-            shortcut[prev_s_vertex, u]
+            from_prev[u]
             * graph.weight(u, new_vertex)
             / weight_into_s
         )

@@ -37,6 +37,7 @@ from repro.errors import GraphError, WalkError
 from repro.graphs.core import WeightedGraph
 from repro.graphs.covertime import cover_time_bound
 from repro.graphs.spanning import TreeKey, tree_key
+from repro.linalg.backend import matrix_row
 from repro.walks.sequential import first_visit_edges
 
 __all__ = ["IterationStats", "DoublingResult", "doubling_random_walk",
@@ -84,15 +85,25 @@ class DoublingResult:
 
 
 def _initial_walks(
-    graph: WeightedGraph, k: int, rng: np.random.Generator
+    graph: WeightedGraph,
+    k: int,
+    rng: np.random.Generator,
+    transition=None,
 ) -> np.ndarray:
-    """Every vertex draws k independent length-1 walks (random edges)."""
+    """Every vertex draws k independent length-1 walks (random edges).
+
+    ``transition`` may be a pre-built walk matrix in any backend format
+    (dense ndarray or scipy CSR); rows are extracted through the
+    format-agnostic accessor so the draw sequence is identical either
+    way. ``None`` builds the dense matrix from the graph.
+    """
     n = graph.n
-    transition = graph.transition_matrix()
+    if transition is None:
+        transition = graph.transition_matrix()
     walks = np.empty((n, k, 2), dtype=np.int64)
     walks[:, :, 0] = np.arange(n)[:, None]
     for v in range(n):
-        walks[v, :, 1] = rng.choice(n, size=k, p=transition[v])
+        walks[v, :, 1] = rng.choice(n, size=k, p=matrix_row(transition, v))
     return walks
 
 
@@ -104,6 +115,7 @@ def doubling_random_walk(
     load_balanced: bool = True,
     independence_c: int = 1,
     clique: CongestedClique | None = None,
+    transition=None,
 ) -> DoublingResult:
     """Run (load-balanced) Doubling to build walks of length >= tau.
 
@@ -122,6 +134,9 @@ def doubling_random_walk(
         family (Lemma 10 gives failure probability ``n^{-2c}``).
     clique:
         Optional simulator to charge; a fresh one is created otherwise.
+    transition:
+        Optional pre-built walk matrix in any linalg-backend format
+        (dense or CSR); ``None`` builds the dense one from the graph.
 
     Returns
     -------
@@ -141,7 +156,7 @@ def doubling_random_walk(
 
     k = 1 << max(0, math.ceil(math.log2(tau)))
     eta = 1
-    walks = _initial_walks(graph, k, rng)
+    walks = _initial_walks(graph, k, rng, transition)
     iterations: list[IterationStats] = []
     rounds_before = ledger.total_rounds()
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import WalkError
+from repro.linalg.backend import matrix_col, matrix_row
 from repro.linalg.matpow import PowerLadder
 
 __all__ = [
@@ -85,7 +86,7 @@ class PartialWalk:
 
 
 def sample_midpoint(
-    half_power: np.ndarray,
+    half_power,
     p: int,
     q: int,
     rng: np.random.Generator,
@@ -94,12 +95,14 @@ def sample_midpoint(
 ) -> list[int]:
     """Sample ``count`` i.i.d. midpoints between (p, q) (Formula 1).
 
-    ``half_power`` is ``P^{delta/2}``; the unnormalized law over v is
-    ``half_power[p, v] * half_power[v, q]``. Raises :class:`WalkError`
-    when the two-step return probability ``P^{delta}[p, q]`` is zero
-    (such a gap cannot exist in a genuine walk).
+    ``half_power`` is ``P^{delta/2}`` in whichever storage format the
+    linalg backend produced (dense ndarray or scipy CSR); the
+    unnormalized law over v is ``half_power[p, v] * half_power[v, q]``.
+    Raises :class:`WalkError` when the two-step return probability
+    ``P^{delta}[p, q]`` is zero (such a gap cannot exist in a genuine
+    walk).
     """
-    distribution = half_power[p, :] * half_power[:, q]
+    distribution = matrix_row(half_power, p) * matrix_col(half_power, q)
     total = distribution.sum()
     if total <= 0:
         raise WalkError(
@@ -113,7 +116,7 @@ def sample_midpoint(
 
 def _fill_level(
     walk: PartialWalk,
-    half_power: np.ndarray,
+    half_power,
     rng: np.random.Generator,
 ) -> PartialWalk:
     """Insert one midpoint into every gap, halving the spacing."""
@@ -157,7 +160,7 @@ def fill_walk(
     """
     rng = np.random.default_rng(rng)
     ell = ladder.ell
-    end_distribution = ladder.power(ell)[start, :]
+    end_distribution = matrix_row(ladder.power(ell), start)
     end = int(rng.choice(len(end_distribution), p=end_distribution))
     walk = PartialWalk(ell, [start, end])
     while not walk.is_complete:
@@ -188,7 +191,7 @@ def sample_bridge(
     if length is None:
         length = ladder.ell
     top = ladder.power(length)  # validates that length is in the ladder
-    if top[start, end] <= 0.0:
+    if float(top[start, end]) <= 0.0:
         raise WalkError(
             f"no length-{length} bridge exists from {start} to {end}"
         )
@@ -215,7 +218,7 @@ def truncated_fill_walk(
         raise WalkError(f"rho must be >= 1, got {rho}")
     rng = np.random.default_rng(rng)
     ell = ladder.ell
-    end_distribution = ladder.power(ell)[start, :]
+    end_distribution = matrix_row(ladder.power(ell), start)
     end = int(rng.choice(len(end_distribution), p=end_distribution))
     walk = _truncate_at_distinct(PartialWalk(ell, [start, end]), rho)
     while not walk.is_complete:

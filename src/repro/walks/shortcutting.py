@@ -32,11 +32,8 @@ import numpy as np
 from repro.errors import GraphError, SamplingError
 from repro.graphs.core import WeightedGraph
 from repro.graphs.spanning import TreeKey, is_spanning_tree, tree_key
-from repro.linalg.schur import schur_complement_graph
-from repro.linalg.shortcut import (
-    first_visit_edge_distribution,
-    shortcut_transition_matrix,
-)
+from repro.linalg.backend import make_linalg_backend, matrix_row
+from repro.linalg.shortcut import first_visit_edge_distribution
 
 __all__ = ["ShortcuttingResult", "ShortcuttingSampler"]
 
@@ -65,6 +62,13 @@ class ShortcuttingSampler:
         distinct vertices of the phase graph.
     start_vertex:
         The Aldous-Broder root (contributes no first-visit edge).
+    linalg_backend:
+        Numerics realization for the per-phase derived graphs:
+        ``"dense"`` (default, the numpy reference path) or ``"sparse"``
+        (scipy CSR + the elimination-block kernels of
+        :mod:`repro.linalg.sparse`). The walk itself only reads rows
+        through the format-agnostic accessors, so both backends draw
+        identical trees for the same seed.
     """
 
     def __init__(
@@ -73,6 +77,7 @@ class ShortcuttingSampler:
         *,
         rho: int | None = None,
         start_vertex: int = 0,
+        linalg_backend: str = "dense",
     ) -> None:
         graph.require_connected()
         if graph.n < 2:
@@ -81,6 +86,7 @@ class ShortcuttingSampler:
             raise GraphError(f"rho must be >= 2, got {rho}")
         if not (0 <= start_vertex < graph.n):
             raise GraphError(f"start vertex {start_vertex} out of range")
+        self.linalg = make_linalg_backend(linalg_backend)
         self.graph = graph
         self.rho = rho if rho is not None else max(2, math.isqrt(graph.n))
         self.start_vertex = start_vertex
@@ -103,22 +109,36 @@ class ShortcuttingSampler:
                     "shortcutting sampler exceeded 2n phases"
                 )  # pragma: no cover
             subset = sorted((set(range(n)) - visited) | {current})
-            shortcut = shortcut_transition_matrix(graph, subset)
+            shortcut = self.linalg.shortcut_matrix(graph, subset)
             if len(subset) == n:
-                phase_graph = graph
+                transition = self.linalg.transition_matrix(graph)
                 order = list(range(n))
             else:
-                phase_graph, order = schur_complement_graph(graph, subset)
+                transition, order = self.linalg.schur_transition(
+                    graph, subset, shortcut
+                )
             index_of = {v: i for i, v in enumerate(order)}
             rho_eff = min(self.rho, len(subset))
+            phase_n = transition.shape[0]
 
-            cumulative = np.cumsum(phase_graph.transition_matrix(), axis=1)
+            # Row CDFs are materialized lazily per visited row (and
+            # memoized), so the step loop reads whichever matrix type the
+            # backend produced without ever densifying the whole thing.
+            row_cdfs: dict[int, np.ndarray] = {}
+
+            def cdf(row: int) -> np.ndarray:
+                cached = row_cdfs.get(row)
+                if cached is None:
+                    cached = np.cumsum(matrix_row(transition, row))
+                    row_cdfs[row] = cached
+                return cached
+
             walk = [index_of[current]]
             seen = {walk[0]}
             while len(seen) < rho_eff:
                 u = rng.random()
-                nxt = int(np.searchsorted(cumulative[walk[-1]], u, "right"))
-                nxt = min(nxt, phase_graph.n - 1)
+                nxt = int(np.searchsorted(cdf(walk[-1]), u, "right"))
+                nxt = min(nxt, phase_n - 1)
                 walk.append(nxt)
                 seen.add(nxt)
             steps_per_phase.append(len(walk) - 1)

@@ -126,6 +126,49 @@ class TestCacheBehavior:
         b.run(np.random.default_rng(1))
         assert cache.hits == hits_after_a  # different ell => no sharing
 
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"precision_bits": 48},
+            {"normalizer_floor_exponent": 20.0},
+            {"linalg_backend": "sparse"},
+            {"extra": {"experiment": "A"}},
+        ],
+    )
+    def test_fingerprint_covers_every_config_field(self, override):
+        """Regression: the key is a *complete* config fingerprint.
+
+        The old key hashed a hand-picked field list, so two sessions
+        sharing a cache with configs differing in an unlisted
+        numerics-affecting knob (precision/truncation, the linalg
+        backend, user extras) exchanged stale PhaseNumerics. Any field
+        difference must now partition the cache.
+        """
+        cache = DerivedGraphCache(max_entries=32)
+        g = graphs.cycle_graph(9)
+        base = SamplerEngine(g, SamplerConfig(ell=1 << 9), cache=cache)
+        other = SamplerEngine(
+            g, SamplerConfig(ell=1 << 9, **override), cache=cache
+        )
+        base.run(np.random.default_rng(1))
+        hits_before = cache.hits
+        other.run(np.random.default_rng(1))
+        assert cache.hits == hits_before, override
+
+    def test_identical_configs_still_share(self):
+        """The complete fingerprint must not break legitimate sharing."""
+        cache = DerivedGraphCache(max_entries=32)
+        g = graphs.cycle_graph(9)
+        config = SamplerConfig(ell=1 << 9, extra={"experiment": "A"})
+        a = SamplerEngine(g, config, cache=cache)
+        b = SamplerEngine(
+            g, SamplerConfig(ell=1 << 9, extra={"experiment": "A"}),
+            cache=cache,
+        )
+        a.run(np.random.default_rng(1))
+        b.run(np.random.default_rng(2))
+        assert cache.hits >= 1  # b reuses a's phase-1 entry
+
     def test_lru_eviction_bounds_entries(self):
         cache = DerivedGraphCache(max_entries=2)
         for key in [(1,), (2,), (3,)]:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import graphs
-from repro.errors import GraphError
+from repro.errors import FormatError, GraphError
 from repro.graphs.io import (
     graph_from_json,
     graph_to_json,
@@ -58,6 +58,67 @@ class TestEdgeList:
         path.write_text("# a comment\n\n0 1\n# another\n1 2\n")
         assert read_edge_list(path).m == 2
 
+    def test_trailing_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trailing.edges"
+        path.write_text("0 1\n1 2\n\n\n")
+        assert read_edge_list(path).m == 2
+
+
+class TestEdgeListValidation:
+    """Parse-time rejection of input that used to fail deep in numerics."""
+
+    def test_duplicate_edge_names_both_lines(self, tmp_path):
+        path = tmp_path / "dup.edges"
+        path.write_text("0 1\n1 2\n1 0\n")
+        with pytest.raises(FormatError) as excinfo:
+            read_edge_list(path)
+        message = str(excinfo.value)
+        assert f"{path}:3" in message  # the duplicate
+        assert f"{path}:1" in message  # its first declaration
+
+    def test_self_loop_rejected_with_line(self, tmp_path):
+        path = tmp_path / "loop.edges"
+        path.write_text("0 1\n2 2\n")
+        with pytest.raises(FormatError, match=rf"{path}:2"):
+            read_edge_list(path)
+
+    def test_unparseable_tokens_rejected_with_line(self, tmp_path):
+        path = tmp_path / "tokens.edges"
+        path.write_text("0 1\n1 two\n")
+        with pytest.raises(FormatError, match=rf"{path}:2"):
+            read_edge_list(path)
+
+    def test_negative_vertex_rejected(self, tmp_path):
+        path = tmp_path / "neg.edges"
+        path.write_text("-1 1\n")
+        with pytest.raises(FormatError, match=rf"{path}:1"):
+            read_edge_list(path)
+
+    def test_non_positive_weight_rejected(self, tmp_path):
+        path = tmp_path / "zero.edges"
+        path.write_text("0 1 0.0\n")
+        with pytest.raises(FormatError, match="weight"):
+            read_edge_list(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "header.edges"
+        path.write_text("# vertices: many\n0 1\n")
+        with pytest.raises(FormatError, match=rf"{path}:1"):
+            read_edge_list(path)
+
+    def test_empty_document_rejected(self, tmp_path):
+        path = tmp_path / "empty.edges"
+        path.write_text("\n\n")
+        with pytest.raises(FormatError, match="empty"):
+            read_edge_list(path)
+
+    def test_format_error_is_a_graph_error(self, tmp_path):
+        # downstream except-clauses on GraphError keep working
+        path = tmp_path / "loop2.edges"
+        path.write_text("3 3\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
 
 class TestJson:
     def test_graph_round_trip(self, small_graphs):
@@ -86,3 +147,54 @@ class TestJson:
         doc = tree_to_json(3, [(2, 1), (1, 0)])
         __, tree = tree_from_json(doc)
         assert tree == ((0, 1), (1, 2))
+
+
+class TestJsonValidation:
+    """graph_from_json mirrors the edge-list parse-time checks."""
+
+    @staticmethod
+    def _doc(n, edges):
+        import json
+
+        return json.dumps(
+            {"format": "repro-graph-v1", "n": n, "edges": edges}
+        )
+
+    def test_duplicate_edge_rejected_with_index(self):
+        doc = self._doc(3, [[0, 1, 1.0], [1, 2, 1.0], [1, 0, 2.0]])
+        with pytest.raises(FormatError, match="edge #2"):
+            graph_from_json(doc)
+
+    def test_self_loop_rejected_with_index(self):
+        doc = self._doc(3, [[0, 1, 1.0], [2, 2, 1.0]])
+        with pytest.raises(FormatError, match="edge #1"):
+            graph_from_json(doc)
+
+    def test_out_of_range_rejected(self):
+        doc = self._doc(2, [[0, 5, 1.0]])
+        with pytest.raises(FormatError, match="out of range"):
+            graph_from_json(doc)
+
+    def test_malformed_row_rejected(self):
+        doc = self._doc(3, [[0, 1, 1.0], [1]])
+        with pytest.raises(FormatError, match="edge #1"):
+            graph_from_json(doc)
+
+    def test_non_positive_weight_rejected(self):
+        doc = self._doc(3, [[0, 1, -2.0]])
+        with pytest.raises(FormatError, match="weight"):
+            graph_from_json(doc)
+
+    def test_bad_n_rejected(self):
+        import json
+
+        doc = json.dumps(
+            {"format": "repro-graph-v1", "n": "lots", "edges": []}
+        )
+        with pytest.raises(FormatError, match="integer 'n'"):
+            graph_from_json(doc)
+
+    def test_negative_n_rejected(self):
+        doc = self._doc(-3, [])
+        with pytest.raises(FormatError, match="negative n"):
+            graph_from_json(doc)
