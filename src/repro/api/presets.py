@@ -19,6 +19,13 @@ everywhere at once.
   walk length with the scipy CSR numerics backend pinned on
   (``linalg_backend="sparse"``), for cycle/grid/bounded-degree inputs
   past the dense crossover (see ``benchmarks/bench_sparse_scaling.py``).
+- ``"warm-service"`` -- the long-lived-service recipe: fast-bench walk
+  length over the persistent tiered derived-graph store
+  (``cache_dir="auto"`` -> ``$REPRO_CACHE_DIR`` or
+  ``~/.cache/repro-spanning-trees``) with a 256 MiB RAM tier and a
+  4 GiB disk tier, so restarts and ensemble workers warm-start and the
+  ``auto`` backend picks up this machine's calibrated sparse crossover
+  (``python -m repro calibrate``).
 """
 
 from __future__ import annotations
@@ -73,6 +80,18 @@ PRESETS: dict[str, Preset] = {
             "large sparse instances: fast-bench walk length + CSR numerics",
             "approximate",
             SamplerConfig(ell=1 << 12, linalg_backend="sparse"),
+        ),
+        Preset(
+            "warm-service",
+            "long-lived service: persistent tiered cache + calibrated auto "
+            "backend",
+            "approximate",
+            SamplerConfig(
+                ell=1 << 12,
+                cache_dir="auto",
+                cache_memory_bytes=256 * 2**20,
+                cache_disk_bytes=4 * 2**30,
+            ),
         ),
     ]
 }

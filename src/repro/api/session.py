@@ -52,8 +52,8 @@ from repro.api.responses import (
     RoundBillReport,
 )
 from repro.core.config import SamplerConfig
-from repro.engine.cache import DerivedGraphCache
 from repro.engine.ensemble import EnsembleEngine
+from repro.engine.store import open_phase_store
 from repro.engine.runner import SamplerEngine
 from repro.errors import ConfigError, ReproError
 from repro.graphs.core import WeightedGraph
@@ -107,11 +107,12 @@ class Session:
         # backend produced their numbers.
         self._linalg_name = resolve_linalg_backend(self.config, graph).name
         self._root = np.random.SeedSequence(seed)
-        self._cache = (
-            DerivedGraphCache(self.config.derived_cache_entries)
-            if self.config.derived_cache
-            else None
-        )
+        # One store for the whole session: shared across variants (the
+        # derived graphs are variant-independent) and -- when the config
+        # names a cache_dir -- tiered over a persistent disk directory
+        # that ensemble worker processes and later sessions warm-start
+        # from (see repro.engine.store).
+        self._cache = open_phase_store(self.config)
         self._engines: dict[str, SamplerEngine] = {}
 
     # -- shared state ---------------------------------------------------
@@ -132,7 +133,16 @@ class Session:
         return self._engines[variant]
 
     def cache_stats(self) -> dict:
-        """Hit/miss/eviction counters of the shared derived-graph cache."""
+        """Per-tier counters of the shared derived-graph cache.
+
+        Flat int-valued dict: ``hits``/``misses``/``evictions``/
+        ``entries``/``bytes`` for the memory tier, plus ``disk_hits``/
+        ``spills``/``promotes``/``disk_entries``/``disk_bytes``/
+        ``disk_evictions`` when the session runs a tiered store
+        (``config.cache_dir``). Empty when caching is disabled. Requests
+        fanned out to worker processes (``jobs > 1``) warm the shared
+        disk tier but not this session's in-process counters.
+        """
         return {} if self._cache is None else self._cache.stats()
 
     def _request_seed(self, request) -> np.random.SeedSequence:
@@ -174,6 +184,11 @@ class Session:
             "seed": request.seed,
             "linalg_backend": self._linalg_name,
             "seconds": round(time.perf_counter() - start, 6),
+            # Cumulative session cache counters, captured after the
+            # request so every envelope carries tier hit/miss/spill/
+            # promote state (DerivedGraphCache.stats used to be dropped
+            # on the floor here).
+            "cache": self.cache_stats(),
             **extra_meta,
         }
         return Response(kind=request.kind, result=result, meta=meta)

@@ -39,6 +39,11 @@ Subcommands:
     leverage-score marginal audit.
 ``audit``
     Uniformity audit against exact enumeration (engine-backed batch).
+``calibrate``
+    Fit this machine's sparse/dense numerics crossover with a short
+    timed probe and persist it next to the tiered derived-graph store
+    (``--cache-dir``, default ``auto``); ``auto`` backend resolution
+    consults the persisted profile from then on.
 ``families``
     List the available graph families (``--json`` for the machine-
     readable registry).
@@ -95,6 +100,8 @@ def _open_session(args: argparse.Namespace, ell: int | None = None) -> Session:
     overrides: dict = {} if ell is None else {"ell": ell}
     if getattr(args, "linalg_backend", None) is not None:
         overrides["linalg_backend"] = args.linalg_backend
+    if getattr(args, "cache_dir", None) is not None:
+        overrides["cache_dir"] = args.cache_dir
     config = preset_config("fast-bench", **overrides)
     return Session(graph, config, seed=args.seed, meta=meta)
 
@@ -129,6 +136,37 @@ def _add_linalg_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_dir_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared persistent-cache-directory flag."""
+    parser.add_argument(
+        "--cache-dir",
+        dest="cache_dir",
+        default=None,
+        metavar="DIR",
+        help="persistent derived-graph store: spill phase numerics to "
+             "DIR and warm-start from entries already there ('auto' = "
+             "$REPRO_CACHE_DIR or ~/.cache/repro-spanning-trees)",
+    )
+
+
+def _render_cache_line(meta: dict) -> str | None:
+    """One compact human-readable line of tier counters, or None."""
+    cache = meta.get("cache")
+    if not cache:
+        return None
+    line = (
+        f"  cache: {cache.get('hits', 0)} hits / "
+        f"{cache.get('misses', 0)} misses"
+    )
+    if "disk_hits" in cache:
+        line += (
+            f"; disk {cache['disk_hits']} hits, {cache.get('spills', 0)} "
+            f"spills, {cache.get('disk_entries', 0)} entries "
+            f"({cache.get('disk_bytes', 0) / 2**20:.1f} MB)"
+        )
+    return line
+
+
 def _make_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -154,6 +192,7 @@ def _make_parser() -> argparse.ArgumentParser:
     sample.add_argument("--json", action="store_true",
                         help="machine-readable output")
     _add_linalg_flag(sample)
+    _add_cache_dir_flag(sample)
 
     rounds = sub.add_parser("rounds", help="compare sampler round bills")
     rounds.add_argument("--family", default="expander", choices=family_names())
@@ -163,6 +202,7 @@ def _make_parser() -> argparse.ArgumentParser:
     rounds.add_argument("--json", action="store_true",
                         help="machine-readable output")
     _add_linalg_flag(rounds)
+    _add_cache_dir_flag(rounds)
 
     pagerank = sub.add_parser(
         "pagerank", help="walk-based PageRank vs the exact solve"
@@ -195,6 +235,7 @@ def _make_parser() -> argparse.ArgumentParser:
     ensemble.add_argument("--json", action="store_true",
                           help="machine-readable output")
     _add_linalg_flag(ensemble)
+    _add_cache_dir_flag(ensemble)
 
     audit = sub.add_parser(
         "audit", help="uniformity audit against exact enumeration"
@@ -211,6 +252,24 @@ def _make_parser() -> argparse.ArgumentParser:
     audit.add_argument("--json", action="store_true",
                        help="machine-readable output")
     _add_linalg_flag(audit)
+    _add_cache_dir_flag(audit)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fit this machine's sparse/dense crossover and persist it",
+    )
+    calibrate.add_argument(
+        "--cache-dir", dest="cache_dir", default="auto", metavar="DIR",
+        help="persistence directory for the profile (default: 'auto' = "
+             "$REPRO_CACHE_DIR or ~/.cache/repro-spanning-trees)",
+    )
+    calibrate.add_argument(
+        "--quick", action="store_true",
+        help="coarse subsecond probe (small sizes, one repeat)",
+    )
+    calibrate.add_argument("--seed", type=int, default=0)
+    calibrate.add_argument("--json", action="store_true",
+                           help="machine-readable profile output")
 
     families = sub.add_parser("families", help="list graph families")
     families.add_argument("--json", action="store_true",
@@ -238,6 +297,9 @@ def _cmd_sample(args: argparse.Namespace) -> int:
                 print(f"    {category:<26s} {count}")
         tree = [list(edge) for edge in result.tree]
         print(f"  tree: {len(tree)} edges: {tree[:6]}...")
+        cache_line = _render_cache_line(meta)
+        if cache_line:
+            print(cache_line)
 
     return _emit(response, args.json, render)
 
@@ -316,6 +378,9 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
             f"mean {leverage['mean_abs_deviation']:.5f} "
             f"(noise ~ {leverage['max_noise_scale']:.5f})"
         )
+        cache_line = _render_cache_line(meta)
+        if cache_line:
+            print(cache_line)
 
     return _emit(response, args.json, render)
 
@@ -341,6 +406,41 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         print("verdict:", report.verdict)
 
     return _emit(response, args.json, render)
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.engine.store import resolve_cache_root
+    from repro.linalg.calibrate import run_calibration, save_profile
+
+    root = resolve_cache_root(args.cache_dir)
+    profile = run_calibration(quick=args.quick, seed=args.seed)
+    path = save_profile(root, profile)
+    if args.json:
+        payload = profile.to_dict()
+        payload["path"] = str(path)
+        print(json_module.dumps(payload, indent=2))
+        return 0
+    print(f"calibrated sparse/dense crossover for host {profile.host!r}:")
+    print(f"  sparse_auto_min_n:   {profile.sparse_auto_min_n}")
+    print(f"  sparse_auto_density: {profile.sparse_auto_density}")
+    print(f"{'probe':<8s} {'n':>5s} {'density':>8s} {'dense s':>9s} "
+          f"{'sparse s':>9s} {'winner':>7s}")
+    for row in profile.probe:
+        if "dense_seconds" not in row:
+            continue
+        density = row.get("density")
+        print(
+            f"{row['probe']:<8s} {row['n']:>5d} "
+            f"{'-' if density is None else f'{density:.2f}':>8s} "
+            f"{row['dense_seconds']:>9.4f} {row['sparse_seconds']:>9.4f} "
+            f"{'sparse' if row['sparse_wins'] else 'dense':>7s}"
+        )
+    print(f"profile written to {path}")
+    print("sessions with linalg_backend='auto' and a cache_dir pointed at "
+          "this directory now use the fitted crossover")
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -369,6 +469,7 @@ def main(argv: list[str] | None = None) -> int:
         "pagerank": _cmd_pagerank,
         "ensemble": _cmd_ensemble,
         "audit": _cmd_audit,
+        "calibrate": _cmd_calibrate,
         "families": _cmd_families,
         "verify": _cmd_verify,
     }

@@ -111,8 +111,30 @@ class SamplerConfig:
         numeric computation). Output trees and round bills are identical
         with the cache on or off.
     derived_cache_entries:
-        LRU capacity of the derived-graph cache (entries are per-subset
-        and hold O(|S|^2 log ell) floats each).
+        LRU entry-count cap of the derived-graph cache (entries are
+        per-subset and hold O(|S|^2 log ell) floats each). Secondary to
+        the byte budget below when one is set.
+    cache_dir:
+        Root of the persistent derived-graph store
+        (:mod:`repro.engine.store`): entries are spilled to
+        content-addressed ``.npy``/``.npz`` blobs under this directory
+        and survive process restarts, so ensemble workers and fresh CLI
+        invocations warm-start instead of recomputing phase numerics.
+        ``None`` (default) keeps the cache purely in-memory; the
+        sentinel ``"auto"`` uses ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro-spanning-trees``. The same directory holds this
+        machine's sparse-crossover calibration profile
+        (:mod:`repro.linalg.calibrate`), which ``linalg_backend="auto"``
+        consults when the crossover knobs are left at their defaults.
+        Trees and round ledgers are identical with the disk tier cold,
+        warm, or absent (property-tested).
+    cache_memory_bytes:
+        Byte budget of the in-memory tier (``None``: unbounded up to
+        ``derived_cache_entries``). Eviction is LRU by total
+        :meth:`~repro.engine.cache.PhaseNumerics.nbytes`.
+    cache_disk_bytes:
+        Byte budget of the disk tier (``None``: unbounded). Requires
+        ``cache_dir``. Least-recently-used blobs are deleted past it.
     """
 
     epsilon: float = 1e-3
@@ -133,6 +155,9 @@ class SamplerConfig:
     max_extensions: int = 64
     derived_cache: bool = True
     derived_cache_entries: int = 64
+    cache_dir: str | None = None
+    cache_memory_bytes: int | None = None
+    cache_disk_bytes: int | None = None
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -195,6 +220,28 @@ class SamplerConfig:
             raise ConfigError(
                 f"derived_cache_entries must be >= 1, got "
                 f"{self.derived_cache_entries}"
+            )
+        if self.cache_dir is not None and not self.derived_cache:
+            raise ConfigError(
+                "cache_dir requires derived_cache=True: the disk tier "
+                "sits beneath the in-memory derived-graph cache"
+            )
+        if self.cache_dir is not None and not str(self.cache_dir).strip():
+            raise ConfigError("cache_dir must be a non-empty path or 'auto'")
+        if self.cache_memory_bytes is not None and self.cache_memory_bytes < 1:
+            raise ConfigError(
+                f"cache_memory_bytes must be >= 1 (or None), got "
+                f"{self.cache_memory_bytes}"
+            )
+        if self.cache_disk_bytes is not None and self.cache_disk_bytes < 1:
+            raise ConfigError(
+                f"cache_disk_bytes must be >= 1 (or None), got "
+                f"{self.cache_disk_bytes}"
+            )
+        if self.cache_disk_bytes is not None and self.cache_dir is None:
+            raise ConfigError(
+                "cache_disk_bytes without cache_dir has nothing to bound; "
+                "set cache_dir (or 'auto') to enable the disk tier"
             )
 
     # ------------------------------------------------------------------

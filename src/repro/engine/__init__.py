@@ -5,9 +5,12 @@ Three layers sit between the public sampler facade and the numerics:
 1. :mod:`repro.engine.backends` -- the :class:`MatmulBackend` protocol
    unifying the analytic O~(n^alpha) charge model and the executable 3D
    protocol behind one interface;
-2. :mod:`repro.engine.cache` -- the :class:`DerivedGraphCache`, memoizing
-   shortcut/Schur/power-ladder numerics by vertex subset across draws
-   while preserving per-run round charges exactly;
+2. :mod:`repro.engine.cache` / :mod:`repro.engine.store` -- the
+   :class:`DerivedGraphCache` (byte-budgeted RAM LRU memoizing
+   shortcut/Schur/power-ladder numerics by vertex subset while
+   preserving per-run round charges exactly) and the
+   :class:`TieredPhaseStore` layering it over a persistent,
+   process-shared on-disk blob tier (:class:`DiskTier`);
 3. :mod:`repro.engine.runner` / :mod:`repro.engine.ensemble` -- the
    single-draw :class:`SamplerEngine` and the :class:`EnsembleEngine`
    batch driver with multi-process fan-out.
@@ -24,6 +27,12 @@ from repro.engine.backends import (
     make_matmul_backend,
 )
 from repro.engine.cache import DerivedGraphCache, PhaseNumerics
+from repro.engine.store import (
+    DiskTier,
+    TieredPhaseStore,
+    open_phase_store,
+    resolve_cache_root,
+)
 from repro.engine.results import SampleResult
 from repro.engine.runner import SamplerEngine
 from repro.engine.ensemble import (
@@ -38,6 +47,10 @@ __all__ = [
     "make_matmul_backend",
     "DerivedGraphCache",
     "PhaseNumerics",
+    "DiskTier",
+    "TieredPhaseStore",
+    "open_phase_store",
+    "resolve_cache_root",
     "SampleResult",
     "SamplerEngine",
     "EnsembleEngine",

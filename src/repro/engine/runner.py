@@ -34,6 +34,7 @@ from repro.engine.cache import (
     PhaseNumerics,
     config_fingerprint,
 )
+from repro.engine.store import TieredPhaseStore, open_phase_store
 from repro.engine.results import SampleResult
 from repro.errors import GraphError, SamplingError
 from repro.graphs.core import WeightedGraph
@@ -58,9 +59,11 @@ class SamplerEngine:
     variant:
         ``"approximate"`` (Theorem 1) or ``"exact"`` (Appendix 5).
     cache:
-        Optional externally owned :class:`DerivedGraphCache`. ``None``
-        creates one per the config (or disables caching when
-        ``config.derived_cache`` is false).
+        Optional externally owned cache: a :class:`DerivedGraphCache`
+        or a :class:`~repro.engine.store.TieredPhaseStore` (both expose
+        ``lookup``/``store``/``stats``). ``None`` opens one per the
+        config via :func:`~repro.engine.store.open_phase_store` (or
+        disables caching when ``config.derived_cache`` is false).
     """
 
     def __init__(
@@ -69,7 +72,7 @@ class SamplerEngine:
         config: SamplerConfig | None = None,
         *,
         variant: str = "approximate",
-        cache: DerivedGraphCache | None = None,
+        cache: DerivedGraphCache | TieredPhaseStore | None = None,
     ) -> None:
         graph.require_connected()
         if graph.n < 2:
@@ -83,8 +86,11 @@ class SamplerEngine:
             raise GraphError(
                 f"start vertex {self.config.start_vertex} out of range"
             )
-        if cache is None and self.config.derived_cache:
-            cache = DerivedGraphCache(self.config.derived_cache_entries)
+        if cache is None:
+            # Per the config: in-memory LRU, a tiered store over
+            # config.cache_dir (how separately spawned ensemble workers
+            # warm-start from each other), or None when disabled.
+            cache = open_phase_store(self.config)
         self.cache = cache
         # Numerics realization (dense numpy vs scipy CSR), resolved once
         # per engine: "auto" decides from the graph's size and density.
@@ -214,6 +220,12 @@ class SamplerEngine:
         walk_orig = [order[i] for i in local_walk]
 
         # --- Step 6: first-visit edges via ShortCut(G, S) (Algorithm 4).
+        # The into-S weight vector is a function of (G, S) alone; hoist
+        # it out of the per-new-vertex loop (same per-row pairwise sums,
+        # so the sampled law is unchanged).
+        s_mask = np.zeros(n, dtype=bool)
+        s_mask[subset] = True
+        weight_into_s = graph.weights[:, s_mask].sum(axis=1)
         edges: list[tuple[int, int]] = []
         seen = {walk_orig[0]}
         for position in range(1, len(walk_orig)):
@@ -223,7 +235,8 @@ class SamplerEngine:
             seen.add(v)
             prev = walk_orig[position - 1]
             neighbors, probabilities = first_visit_edge_distribution(
-                graph, subset, shortcut, prev, v
+                graph, subset, shortcut, prev, v,
+                weight_into_s=weight_into_s,
             )
             u = int(neighbors[int(rng.choice(len(neighbors), p=probabilities))])
             edges.append((u, v))

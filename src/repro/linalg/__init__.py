@@ -28,10 +28,18 @@ from repro.linalg.backend import (
     make_linalg_backend,
     matrix_density,
     matrix_entry,
+    matrix_nbytes,
     matrix_row,
     maybe_densify,
     resolve_linalg_backend,
     to_dense,
+)
+from repro.linalg.calibrate import (
+    CrossoverProfile,
+    load_profile,
+    profile_for_config,
+    run_calibration,
+    save_profile,
 )
 from repro.linalg.matpow import (
     PowerLadder,
@@ -61,10 +69,16 @@ __all__ = [
     "matrix_col",
     "matrix_density",
     "matrix_entry",
+    "matrix_nbytes",
     "matrix_row",
     "maybe_densify",
     "resolve_linalg_backend",
     "to_dense",
+    "CrossoverProfile",
+    "load_profile",
+    "profile_for_config",
+    "run_calibration",
+    "save_profile",
     "PowerLadder",
     "lemma7_error_bound",
     "round_matrix_down",

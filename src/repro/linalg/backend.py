@@ -66,6 +66,7 @@ __all__ = [
     "matrix_col",
     "matrix_entry",
     "matrix_density",
+    "matrix_nbytes",
     "maybe_densify",
 ]
 
@@ -124,6 +125,20 @@ def matrix_density(matrix) -> float:
     if is_sparse_matrix(matrix):
         return matrix.nnz / size
     return float(np.count_nonzero(matrix)) / size
+
+def matrix_nbytes(matrix) -> int:
+    """Storage footprint in bytes regardless of format.
+
+    Dense arrays (including disk-backed memmaps) report their buffer
+    size; CSR containers report data + index arrays. This is the unit
+    the byte-budgeted cache tiers account in.
+    """
+    if is_sparse_matrix(matrix):
+        return int(
+            matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+        )
+    return int(np.asarray(matrix).nbytes)
+
 
 def maybe_densify(matrix, threshold: float = DENSIFY_FILL):
     """Convert a sparse matrix back to dense once fill-in crosses ``threshold``.
@@ -223,6 +238,38 @@ class SparseLinalg:
 # ----------------------------------------------------------------------
 
 
+def _crossover_thresholds(config) -> tuple[int, float]:
+    """The (min_n, density) crossover ``auto`` should apply for ``config``.
+
+    The dataclass defaults were fitted on one host (BENCH_sparse_scaling);
+    when the session points at a persistent cache directory that holds a
+    :mod:`repro.linalg.calibrate` profile, that per-machine fit replaces
+    them. An *explicit* override on the config always wins -- the profile
+    only substitutes for values the user left at the class defaults.
+    """
+    from dataclasses import fields
+
+    min_n = config.sparse_auto_min_n
+    density = config.sparse_auto_density
+    defaults = {
+        f.name: f.default
+        for f in fields(config)
+        if f.name in ("sparse_auto_min_n", "sparse_auto_density")
+    }
+    if (
+        min_n == defaults.get("sparse_auto_min_n")
+        and density == defaults.get("sparse_auto_density")
+        and getattr(config, "cache_dir", None) is not None
+    ):
+        from repro.linalg.calibrate import profile_for_config
+
+        profile = profile_for_config(config)
+        if profile is not None:
+            min_n = profile.sparse_auto_min_n
+            density = profile.sparse_auto_density
+    return min_n, density
+
+
 def auto_linalg_name(config, graph) -> str:
     """The backend ``"auto"`` resolves to for this (config, graph) pair.
 
@@ -230,19 +277,24 @@ def auto_linalg_name(config, graph) -> str:
     the matmul realization is the analytic black box (the executable 3D
     protocol is a dense word-matrix simulation), the instance is large
     enough that CSR overhead amortizes (``sparse_auto_min_n``), and the
-    input graph is actually sparse (``sparse_auto_density``).
+    input graph is actually sparse (``sparse_auto_density``). The two
+    thresholds come from the config, or -- when the config carries the
+    class defaults and names a persistent ``cache_dir`` holding a
+    calibration profile -- from this machine's fitted crossover (see
+    :mod:`repro.linalg.calibrate`).
     """
     if not HAVE_SCIPY:
         return "dense"
     if getattr(config, "matmul_backend", "analytic") == "simulated-3d":
         return "dense"
+    min_n, max_density = _crossover_thresholds(config)
     n = graph.n
-    if n < config.sparse_auto_min_n:
+    if n < min_n:
         return "dense"
     # count_nonzero over the weight matrix, not graph.m: the latter
     # materializes the full edge tuple just to throw it away.
     density = float(np.count_nonzero(graph.weights)) / max(1, n * (n - 1))
-    if density > config.sparse_auto_density:
+    if density > max_density:
         return "dense"
     return "sparse"
 

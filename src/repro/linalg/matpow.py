@@ -152,6 +152,43 @@ class PowerLadder:
 
     # ------------------------------------------------------------------
 
+    @classmethod
+    def from_powers(
+        cls,
+        powers: dict[int, np.ndarray],
+        *,
+        ell: int,
+        bits: int | None,
+        squarings: int,
+        entry_words: int | None,
+    ) -> "PowerLadder":
+        """Rebuild a ladder from already-computed powers (no matmuls).
+
+        This is the deserialization path of the persistent derived-graph
+        store (:mod:`repro.engine.store`): the powers were computed by a
+        normal constructor call in some earlier process, so re-squaring
+        them here would waste exactly the work the cache exists to skip.
+        ``squarings`` / ``entry_words`` restore the charge recipe the
+        cache replays; no ledger is charged by this constructor.
+        """
+        if ell < 1 or (ell & (ell - 1)) != 0:
+            raise GraphError(f"ell must be a power of two >= 1, got {ell}")
+        missing = [
+            k for k in (2 ** i for i in range(ell.bit_length())) if k not in powers
+        ]
+        if missing:
+            raise GraphError(
+                f"ladder powers incomplete: missing exponents {missing}"
+            )
+        ladder = cls.__new__(cls)
+        ladder.n = powers[1].shape[0]
+        ladder.ell = ell
+        ladder.bits = bits
+        ladder._powers = dict(powers)
+        ladder.squarings = squarings
+        ladder.entry_words = entry_words
+        return ladder
+
     @property
     def exponents(self) -> tuple[int, ...]:
         """Available power-of-two exponents, ascending."""

@@ -135,6 +135,8 @@ def first_visit_edge_distribution(
     shortcut,
     prev_s_vertex: int,
     new_vertex: int,
+    *,
+    weight_into_s: np.ndarray | None = None,
 ) -> tuple[list[int], np.ndarray]:
     """Algorithm 4's Bayes-rule law for a first-visit edge.
 
@@ -148,6 +150,13 @@ def first_visit_edge_distribution(
     ratio is the paper's ``1 / deg_S(u)``). ``shortcut`` may be a dense
     array or a scipy CSR matrix (the linalg backends hand over either).
     Returns (neighbors, probabilities).
+
+    ``weight_into_s`` optionally carries the precomputed per-vertex
+    into-S weights ``graph.weights[:, S].sum(axis=1)``: the vector is a
+    function of ``(G, S)`` only, so a phase drawing several first-visit
+    edges (one per new vertex) can compute it once instead of per edge.
+    The per-row pairwise sums are the ones this function would compute
+    itself, so passing it never changes the sampled law.
     """
     from repro.linalg.backend import matrix_row
 
@@ -158,18 +167,25 @@ def first_visit_edge_distribution(
     if not neighbors:
         raise GraphError(f"vertex {new_vertex} has no neighbors")
     from_prev = matrix_row(shortcut, prev_s_vertex)
-    weights = np.empty(len(neighbors))
-    for idx, u in enumerate(neighbors):
-        weight_into_s = float(graph.weights[u, mask].sum())
-        if weight_into_s <= 0:
-            # u has no S-neighbor at all; it cannot be the entering vertex.
-            weights[idx] = 0.0
-            continue
-        weights[idx] = (
-            from_prev[u]
-            * graph.weight(u, new_vertex)
-            / weight_into_s
-        )
+    # One vectorized pass over the neighbor rows. Each row's masked sum
+    # uses the same pairwise reduction as the scalar per-vertex sum did,
+    # so the probabilities (and therefore sampled trees) are bit-equal
+    # to the historical per-neighbor Python loop -- which made this an
+    # O(n^2)-per-edge hot spot at interpreter speed.
+    neighbor_idx = np.asarray(neighbors, dtype=np.intp)
+    if weight_into_s is None:
+        into_s = graph.weights[neighbor_idx][:, mask].sum(axis=1)
+    else:
+        into_s = np.asarray(weight_into_s)[neighbor_idx]
+    feasible = into_s > 0  # no S-neighbor => cannot be the entry edge
+    weights = np.zeros(len(neighbors))
+    np.divide(
+        np.asarray(from_prev)[neighbor_idx]
+        * graph.weights[neighbor_idx, new_vertex],
+        into_s,
+        out=weights,
+        where=feasible,
+    )
     total = weights.sum()
     if total <= 0:
         raise GraphError(

@@ -273,3 +273,66 @@ class TestLegacyShims:
             config=preset_config("fast-audit"), seed=2, jobs=1,
         )
         assert result.count == 4
+
+
+class TestSessionCacheMeta:
+    """Cache statistics surface on every response envelope (satellite)."""
+
+    def test_every_request_kind_carries_cache_meta(self, session):
+        for request in [
+            SampleRequest(seed=1),
+            EnsembleRequest(count=2, seed=2, jobs=1),
+            RoundBillRequest(seed=3),
+            PageRankRequest(seed=4),
+        ]:
+            response = session.run(request)
+            cache = response.meta["cache"]
+            assert isinstance(cache, dict), request.kind
+            for key in ("hits", "misses", "evictions", "entries", "bytes"):
+                assert isinstance(cache[key], int), (request.kind, key)
+
+    def test_counters_accumulate_across_requests(self, session):
+        first = session.run(SampleRequest(seed=1)).meta["cache"]
+        second = session.run(SampleRequest(seed=2)).meta["cache"]
+        assert second["hits"] >= first["hits"]
+        assert second["hits"] > 0  # phase-1 entry reused across draws
+
+    def test_disabled_cache_reports_empty(self):
+        from repro.api import preset_config as _pc
+
+        session = Session(
+            graphs.cycle_graph(6),
+            _pc("fast-audit", derived_cache=False),
+            seed=1,
+        )
+        response = session.run(SampleRequest(seed=1))
+        assert response.meta["cache"] == {}
+
+    def test_tiered_session_reports_disk_counters(self, tmp_path):
+        from repro.api import preset_config as _pc
+
+        config = _pc("fast-audit", cache_dir=str(tmp_path))
+        cold = Session(graphs.cycle_graph(6), config, seed=1)
+        cold_meta = cold.run(SampleRequest(seed=1)).meta["cache"]
+        assert cold_meta["spills"] > 0
+        warm = Session(graphs.cycle_graph(6), config, seed=1)
+        warm_meta = warm.run(SampleRequest(seed=1)).meta["cache"]
+        assert warm_meta["disk_hits"] > 0
+        assert warm_meta["misses"] == 0
+
+    def test_warm_service_preset_is_registered(self):
+        preset = get_preset("warm-service")
+        assert preset.config.cache_dir == "auto"
+        assert preset.config.cache_memory_bytes > 0
+        assert preset.config.cache_disk_bytes > 0
+
+    def test_meta_cache_survives_json_round_trip(self, tmp_path):
+        import json as json_module
+
+        from repro.api import preset_config as _pc, response_from_dict
+
+        config = _pc("fast-audit", cache_dir=str(tmp_path))
+        session = Session(graphs.cycle_graph(6), config, seed=1)
+        response = session.run(SampleRequest(seed=1))
+        decoded = response_from_dict(json_module.loads(response.to_json()))
+        assert decoded.meta["cache"] == response.meta["cache"]

@@ -1,0 +1,157 @@
+"""Tests for per-machine sparse-crossover calibration (linalg.calibrate).
+
+Calibration is a wall-clock hint: the contract under test is that
+profiles persist atomically, degrade to None on any corruption, and only
+steer ``auto`` backend selection when the user left the crossover knobs
+at their class defaults and pointed the config at a persistence
+directory.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import graphs
+from repro.core import SamplerConfig
+from repro.linalg.backend import auto_linalg_name
+from repro.linalg.calibrate import (
+    CrossoverProfile,
+    calibration_path,
+    load_profile,
+    profile_for_config,
+    run_calibration,
+    save_profile,
+)
+
+
+def _profile(min_n=4, density=1.0):
+    return CrossoverProfile(
+        sparse_auto_min_n=min_n, sparse_auto_density=density, host="testhost"
+    )
+
+
+class TestProfilePersistence:
+    def test_round_trip(self, tmp_path):
+        path = save_profile(tmp_path, _profile(min_n=77, density=0.33))
+        assert path == calibration_path(tmp_path)
+        loaded = load_profile(tmp_path)
+        assert loaded is not None
+        assert loaded.sparse_auto_min_n == 77
+        assert loaded.sparse_auto_density == 0.33
+        assert loaded.host == "testhost"
+
+    def test_missing_is_none(self, tmp_path):
+        assert load_profile(tmp_path) is None
+        assert load_profile(tmp_path / "does-not-exist") is None
+
+    def test_corrupt_is_none(self, tmp_path):
+        calibration_path(tmp_path).write_text("not json at all {")
+        assert load_profile(tmp_path) is None
+
+    def test_wrong_version_is_none(self, tmp_path):
+        save_profile(tmp_path, _profile())
+        payload = json.loads(calibration_path(tmp_path).read_text())
+        payload["version"] = 99
+        calibration_path(tmp_path).write_text(json.dumps(payload))
+        assert load_profile(tmp_path) is None
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"sparse_auto_min_n": 1},
+            {"sparse_auto_min_n": "many"},
+            {"sparse_auto_density": 0.0},
+            {"sparse_auto_density": 7.0},
+        ],
+    )
+    def test_implausible_values_are_none(self, tmp_path, mutation):
+        save_profile(tmp_path, _profile())
+        payload = json.loads(calibration_path(tmp_path).read_text())
+        payload.update(mutation)
+        calibration_path(tmp_path).write_text(json.dumps(payload))
+        assert load_profile(tmp_path) is None
+
+    def test_save_creates_directory(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        save_profile(nested, _profile())
+        assert load_profile(nested) is not None
+
+
+class TestAutoConsultsProfile:
+    def test_profile_for_config_requires_cache_dir(self, tmp_path):
+        save_profile(tmp_path, _profile())
+        assert profile_for_config(SamplerConfig()) is None
+        found = profile_for_config(SamplerConfig(cache_dir=str(tmp_path)))
+        assert found is not None and found.sparse_auto_min_n == 4
+
+    def test_profile_moves_the_crossover(self, tmp_path):
+        graph = graphs.cycle_graph(16)  # far below the shipped min_n=192
+        config = SamplerConfig(cache_dir=str(tmp_path))
+        assert auto_linalg_name(config, graph) == "dense"
+        save_profile(tmp_path, _profile(min_n=4, density=1.0))
+        assert auto_linalg_name(config, graph) == "sparse"
+
+    def test_explicit_override_beats_profile(self, tmp_path):
+        save_profile(tmp_path, _profile(min_n=4, density=1.0))
+        graph = graphs.cycle_graph(16)
+        pinned = SamplerConfig(cache_dir=str(tmp_path), sparse_auto_min_n=500)
+        assert auto_linalg_name(pinned, graph) == "dense"
+        pinned_density = SamplerConfig(
+            cache_dir=str(tmp_path), sparse_auto_density=1e-6
+        )
+        assert auto_linalg_name(pinned_density, graph) == "dense"
+
+    def test_no_profile_keeps_defaults(self, tmp_path):
+        config = SamplerConfig(cache_dir=str(tmp_path))
+        assert auto_linalg_name(config, graphs.cycle_graph(16)) == "dense"
+
+    def test_profile_partitions_cache_via_resolved_backend(self, tmp_path):
+        """A profile flip changes the resolved backend, hence cache keys.
+
+        The fingerprint excludes cache fields but *includes* the resolved
+        linalg backend, so numerics computed under different resolutions
+        can never alias.
+        """
+        import numpy as np
+
+        from repro.engine import SamplerEngine
+
+        graph = graphs.cycle_graph(16)
+        config = SamplerConfig(ell=1 << 8, cache_dir=str(tmp_path))
+        dense_engine = SamplerEngine(graph, config)
+        assert dense_engine.linalg.name == "dense"
+        dense_engine.run(np.random.default_rng(1))
+        save_profile(tmp_path, _profile(min_n=4, density=1.0))
+        sparse_engine = SamplerEngine(graph, config)
+        assert sparse_engine.linalg.name == "sparse"
+        sparse_engine.run(np.random.default_rng(1))
+        assert sparse_engine.cache.stats()["disk_hits"] == 0
+
+
+class TestRunCalibration:
+    def test_quick_probe_produces_plausible_profile(self):
+        profile = run_calibration(
+            ns=(16, 24), densities=(0.2,), quick=True, repeats=1
+        )
+        assert profile.sparse_auto_min_n >= 2
+        assert 0.0 < profile.sparse_auto_density <= 1.0
+        assert profile.created > 0
+        size_rows = [r for r in profile.probe if r["probe"] == "size"]
+        density_rows = [r for r in profile.probe if r["probe"] == "density"]
+        assert {r["n"] for r in size_rows} == {16, 24}
+        assert len(density_rows) == 1
+        for row in size_rows + density_rows:
+            assert row["dense_seconds"] >= 0
+            assert row["sparse_seconds"] >= 0
+
+    def test_probe_then_auto_round_trip(self, tmp_path):
+        profile = run_calibration(ns=(16, 24), densities=(0.2,), quick=True)
+        save_profile(tmp_path, profile)
+        config = SamplerConfig(cache_dir=str(tmp_path))
+        # Whatever the fit said, resolution must be well-defined.
+        assert auto_linalg_name(config, graphs.cycle_graph(512)) in (
+            "dense",
+            "sparse",
+        )

@@ -180,3 +180,63 @@ class TestExpanderSizeAdjustment:
         assert code == 0
         meta = json.loads(capsys.readouterr().out)["meta"]
         assert meta["size_adjusted"] is False
+
+
+class TestCacheDirFlag:
+    def test_sample_with_cache_dir_warm_restart(self, capsys, tmp_path):
+        argv = ["sample", "--family", "cycle", "--n", "8", "--json",
+                "--seed", "2", "--ell", "512",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["meta"]["cache"]["spills"] > 0
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        # Fresh process-equivalent: everything served from the disk tier.
+        assert warm["meta"]["cache"]["disk_hits"] > 0
+        assert warm["meta"]["cache"]["misses"] == 0
+        assert warm["result"]["tree"] == cold["result"]["tree"]
+        assert warm["result"]["rounds"] == cold["result"]["rounds"]
+
+    def test_ensemble_json_envelope_has_cache_stats(self, capsys, tmp_path):
+        assert main([
+            "ensemble", "--family", "cycle", "--n", "8", "--samples", "3",
+            "--jobs", "1", "--json", "--ell", "512", "--seed", "1",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        cache = payload["meta"]["cache"]
+        assert cache["spills"] > 0
+        assert cache["disk_entries"] > 0
+
+    def test_human_rendering_prints_cache_line(self, capsys, tmp_path):
+        assert main([
+            "sample", "--family", "cycle", "--n", "8", "--seed", "2",
+            "--ell", "512", "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cache:" in out
+        assert "spills" in out
+
+
+class TestCalibrateCommand:
+    def test_quick_calibrate_writes_profile(self, capsys, tmp_path):
+        assert main([
+            "calibrate", "--cache-dir", str(tmp_path), "--quick",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sparse_auto_min_n" in out
+        assert (tmp_path / "calibration.json").exists()
+        from repro.linalg.calibrate import load_profile
+
+        assert load_profile(tmp_path) is not None
+
+    def test_quick_calibrate_json(self, capsys, tmp_path):
+        assert main([
+            "calibrate", "--cache-dir", str(tmp_path), "--quick", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sparse_auto_min_n"] >= 2
+        assert 0.0 < payload["sparse_auto_density"] <= 1.0
+        assert payload["path"] == str(tmp_path / "calibration.json")
+        assert any(row.get("probe") == "size" for row in payload["probe"])

@@ -17,6 +17,16 @@ from repro.engine import DerivedGraphCache, SamplerEngine
 from repro.errors import ConfigError
 
 
+class Sized:
+    """Byte-sized stub entry for exercising the cache's byte accounting."""
+
+    def __init__(self, size):
+        self._size = size
+
+    def nbytes(self):
+        return self._size
+
+
 def _draws(graph, config, variant, seed, count=4):
     sampler = CongestedCliqueTreeSampler(graph, config, variant=variant)
     return sampler.sample_many(count, np.random.default_rng(seed))
@@ -168,6 +178,108 @@ class TestCacheBehavior:
         a.run(np.random.default_rng(1))
         b.run(np.random.default_rng(2))
         assert cache.hits >= 1  # b reuses a's phase-1 entry
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"cache_dir": "ignored-dir"},
+            {"cache_memory_bytes": 1 << 20},
+            {"derived_cache_entries": 7},
+        ],
+    )
+    def test_cache_behavior_fields_do_not_partition(self, override, tmp_path):
+        """Regression: cache location/sizing must NOT partition the key.
+
+        Two sessions pointed at one shared store with different byte
+        budgets (or different cache_dir spellings) compute identical
+        numerics; keying on those fields would make them unable to share
+        a single entry -- defeating the disk tier entirely.
+        """
+        if "cache_dir" in override:
+            override = {"cache_dir": str(tmp_path)}
+        cache = DerivedGraphCache(max_entries=32)
+        g = graphs.cycle_graph(9)
+        base = SamplerEngine(g, SamplerConfig(ell=1 << 9), cache=cache)
+        other = SamplerEngine(
+            g, SamplerConfig(ell=1 << 9, **override), cache=cache
+        )
+        base.run(np.random.default_rng(1))
+        hits_before = cache.hits
+        other.run(np.random.default_rng(2))
+        assert cache.hits > hits_before, override  # phase-1 entry shared
+
+    def test_fingerprint_excludes_exactly_the_cache_fields(self):
+        """Every config field is either fingerprinted or cache-behavior."""
+        from dataclasses import fields
+
+        from repro.engine.cache import CACHE_BEHAVIOR_FIELDS, config_fingerprint
+
+        config = SamplerConfig(ell=1 << 9)
+        fingerprint = config_fingerprint(
+            config, resolved_ell=1 << 9, linalg_backend="dense"
+        )
+        for field in fields(config):
+            appears = f"'{field.name}'" in fingerprint
+            if field.name in CACHE_BEHAVIOR_FIELDS:
+                assert not appears, field.name
+            else:
+                assert appears, field.name
+
+    def test_byte_budget_evicts_lru(self):
+        cache = DerivedGraphCache(max_entries=64, max_bytes=100)
+        cache.store(("a",), Sized(40))
+        cache.store(("b",), Sized(40))
+        assert cache.bytes_used == 80
+        cache.lookup(("a",))  # refresh a: b becomes LRU
+        cache.store(("c",), Sized(40))
+        assert cache.evictions == 1
+        assert cache.lookup(("b",)) is None
+        assert cache.lookup(("a",)) is not None
+        assert cache.lookup(("c",)) is not None
+        assert cache.bytes_used == 80
+        assert cache.stats()["bytes"] == 80
+
+    def test_oversized_entry_cannot_blow_past_budget(self):
+        """One entry bigger than the whole budget never stays resident --
+        and is refused at the door, so it cannot flush the resident
+        working set on its way through either."""
+
+        cache = DerivedGraphCache(max_entries=64, max_bytes=100)
+        cache.store(("small",), Sized(60))
+        cache.store(("huge",), Sized(1000))
+        assert cache.bytes_used <= 100
+        assert cache.lookup(("huge",)) is None
+        assert cache.lookup(("small",)) is not None  # working set intact
+        assert cache.evictions == 1
+        # Re-storing an existing key with an oversized payload drops it.
+        cache.store(("small",), Sized(1000))
+        assert cache.lookup(("small",)) is None
+        assert cache.bytes_used == 0
+
+    def test_restore_same_key_reaccounts_bytes(self):
+        cache = DerivedGraphCache(max_bytes=1000)
+        cache.store(("k",), Sized(400))
+        cache.store(("k",), Sized(100))
+        assert cache.bytes_used == 100
+        assert len(cache) == 1
+
+    def test_phase_numerics_nbytes_counts_matrices_once(self):
+        g = graphs.complete_graph(8)
+        engine = SamplerEngine(g, SamplerConfig(ell=1 << 8))
+        engine.run(np.random.default_rng(0))
+        for numerics in engine.cache._entries.values():
+            total = numerics.nbytes()
+            assert total > 0
+            # With bits=None the ladder's base power IS the transition
+            # matrix; identity dedup must not double-count it.
+            if numerics.ladder.power(1) is numerics.transition:
+                from repro.linalg.backend import matrix_nbytes
+
+                individual = matrix_nbytes(numerics.shortcut) + sum(
+                    matrix_nbytes(numerics.ladder.power(k))
+                    for k in numerics.ladder.exponents
+                ) + matrix_nbytes(numerics.transition)
+                assert total == individual - matrix_nbytes(numerics.transition)
 
     def test_lru_eviction_bounds_entries(self):
         cache = DerivedGraphCache(max_entries=2)

@@ -238,7 +238,13 @@ class TestCrossBackendIdentity:
         assert [s.to_dict() for s in dense_result.phase_stats] == [
             s.to_dict() for s in sparse_result.phase_stats
         ]
-        assert dense_engine.cache.stats() == sparse_engine.cache.stats()
+        # Hit/miss/eviction behavior is backend-independent; resident
+        # *bytes* are not (CSR stores the same numbers more compactly).
+        dense_stats = dense_engine.cache.stats()
+        sparse_stats = sparse_engine.cache.stats()
+        dense_stats.pop("bytes")
+        sparse_stats.pop("bytes")
+        assert dense_stats == sparse_stats
 
     @pytest.mark.parametrize("family", ["cycle", "grid", "expander"])
     def test_exact_variant_identical_on_sparse_families(self, family):
