@@ -183,6 +183,10 @@ class Session:
             "n": int(self.graph.n),
             "seed": request.seed,
             "linalg_backend": self._linalg_name,
+            # The resolved walk-layer placement mode ("batched" runs the
+            # per-phase PlacementPlan, "reference" the seed-faithful
+            # per-pair path; trees are byte-identical either way).
+            "placement_mode": self.config.placement_mode,
             "seconds": round(time.perf_counter() - start, 6),
             # Cumulative session cache counters, captured after the
             # request so every envelope carries tier hit/miss/spill/

@@ -44,6 +44,10 @@ Subcommands:
     timed probe and persist it next to the tiered derived-graph store
     (``--cache-dir``, default ``auto``); ``auto`` backend resolution
     consults the persisted profile from then on.
+``cache``
+    Inspect or maintain a persistent derived-graph cache directory:
+    show entry/byte stats, ``--prune-to BYTES`` (LRU eviction down to a
+    budget), or ``--clear`` it entirely.
 ``families``
     List the available graph families (``--json`` for the machine-
     readable registry).
@@ -102,6 +106,8 @@ def _open_session(args: argparse.Namespace, ell: int | None = None) -> Session:
         overrides["linalg_backend"] = args.linalg_backend
     if getattr(args, "cache_dir", None) is not None:
         overrides["cache_dir"] = args.cache_dir
+    if getattr(args, "placement_mode", None) is not None:
+        overrides["placement_mode"] = args.placement_mode
     config = preset_config("fast-bench", **overrides)
     return Session(graph, config, seed=args.seed, meta=meta)
 
@@ -149,6 +155,41 @@ def _add_cache_dir_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_placement_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared walk-layer placement-mode override flag."""
+    parser.add_argument(
+        "--placement-mode",
+        dest="placement_mode",
+        default=None,
+        choices=["batched", "reference"],
+        help="walk-layer placement: 'batched' shares per-phase "
+             "classification and DP builds across draws (default), "
+             "'reference' keeps the seed-faithful per-pair path; trees "
+             "are byte-identical either way",
+    )
+
+
+def _parse_byte_size(text: str) -> int:
+    """Parse '500000', '256K', '1.5M', '2G' into bytes."""
+    raw = text.strip()
+    scale = 1
+    suffixes = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    if raw and raw[-1].upper() in suffixes:
+        scale = suffixes[raw[-1].upper()]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a byte size: {text!r} (use e.g. 500000, 256K, 1.5M, 2G)"
+        ) from None
+    if not (0 <= value < float(1 << 62)):  # rejects inf/nan/negatives
+        raise argparse.ArgumentTypeError(
+            f"byte size must be a finite value >= 0: {text!r}"
+        )
+    return int(value * scale)
+
+
 def _render_cache_line(meta: dict) -> str | None:
     """One compact human-readable line of tier counters, or None."""
     cache = meta.get("cache")
@@ -193,6 +234,7 @@ def _make_parser() -> argparse.ArgumentParser:
                         help="machine-readable output")
     _add_linalg_flag(sample)
     _add_cache_dir_flag(sample)
+    _add_placement_flag(sample)
 
     rounds = sub.add_parser("rounds", help="compare sampler round bills")
     rounds.add_argument("--family", default="expander", choices=family_names())
@@ -203,6 +245,7 @@ def _make_parser() -> argparse.ArgumentParser:
                         help="machine-readable output")
     _add_linalg_flag(rounds)
     _add_cache_dir_flag(rounds)
+    _add_placement_flag(rounds)
 
     pagerank = sub.add_parser(
         "pagerank", help="walk-based PageRank vs the exact solve"
@@ -236,6 +279,7 @@ def _make_parser() -> argparse.ArgumentParser:
                           help="machine-readable output")
     _add_linalg_flag(ensemble)
     _add_cache_dir_flag(ensemble)
+    _add_placement_flag(ensemble)
 
     audit = sub.add_parser(
         "audit", help="uniformity audit against exact enumeration"
@@ -253,6 +297,7 @@ def _make_parser() -> argparse.ArgumentParser:
                        help="machine-readable output")
     _add_linalg_flag(audit)
     _add_cache_dir_flag(audit)
+    _add_placement_flag(audit)
 
     calibrate = sub.add_parser(
         "calibrate",
@@ -270,6 +315,29 @@ def _make_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--seed", type=int, default=0)
     calibrate.add_argument("--json", action="store_true",
                            help="machine-readable profile output")
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain a persistent derived-graph cache dir",
+    )
+    cache.add_argument(
+        "--cache-dir", dest="cache_dir", default="auto", metavar="DIR",
+        help="cache directory to operate on (default: 'auto' = "
+             "$REPRO_CACHE_DIR or ~/.cache/repro-spanning-trees)",
+    )
+    cache_action = cache.add_mutually_exclusive_group()
+    cache_action.add_argument(
+        "--prune-to", dest="prune_to", default=None, metavar="BYTES",
+        type=_parse_byte_size,
+        help="evict least-recently-used entries until the store holds at "
+             "most BYTES (suffixes K/M/G accepted; 0 empties it)",
+    )
+    cache_action.add_argument(
+        "--clear", action="store_true",
+        help="delete every cached entry (the calibration profile stays)",
+    )
+    cache.add_argument("--json", action="store_true",
+                       help="machine-readable stats output")
 
     families = sub.add_parser("families", help="list graph families")
     families.add_argument("--json", action="store_true",
@@ -443,6 +511,57 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.engine.store import DiskTier, resolve_cache_root
+
+    root = resolve_cache_root(args.cache_dir)
+    if not root.is_dir():
+        # Inspection must not litter the filesystem (DiskTier mkdirs on
+        # construction) or mistake a typo'd path for an empty cache.
+        if args.json:
+            print(json_module.dumps(
+                {"action": "stats", "root": str(root), "exists": False}
+            ))
+        else:
+            print(f"no cache directory at {root}")
+        return 0
+    tier = DiskTier(root)
+    evicted = None
+    action = "stats"
+    if args.clear:
+        action = "clear"
+        evicted = tier.clear()
+    elif args.prune_to is not None:
+        action = "prune"
+        evicted = tier.prune(args.prune_to)
+    entries = tier.entry_count()
+    total = tier.total_bytes()
+    calibration = (root / "calibration.json").exists()
+    if args.json:
+        payload = {
+            "action": action,
+            "root": str(root),
+            "entries": int(entries),
+            "bytes": int(total),
+            "calibration_profile": bool(calibration),
+        }
+        if evicted is not None:
+            payload["evicted"] = int(evicted)
+        print(json_module.dumps(payload, indent=2))
+        return 0
+    print(f"derived-graph cache at {root}")
+    if evicted is not None:
+        verb = "cleared" if action == "clear" else "pruned"
+        print(f"  {verb}: {evicted} entries evicted")
+    print(f"  entries: {entries}")
+    print(f"  bytes:   {total} ({total / 2**20:.1f} MB)")
+    print(f"  calibration profile: "
+          f"{'present' if calibration else 'absent'}")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.selfcheck import main_cli
 
@@ -470,6 +589,7 @@ def main(argv: list[str] | None = None) -> int:
         "ensemble": _cmd_ensemble,
         "audit": _cmd_audit,
         "calibrate": _cmd_calibrate,
+        "cache": _cmd_cache,
         "families": _cmd_families,
         "verify": _cmd_verify,
     }

@@ -16,6 +16,7 @@ Public entry points:
 
 from repro.core.config import SamplerConfig
 from repro.core.direction4 import Direction4Result, Direction4Sampler
+from repro.core.placement_plan import PlacementPlan
 from repro.core.exact import (
     ExactTreeSampler,
     exact_sample_with_diagnostics,
@@ -41,6 +42,7 @@ __all__ = [
     "SamplerConfig",
     "Direction4Result",
     "Direction4Sampler",
+    "PlacementPlan",
     "ExactTreeSampler",
     "exact_sample_with_diagnostics",
     "sample_spanning_tree_exact",

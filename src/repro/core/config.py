@@ -22,6 +22,7 @@ MatchingMethod = Literal[
 FailurePolicy = Literal["extend", "error"]
 SchurMethod = Literal["block", "qr-product"]
 ShortcutMethod = Literal["solve", "power-iteration"]
+PlacementMode = Literal["batched", "reference"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,20 @@ class SamplerConfig:
         ``"mcmc"`` (Metropolis chain -- the approximate path of Lemma 4).
     mcmc_steps:
         Proposal count for the MCMC matching sampler (``None``: 10 * B^3).
+    placement_mode:
+        How the walk layer executes midpoint placement. ``"batched"``
+        (default) runs each phase over a
+        :class:`~repro.core.placement_plan.PlacementPlan`: per-pair
+        midpoint laws, contingency-DP forward/backward passes, and
+        first-visit edge distributions are classified once and shared
+        across levels, extension segments, and ensemble draws (and,
+        through the tiered store, across process restarts).
+        ``"reference"`` keeps the seed-faithful per-pair path.
+        The two modes consume the RNG identically over bit-equal
+        probabilities, so they draw byte-identical trees for the same
+        seed -- property-tested across every registered family and both
+        variants; the chi-square uniformity harness additionally pins
+        both modes to the Kirchhoff-exact tree law.
     precision_bits:
         Entry precision for matrix power ladders. ``None`` = full float64
         (the exact-arithmetic idealization); an integer activates the
@@ -143,6 +158,7 @@ class SamplerConfig:
     on_failure: FailurePolicy = "extend"
     matching_method: MatchingMethod = "exact-dp"
     mcmc_steps: int | None = None
+    placement_mode: PlacementMode = "batched"
     precision_bits: int | None = None
     schur_method: SchurMethod = "block"
     shortcut_method: ShortcutMethod = "solve"
@@ -177,6 +193,10 @@ class SamplerConfig:
         ):
             raise ConfigError(
                 f"unknown matching method {self.matching_method!r}"
+            )
+        if self.placement_mode not in ("batched", "reference"):
+            raise ConfigError(
+                f"unknown placement mode {self.placement_mode!r}"
             )
         if self.precision_bits is not None and self.precision_bits < 8:
             raise ConfigError(

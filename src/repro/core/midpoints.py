@@ -60,6 +60,13 @@ class MidpointBank:
     clique:
         Optional clique simulator to charge the Algorithm 2 communication
         (count requests + distribution gathering).
+    plan / level:
+        Optional :class:`~repro.core.placement_plan.PlacementPlan` and
+        the level's half-spacing exponent. When given, the per-pair law
+        ``P^{delta/2}[p, *] * P^{delta/2}[*, q]`` comes from the plan's
+        memo (computed there on first use) instead of being rebuilt per
+        level -- bit-identical vectors, so sampled sequences match the
+        planless path exactly for the same RNG state.
     """
 
     def __init__(
@@ -71,16 +78,19 @@ class MidpointBank:
         normalizer_floor: float = 0.0,
         clique: CongestedClique | None = None,
         leader: int = 0,
+        plan=None,
+        level: int | None = None,
     ) -> None:
         self.pair_counts = dict(pair_counts)
         self.half_power = half_power
         self._sequences: dict[Pair, np.ndarray] = {}
+        # (clique size, max pairs on one machine): a pure function of the
+        # frozen pair_counts, memoized because the truncation search
+        # recharges the aggregation once per probe.
+        self._hosted_cache: tuple[int, int] | None = None
         n = half_power.shape[0]
         if clique is not None:
-            hosted: Counter[int] = Counter(
-                self._machine_for(pair, clique.n) for pair in self.pair_counts
-            )
-            max_hosted = max(hosted.values(), default=0)
+            max_hosted = self._max_hosted(clique.n)
             num_pairs = len(self.pair_counts)
             # Leader -> M_{p,q}: one count word per distinct pair.
             clique.charge_step(
@@ -102,14 +112,21 @@ class MidpointBank:
             if count < 0:
                 raise WalkError(f"negative count for pair {pair}")
             p, q = pair
-            law = matrix_row(half_power, p) * matrix_col(half_power, q)
-            total = float(law.sum())
+            if plan is not None and level is not None:
+                probabilities, total = plan.probabilities(
+                    level, p, q, half_power
+                )
+            else:
+                law = matrix_row(half_power, p) * matrix_col(half_power, q)
+                total = float(law.sum())
+                probabilities = None
             if total <= normalizer_floor or total <= 0.0:
                 raise PrecisionError(
                     f"midpoint normalizer for pair {pair} is {total:.3e}, "
                     f"below the floor {normalizer_floor:.3e}"
                 )
-            probabilities = law / total
+            if probabilities is None:
+                probabilities = law / total
             self._sequences[pair] = rng.choice(
                 n, size=count, p=probabilities
             ).astype(np.int64)
@@ -119,6 +136,15 @@ class MidpointBank:
         """Deterministic machine assignment for M_{p,q} (accounting only)."""
         p, q = pair
         return (p * 131071 + q) % n
+
+    def _max_hosted(self, n: int) -> int:
+        """Most pairs hosted by any one machine (memoized accounting)."""
+        if self._hosted_cache is None or self._hosted_cache[0] != n:
+            hosted: Counter[int] = Counter(
+                self._machine_for(pair, n) for pair in self.pair_counts
+            )
+            self._hosted_cache = (n, max(hosted.values(), default=0))
+        return self._hosted_cache[1]
 
     # ------------------------------------------------------------------
     # Queries available to the leader
@@ -177,10 +203,7 @@ class MidpointBank:
         """Charge the Count aggregation exchange (steps 2-3, Algorithm 3)."""
         if clique is None:
             return
-        hosted: Counter[int] = Counter(
-            self._machine_for(pair, clique.n) for pair in self.pair_counts
-        )
-        max_hosted = max(hosted.values(), default=0)
+        max_hosted = self._max_hosted(clique.n)
         # Step 2 of Algorithm 3: M_{p,q} sends Count(p, q, j, l') to every
         # machine j (n words per hosted pair); machine j receives one word
         # per pair.

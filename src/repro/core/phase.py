@@ -33,7 +33,11 @@ from repro.clique.network import CongestedClique
 from repro.core.config import SamplerConfig
 from repro.core.midpoints import MidpointBank
 from repro.core.placement import place_by_pair_multisets, place_midpoints
-from repro.core.truncation import LevelView, find_truncation_index
+from repro.core.truncation import (
+    LevelView,
+    find_truncation_index,
+    find_truncation_index_fast,
+)
 from repro.errors import PrecisionError, SamplingError
 from repro.linalg.backend import matrix_row
 from repro.linalg.matpow import PowerLadder
@@ -84,6 +88,7 @@ def _segment_fill(
     stats: PhaseStats,
     *,
     exact_placement: bool,
+    plan=None,
 ) -> list[int]:
     """One distributed truncated fill of nominal length ``ladder.ell``.
 
@@ -109,6 +114,7 @@ def _segment_fill(
             bank = MidpointBank(
                 pair_counts, half_power, rng,
                 normalizer_floor=floor, clique=clique,
+                plan=plan, level=half,
             )
         except PrecisionError:
             # Section 5.2 fallback: collect the network at the leader
@@ -120,11 +126,20 @@ def _segment_fill(
                     total_words=n * n,
                 )
             while not walk.is_complete:
-                walk = _fill_level(walk, ladder.power(walk.spacing // 2), rng)
+                fill_half = walk.spacing // 2
+                walk = _fill_level(
+                    walk, ladder.power(fill_half), rng,
+                    plan=plan, level=fill_half,
+                )
                 walk = _truncate_at_distinct(walk, rho_seg)
             break
         view = LevelView(walk, bank)
-        t_star = find_truncation_index(view, rho_seg, clique=clique)
+        if plan is not None:
+            # Batched mode: identical t* and identical probe charges via
+            # the direct scan (the simulator holds every sequence).
+            t_star = find_truncation_index_fast(view, rho_seg, clique=clique)
+        else:
+            t_star = find_truncation_index(view, rho_seg, clique=clique)
         if t_star == 0:
             raise SamplingError("truncation collapsed to the start vertex")
         if exact_placement:
@@ -135,6 +150,7 @@ def _segment_fill(
                 method=config.matching_method,
                 mcmc_steps=config.mcmc_steps,
                 clique=clique,
+                plan=plan, level=half,
             )
         stats.levels += 1
     return list(walk.vertices)
@@ -151,6 +167,7 @@ def run_phase_walk(
     ladder: PowerLadder | None = None,
     exact_placement: bool = False,
     stats: PhaseStats | None = None,
+    plan=None,
 ) -> list[int]:
     """Sample a phase walk stopping at its rho_eff-th distinct vertex.
 
@@ -160,6 +177,12 @@ def run_phase_walk(
     only touches it through the format-agnostic accessors. Returns the
     walk as a list of phase-local vertex indices, guaranteed to end at
     the first occurrence of its rho_eff-th distinct vertex.
+
+    ``plan`` optionally carries the phase's
+    :class:`~repro.core.placement_plan.PlacementPlan`
+    (``placement_mode="batched"``): midpoint laws and contingency-DP
+    builds are then served from the plan's memos -- same bits, same RNG
+    consumption, byte-identical walks.
     """
     if stats is None:
         stats = PhaseStats(subset_size=transition.shape[0], rho_eff=rho_eff)
@@ -176,7 +199,7 @@ def run_phase_walk(
 
     walk = _segment_fill(
         ladder, start, rho_eff, config, rng, clique, stats,
-        exact_placement=exact_placement,
+        exact_placement=exact_placement, plan=plan,
     )
     seen = set(walk)
     extensions = 0
@@ -199,7 +222,7 @@ def run_phase_walk(
         remaining = rho_eff - len(seen)
         segment = _segment_fill(
             ladder, walk[-1], remaining + 1, config, rng, clique, stats,
-            exact_placement=exact_placement,
+            exact_placement=exact_placement, plan=plan,
         )
         walk.extend(segment[1:])
         seen = set(walk)

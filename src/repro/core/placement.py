@@ -33,6 +33,7 @@ from repro.errors import SamplingError, WalkError
 from repro.linalg.backend import matrix_col, matrix_row
 from repro.matching.sampler import (
     ClassifiedBipartite,
+    expand_table_to_assignment,
     sample_assignment_by_classes,
     sample_matching_exact,
     sample_matching_mcmc,
@@ -104,6 +105,8 @@ def place_midpoints(
     method: str = "exact-dp",
     mcmc_steps: int | None = None,
     clique: CongestedClique | None = None,
+    plan=None,
+    level: int | None = None,
 ) -> PartialWalk:
     """Sample the placement of the collected multiset (Section 2.1.3).
 
@@ -116,6 +119,15 @@ def place_midpoints(
     MCMC path is statistically exact at any proposal budget. (A real
     deployment starts cold and needs the Lemma 4 budget; cold-start
     mixing is what the matching-sampler unit tests exercise.)
+
+    ``plan``/``level`` activate the batched engine
+    (:class:`~repro.core.placement_plan.PlacementPlan`): weight columns
+    come from the plan's per-(level, pair) law memo, the position ->
+    column-class assignment uses a hoisted index map instead of repeated
+    list searches, and the exact-DP samplers reuse the plan's prepared
+    forward/backward passes for isomorphic instances. Every cached value
+    is bit-equal to what the per-pair path computes and the RNG is
+    consumed in the same order, so trees are byte-identical either way.
     """
     bank = view.bank
     truncated = view.truncated_pair_counts(t_star)
@@ -158,10 +170,18 @@ def place_midpoints(
         # and CSR alike; entry values match scalar indexing exactly).
         labels_arr = np.asarray(row_labels, dtype=np.intp)
         weights = np.empty((len(row_labels), len(col_classes)))
+        batched = plan is not None and level is not None
         for c, (p, q) in enumerate(col_classes):
-            from_p = matrix_row(half_power, p)
-            into_q = matrix_col(half_power, q)
-            weights[:, c] = from_p[labels_arr] * into_q[labels_arr]
+            if batched:
+                # The memoized full law restricted to the multiset's
+                # labels: gather-after-multiply equals the per-pair
+                # multiply-after-gather entry for entry.
+                law, __ = plan.law(level, p, q, half_power)
+                weights[:, c] = law[labels_arr]
+            else:
+                from_p = matrix_row(half_power, p)
+                into_q = matrix_col(half_power, q)
+                weights[:, c] = from_p[labels_arr] * into_q[labels_arr]
         instance = ClassifiedBipartite(
             row_labels=tuple(row_labels),
             row_counts=tuple(multiset[x] for x in row_labels),
@@ -175,14 +195,15 @@ def place_midpoints(
         per_class = _sample_assignment(
             instance, view, positions, pair_for_position, rng,
             method=method, mcmc_steps=mcmc_steps,
+            plan=plan if batched else None,
         )
         # Hand the sampled labels to positions class by class, in
         # chronological order within each class.
+        class_index_of = {pair: c for c, pair in enumerate(col_classes)}
         cursor = {c: 0 for c in col_classes}
         for t in positions:
             pair = pair_for_position[t]
-            class_index = col_classes.index(pair)
-            labels = per_class[class_index]
+            labels = per_class[class_index_of[pair]]
             placed[t] = int(labels[cursor[pair]])
             cursor[pair] += 1
     return _assemble(view, t_star, placed)
@@ -197,6 +218,7 @@ def _sample_assignment(
     *,
     method: str,
     mcmc_steps: int | None,
+    plan=None,
 ) -> list[list[int]]:
     """Dispatch to the configured matching sampler; returns per-column-class
     label lists (chronological within class)."""
@@ -209,6 +231,21 @@ def _sample_assignment(
         implementation = (
             "reference" if method == "exact-dp-reference" else "auto"
         )
+        if plan is not None:
+            # Batched engine: the deterministic DP build is shared across
+            # isomorphic instances via the plan; only the sampling pass
+            # (and the uniform within-class expansion) consumes the rng,
+            # in exactly the per-instance order of the planless path.
+            prepared = plan.prepared_dp(instance, implementation)
+            table = (
+                prepared.sample(rng)
+                if prepared.consumes_rng
+                else prepared.sample()
+            )
+            return [
+                [int(x) for x in labels]
+                for labels in expand_table_to_assignment(instance, table, rng)
+            ]
         return [
             [int(x) for x in labels]
             for labels in sample_assignment_by_classes(

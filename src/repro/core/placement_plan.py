@@ -1,0 +1,325 @@
+"""Per-phase batched placement plan (the walk layer's warm-path engine).
+
+With phase numerics served from the tiered cache, the floor of a warm
+draw is the walk itself -- and inside the walk, the placement machinery:
+per-pair midpoint laws (Formula 1), the classified-bipartite weight
+columns of Lemma 3, the contingency-DP forward/backward passes, and the
+Algorithm 4 first-visit edge distributions. Every one of those is a
+*deterministic* function of the phase's frozen numerics: only the final
+sampling passes consume randomness. :class:`PlacementPlan` is the
+per-phase memo that exploits this split:
+
+- ``law(level, p, q, half_power)`` -- the unnormalized midpoint law
+  ``P^{delta/2}[p, *] * P^{delta/2}[*, q]`` and its normalizer, computed
+  once per (level, pair) and shared by every level fill, extension
+  segment, and ensemble draw that meets the pair again. The cached
+  vector is the bit-exact product the per-pair path computes, so
+  consumers draw from byte-identical probabilities.
+- ``prepared_dp(instance, implementation)`` -- the built (deterministic)
+  half of the contingency DP, keyed by
+  :func:`~repro.matching.sampler.instance_digest`; isomorphic
+  :class:`~repro.matching.sampler.ClassifiedBipartite` instances across
+  pairs and draws share one forward/backward pass and only rerun the
+  randomness-consuming sampling pass. Reference builds share one
+  plan-scope composition memo (the ``_compositions`` enumeration is the
+  dominant pure-Python cost of the small-instance DP).
+- ``first_visit(prev, v, compute)`` -- Algorithm 4's per-edge
+  distribution over the candidate first-visit edges, a function of
+  ``(G, S, prev, v)`` alone.
+
+A plan belongs to one :class:`~repro.engine.cache.PhaseNumerics` entry
+(same key: graph/config fingerprint + subset) and rides the derived-graph
+cache with it -- in RAM by attachment, on disk as a ``plan.npz`` blob the
+:class:`~repro.engine.store.DiskTier` republishes next to the numerics
+blobs, so warm process restarts skip re-classification too. Prepared DP
+objects are rebuilt per process (their layered state is not worth
+spilling; the persisted laws and first-visit tables are the
+re-classification cost a restart actually pays).
+
+Capacity: each memo is a bounded LRU so adversarial workloads (huge
+ensembles of fresh seeds over a huge graph) cannot grow a plan without
+bound; inserting into a full memo displaces its least-recently-used
+entry (counted in ``evicted``). Byte usage -- laws, first-visit tables,
+and the prepared-DP scratch -- is reported through ``nbytes`` and
+charged to the RAM tier's budget via
+:meth:`~repro.engine.cache.PhaseNumerics.nbytes`; the engine re-measures
+entries whose plans grew at the end of every run.
+
+The plan NEVER caches sampled outcomes -- tables, assignments, edges and
+trees are drawn fresh from the request's RNG on every use, which is what
+keeps ``placement_mode="batched"`` byte-identical to the per-pair
+reference path for the same seed (property-tested across every
+registered family and both variants).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.linalg.backend import matrix_col, matrix_row
+from repro.matching.sampler import (
+    ClassifiedBipartite,
+    instance_digest,
+    prepare_contingency_dp,
+)
+
+__all__ = ["PlacementPlan"]
+
+PLAN_FORMAT_VERSION = 1
+
+
+class PlacementPlan:
+    """Memoized deterministic placement structure for one phase.
+
+    Parameters bound the three memos (entries, not bytes -- law and
+    first-visit entries are O(n) and O(degree) respectively, prepared
+    DPs hold the layered state of one instance). Defaults comfortably
+    hold every structure a warm-service phase at n ~ 1024 touches.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_laws: int = 8192,
+        max_dps: int = 2048,
+        max_first_visit: int = 32768,
+    ) -> None:
+        self.max_laws = max_laws
+        self.max_dps = max_dps
+        self.max_first_visit = max_first_visit
+        self._laws: OrderedDict[
+            tuple[int, int, int], tuple[np.ndarray, float]
+        ] = OrderedDict()
+        # Normalized companions of _laws entries, filled lazily on first
+        # probability request (law / total, cached so repeat consumers
+        # skip the O(n) divide; bit-equal to dividing fresh).
+        self._probabilities: dict[tuple[int, int, int], np.ndarray] = {}
+        self._dps: OrderedDict[tuple[str, str], object] = OrderedDict()
+        self._first_visit: OrderedDict[
+            tuple[int, int], tuple[np.ndarray, np.ndarray]
+        ] = OrderedDict()
+        # Plan-scope composition memo shared by every reference DP build
+        # (the _compositions enumeration repeats across instances with
+        # equal column sums and remaining-count vectors).
+        self._comp_memo: dict = {}
+        self.law_hits = 0
+        self.law_misses = 0
+        self.dp_hits = 0
+        self.dp_misses = 0
+        self.first_visit_hits = 0
+        self.first_visit_misses = 0
+        self.evicted = 0
+        # True whenever the persistable part (laws / first-visit tables)
+        # grew since the last spill; the engine writes dirty plans back
+        # to the disk tier at the end of a run.
+        self.dirty = False
+
+    # -- midpoint laws ---------------------------------------------------
+
+    def law(
+        self, level: int, p: int, q: int, half_power
+    ) -> tuple[np.ndarray, float]:
+        """Unnormalized midpoint law for pair ``(p, q)`` at ``level``.
+
+        ``level`` is the half-spacing exponent (``delta / 2``), which
+        identifies the ladder power the law is computed from; the cached
+        vector is exactly ``matrix_row(half_power, p) *
+        matrix_col(half_power, q)`` with its sum, so hits are bit-equal
+        to recomputation. Returns ``(law, total)``.
+        """
+        key = (level, p, q)
+        hit = self._laws.get(key)
+        if hit is not None:
+            self._laws.move_to_end(key)
+            self.law_hits += 1
+            return hit
+        self.law_misses += 1
+        law = matrix_row(half_power, p) * matrix_col(half_power, q)
+        total = float(law.sum())
+        entry = (law, total)
+        if len(self._laws) >= self.max_laws:
+            evicted_key, __ = self._laws.popitem(last=False)
+            self._probabilities.pop(evicted_key, None)
+            self.evicted += 1
+        self._laws[key] = entry
+        self.dirty = True
+        return entry
+
+    def probabilities(
+        self, level: int, p: int, q: int, half_power
+    ) -> tuple[np.ndarray, float]:
+        """The normalized midpoint law ``law / total`` (memoized divide).
+
+        Returns ``(probabilities, total)`` -- total is still needed for
+        the Section 5.2 normalizer-floor check. The cached vector is
+        exactly what dividing the cached law by its cached total yields,
+        so consumers see the planless bits.
+        """
+        key = (level, p, q)
+        law, total = self.law(level, p, q, half_power)
+        hit = self._probabilities.get(key)
+        if hit is not None:
+            return hit, total
+        if total <= 0.0:  # let the caller raise its own error
+            return law, total
+        probabilities = law / total
+        if key in self._laws:  # only cache alongside a resident law
+            self._probabilities[key] = probabilities
+        return probabilities, total
+
+    # -- prepared contingency DPs ----------------------------------------
+
+    def prepared_dp(
+        self, instance: ClassifiedBipartite, implementation: str = "auto"
+    ):
+        """The built contingency DP for ``instance`` (shared across draws).
+
+        Keyed by the instance's content digest plus the requested
+        evaluator, so isomorphic instances (equal counts and weights,
+        any labels) resolve to one forward/backward pass. The returned
+        object's ``sample(rng)`` is the only randomness-consuming step.
+        """
+        key = (instance_digest(instance), implementation)
+        hit = self._dps.get(key)
+        if hit is not None:
+            self._dps.move_to_end(key)
+            self.dp_hits += 1
+            return hit
+        self.dp_misses += 1
+        prepared = prepare_contingency_dp(
+            instance, implementation=implementation, comp_memo=self._comp_memo
+        )
+        if len(self._dps) >= self.max_dps:
+            self._dps.popitem(last=False)
+            self.evicted += 1
+        self._dps[key] = prepared
+        return prepared
+
+    # -- first-visit edge distributions ----------------------------------
+
+    def first_visit(
+        self,
+        prev: int,
+        vertex: int,
+        compute: Callable[[], tuple[np.ndarray, np.ndarray]],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Algorithm 4's ``(neighbors, probabilities)`` for one new vertex.
+
+        The distribution depends only on the phase's frozen ``(G, S)``
+        and the (prev, vertex) walk step, so it is computed at most once
+        per plan; ``compute`` supplies the cold evaluation.
+        """
+        key = (prev, vertex)
+        hit = self._first_visit.get(key)
+        if hit is not None:
+            self._first_visit.move_to_end(key)
+            self.first_visit_hits += 1
+            return hit
+        self.first_visit_misses += 1
+        neighbors, probabilities = compute()
+        entry = (np.asarray(neighbors), np.asarray(probabilities))
+        if len(self._first_visit) >= self.max_first_visit:
+            self._first_visit.popitem(last=False)
+            self.evicted += 1
+        self._first_visit[key] = entry
+        self.dirty = True
+        return entry
+
+    # -- introspection ---------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Approximate bytes held by the memos (DP scratch included)."""
+        total = 0
+        for law, __ in self._laws.values():
+            total += law.nbytes
+        for probabilities in self._probabilities.values():
+            total += probabilities.nbytes
+        for neighbors, probabilities in self._first_visit.values():
+            total += neighbors.nbytes + probabilities.nbytes
+        for prepared in self._dps.values():
+            sizer = getattr(prepared, "nbytes", None)
+            if callable(sizer):
+                total += int(sizer())
+        # Composition memo: tuples of small ints; ~16 bytes per count is
+        # a serviceable order-of-magnitude charge.
+        total += 16 * sum(
+            len(comps) * (len(key[1]) + 1)
+            for key, comps in self._comp_memo.items()
+        )
+        return total
+
+    def stats(self) -> dict[str, int]:
+        """Flat counters (wire-friendly ints)."""
+        return {
+            "laws": len(self._laws),
+            "law_hits": self.law_hits,
+            "law_misses": self.law_misses,
+            "dps": len(self._dps),
+            "dp_hits": self.dp_hits,
+            "dp_misses": self.dp_misses,
+            "first_visit": len(self._first_visit),
+            "first_visit_hits": self.first_visit_hits,
+            "first_visit_misses": self.first_visit_misses,
+            "evicted": self.evicted,
+            "bytes": int(self.nbytes()),
+        }
+
+    # -- persistence -----------------------------------------------------
+
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """The persistable memos as flat named arrays (npz-ready).
+
+        Prepared DPs are deliberately excluded: their layered state is
+        process-local scratch that rebuilds quickly from the persisted
+        classification, and serializing per-instance layer lists would
+        dwarf the numerics blobs they ride along with.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "plan_format": np.asarray([PLAN_FORMAT_VERSION], dtype=np.int64)
+        }
+        for (level, p, q), (law, __) in self._laws.items():
+            arrays[f"law/{level}/{p}/{q}"] = np.ascontiguousarray(law)
+        for (prev, vertex), (neighbors, probabilities) in (
+            self._first_visit.items()
+        ):
+            arrays[f"fvn/{prev}/{vertex}"] = neighbors
+            arrays[f"fvp/{prev}/{vertex}"] = probabilities
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: Mapping[str, np.ndarray]) -> "PlacementPlan":
+        """Rebuild a plan from :meth:`export_arrays` output.
+
+        Totals are recomputed from the loaded law vectors (same bits,
+        same sum); unknown formats or malformed names raise ``ValueError``
+        so the store can treat a bad blob as absent.
+        """
+        version = np.asarray(arrays["plan_format"]).ravel()
+        if version.shape[0] != 1 or int(version[0]) != PLAN_FORMAT_VERSION:
+            raise ValueError(f"unsupported plan format {version!r}")
+        plan = cls()
+        pending_fv: dict[tuple[int, int], dict[str, np.ndarray]] = {}
+        for name, value in arrays.items():
+            if name == "plan_format":
+                continue
+            kind, *parts = name.split("/")
+            if kind == "law":
+                level, p, q = (int(x) for x in parts)
+                law = np.asarray(value, dtype=np.float64)
+                plan._laws[(level, p, q)] = (law, float(law.sum()))
+            elif kind in ("fvn", "fvp"):
+                prev, vertex = (int(x) for x in parts)
+                pending_fv.setdefault((prev, vertex), {})[kind] = value
+            else:
+                raise ValueError(f"unknown plan array {name!r}")
+        for key, pair in pending_fv.items():
+            if "fvn" not in pair or "fvp" not in pair:
+                raise ValueError(f"half a first-visit record for {key}")
+            plan._first_visit[key] = (
+                np.asarray(pair["fvn"]),
+                np.asarray(pair["fvp"], dtype=np.float64),
+            )
+        return plan

@@ -27,7 +27,12 @@ from repro.core.midpoints import MidpointBank, Pair
 from repro.errors import WalkError
 from repro.walks.fill import PartialWalk
 
-__all__ = ["LevelView", "check_truncation_point", "find_truncation_index"]
+__all__ = [
+    "LevelView",
+    "check_truncation_point",
+    "find_truncation_index",
+    "find_truncation_index_fast",
+]
 
 
 class LevelView:
@@ -142,6 +147,56 @@ def find_truncation_index(
     while high - low > 1:
         mid = (low + high) // 2
         if check_truncation_point(view, mid, rho, clique=clique):
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def find_truncation_index_fast(
+    view: LevelView,
+    rho: int,
+    *,
+    clique: CongestedClique | None = None,
+) -> int:
+    """Simulator fast path for Algorithm 3 (batched placement mode).
+
+    The simulator holds every midpoint sequence, so the truncation point
+    -- the first occurrence of the rho-th distinct vertex in ``W^+_i``,
+    or the final position when the quota is never reached -- can be read
+    off a single chronological scan instead of evaluating the aggregate
+    ``Dist``/``CountLast`` predicate per probe. The *protocol* is
+    unchanged: the leader still runs the binary search, so this replays
+    exactly the probe sequence the search would issue against the
+    monotone predicate ``t <= t*`` and charges each probe's Count
+    aggregation -- byte-identical result AND round ledger to
+    :func:`find_truncation_index` (property-tested). No randomness is
+    involved either way.
+    """
+    if rho < 2:
+        raise WalkError(f"rho must be >= 2 for truncation search, got {rho}")
+    top = view.top
+    t_star = top
+    seen: set[int] = set()
+    for t in range(top + 1):
+        vertex = view.value_at(t)
+        if vertex not in seen:
+            seen.add(vertex)
+            if len(seen) == rho:
+                t_star = t
+                break
+    # Probe replay: one aggregation for the initial check at `top` ...
+    view.bank.charge_aggregation(clique)
+    if t_star == top:
+        return top
+    # ... then one per bisection step, mirroring the search loop (its
+    # iteration count depends only on `top`, its probes only on the
+    # predicate, which is `mid <= t_star` by monotonicity).
+    low, high = 0, top
+    while high - low > 1:
+        mid = (low + high) // 2
+        view.bank.charge_aggregation(clique)
+        if mid <= t_star:
             low = mid
         else:
             high = mid

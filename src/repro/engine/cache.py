@@ -39,6 +39,7 @@ __all__ = [
     "DerivedGraphCache",
     "config_fingerprint",
     "CACHE_BEHAVIOR_FIELDS",
+    "NON_NUMERICS_FIELDS",
 ]
 
 # Configuration fields that steer *where and how much* the cache stores,
@@ -58,6 +59,14 @@ CACHE_BEHAVIOR_FIELDS = frozenset(
     }
 )
 
+# The full exclusion set: cache sizing/location knobs plus execution-mode
+# knobs that select *how* a result is computed, never its bytes.
+# ``placement_mode`` qualifies because PhaseNumerics is pure subset
+# linear algebra the placement layer only reads -- and because the two
+# modes draw byte-identical trees (property-tested), a batched session
+# may warm-start from a reference session's entries and vice versa.
+NON_NUMERICS_FIELDS = CACHE_BEHAVIOR_FIELDS | {"placement_mode"}
+
 
 def config_fingerprint(config, *, resolved_ell: int, linalg_backend: str) -> str:
     """Canonical string over every *numerics-affecting* field plus resolved state.
@@ -72,14 +81,15 @@ def config_fingerprint(config, *, resolved_ell: int, linalg_backend: str) -> str
     harmlessly (a non-numeric field change just forfeits sharing) but can
     never alias two configurations that compute different numbers.
 
-    The one deliberate carve-out is :data:`CACHE_BEHAVIOR_FIELDS`:
-    cache location/sizing knobs change which entries are *kept*, never
-    the bytes inside them, and including them would partition a shared
+    The one deliberate carve-out is :data:`NON_NUMERICS_FIELDS`:
+    cache location/sizing knobs change which entries are *kept* and
+    ``placement_mode`` changes which code path *reads* them -- never the
+    bytes inside them -- and including them would partition a shared
     persistent directory into mutually invisible shards.
     """
     parts: list[tuple[str, str]] = []
     for field in fields(config):
-        if field.name in CACHE_BEHAVIOR_FIELDS:
+        if field.name in NON_NUMERICS_FIELDS:
             continue
         value = getattr(config, field.name)
         if field.name == "extra":
@@ -114,13 +124,20 @@ class PhaseNumerics:
     ladder_squarings: int
     ladder_entry_words: int | None
     shortcut_squarings: int  # 0 in phase 1 (no Corollary 2 charge)
+    # The phase's batched-placement memo (laws, prepared DPs, first-visit
+    # tables; see repro.core.placement_plan). Rides the cache entry so
+    # every draw against this subset shares one classification; None
+    # until a batched-mode engine touches the entry, always None in
+    # reference mode.
+    plan: object | None = None
 
     def nbytes(self) -> int:
-        """Total matrix bytes held by this entry (dense + CSR + ladder).
+        """Total bytes held by this entry (matrices + placement plan).
 
-        Deduplicated by object identity: with ``bits=None`` the ladder's
-        base power *is* the transition matrix, and counting it twice
-        would charge the byte budget for memory that isn't there.
+        Matrix bytes are deduplicated by object identity: with
+        ``bits=None`` the ladder's base power *is* the transition matrix,
+        and counting it twice would charge the byte budget for memory
+        that isn't there.
         """
         total = 0
         seen: set[int] = set()
@@ -131,6 +148,8 @@ class PhaseNumerics:
                 continue
             seen.add(id(matrix))
             total += matrix_nbytes(matrix)
+        if self.plan is not None:
+            total += self.plan.nbytes()
         return total
 
 
@@ -216,6 +235,28 @@ class DerivedGraphCache:
             evicted_key, _ = self._entries.popitem(last=False)
             self.bytes_used -= self._sizes.pop(evicted_key, 0)
             self.evictions += 1
+
+    def refresh(self, key: Hashable) -> None:
+        """Re-measure a resident entry whose attached state grew.
+
+        PhaseNumerics entries are append-only *except* for the placement
+        plan hanging off them, which grows as draws touch new structure;
+        the engine calls this at the end of each run so the byte ledger
+        tracks real residency. An entry grown past the whole budget is
+        evicted outright (mirroring store's refusal rule).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        size = _entry_nbytes(entry)
+        if self.max_bytes is not None and size > self.max_bytes:
+            del self._entries[key]
+            self.bytes_used -= self._sizes.pop(key, 0)
+            self.evictions += 1
+            return
+        self.bytes_used += size - self._sizes.get(key, 0)
+        self._sizes[key] = size
+        self._evict_over_budget()
 
     def clear(self) -> None:
         """Drop all entries (statistics are kept)."""

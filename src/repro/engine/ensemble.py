@@ -25,6 +25,14 @@ Workers receive ``(weights, config, variant, seeds)`` payloads; results
 pickle cleanly. If process spawning is unavailable (restricted sandboxes,
 daemonic parents), the driver degrades to the sequential path with the
 same seeds -- identical results, no failure.
+
+The batched placement engine rides the same payload: ``config`` carries
+``placement_mode``, so every worker builds per-phase
+:class:`~repro.core.placement_plan.PlacementPlan`s of its own -- and
+when the config names a ``cache_dir``, workers both load plans earlier
+processes spilled and spill the plans they grow (atomic per-entry
+``plan.npz`` blobs), so a fleet warm-starts classification exactly like
+it warm-starts numerics. jobs=1 and jobs=N remain byte-identical.
 """
 
 from __future__ import annotations

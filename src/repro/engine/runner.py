@@ -28,6 +28,7 @@ from repro.clique.cost import RoundLedger
 from repro.clique.network import CongestedClique
 from repro.core.config import SamplerConfig
 from repro.core.phase import PhaseStats, run_phase_walk
+from repro.core.placement_plan import PlacementPlan
 from repro.engine.backends import MatmulBackend, make_matmul_backend
 from repro.engine.cache import (
     DerivedGraphCache,
@@ -114,6 +115,15 @@ class SamplerEngine:
             ).encode()
         )
         self._cache_token = digest.hexdigest()
+        # Batched placement (the default) attaches a PlacementPlan to
+        # every phase's numerics entry; reference mode leaves entries
+        # untouched and runs the seed-faithful per-pair path. Both draw
+        # byte-identical trees, which is why the mode sits outside the
+        # cache fingerprint (NON_NUMERICS_FIELDS).
+        self.placement_mode = self.config.placement_mode
+        # Plans this run touched, for the end-of-run disk spill:
+        # key -> plan (insertion order keeps spills deterministic).
+        self._touched_plans: dict = {}
 
     # ------------------------------------------------------------------
 
@@ -164,6 +174,7 @@ class SamplerEngine:
             current = walk_orig[-1]
             phase_stats.append(stats)
 
+        self._spill_plans()
         if len(tree_edges) != n - 1 or not is_spanning_tree(graph, tree_edges):
             raise SamplingError(
                 "sampler produced an invalid spanning tree; this is a bug"
@@ -202,6 +213,7 @@ class SamplerEngine:
         transition = numerics.transition
         order = numerics.order
         index_of = {v: i for i, v in enumerate(order)}
+        plan = numerics.plan if self.placement_mode == "batched" else None
 
         # --- Steps 4-5: distributed truncated walk. ---------------------
         rho_eff = min(rho, len(subset))
@@ -216,13 +228,17 @@ class SamplerEngine:
             ladder=numerics.ladder,
             exact_placement=(self.variant == "exact"),
             stats=stats,
+            plan=plan,
         )
         walk_orig = [order[i] for i in local_walk]
 
         # --- Step 6: first-visit edges via ShortCut(G, S) (Algorithm 4).
         # The into-S weight vector is a function of (G, S) alone; hoist
         # it out of the per-new-vertex loop (same per-row pairwise sums,
-        # so the sampled law is unchanged).
+        # so the sampled law is unchanged). With a plan, each (prev, v)
+        # step's whole distribution is additionally memoized across
+        # draws -- the cached arrays are what the cold evaluation
+        # returned, so the edge draw below sees identical probabilities.
         s_mask = np.zeros(n, dtype=bool)
         s_mask[subset] = True
         weight_into_s = graph.weights[:, s_mask].sum(axis=1)
@@ -234,10 +250,19 @@ class SamplerEngine:
                 continue
             seen.add(v)
             prev = walk_orig[position - 1]
-            neighbors, probabilities = first_visit_edge_distribution(
-                graph, subset, shortcut, prev, v,
-                weight_into_s=weight_into_s,
-            )
+
+            def _cold_distribution(prev=prev, v=v):
+                return first_visit_edge_distribution(
+                    graph, subset, shortcut, prev, v,
+                    weight_into_s=weight_into_s,
+                )
+
+            if plan is not None:
+                neighbors, probabilities = plan.first_visit(
+                    prev, v, _cold_distribution
+                )
+            else:
+                neighbors, probabilities = _cold_distribution()
             u = int(neighbors[int(rng.choice(len(neighbors), p=probabilities))])
             edges.append((u, v))
             stats.new_vertices.append(v)
@@ -272,13 +297,50 @@ class SamplerEngine:
         cached = self.cache.lookup(key) if self.cache is not None else None
         if cached is not None:
             self._replay_charges(cached, ledger, backend)
+            self._attach_plan(key, cached)
             return cached
         numerics = self._build_numerics(
             subset, is_phase_one, ell, ledger, backend
         )
         if self.cache is not None:
             self.cache.store(key, numerics)
+        self._attach_plan(key, numerics)
         return numerics
+
+    def _attach_plan(self, key, numerics: PhaseNumerics) -> None:
+        """Ensure a batched-mode entry carries a placement plan.
+
+        The plan hangs off the cache entry (same lifetime, same key), so
+        every engine sharing the entry -- across draws, variants, and
+        sessions -- shares one classification. Touched plans are
+        remembered for the end-of-run disk spill.
+        """
+        if self.placement_mode != "batched":
+            return
+        if numerics.plan is None:
+            numerics.plan = PlacementPlan()
+        if self.cache is not None:
+            self._touched_plans[key] = numerics.plan
+
+    def _spill_plans(self) -> None:
+        """Write grown plans through to the disk tier (end of a run).
+
+        Only the tiered store persists plans (``store_plan``); the plain
+        in-memory cache keeps them by attachment. Spilling once per run
+        -- not per phase -- bounds write churn: a warm steady-state draw
+        adds nothing and spills nothing. Every touched entry is also
+        re-measured (``refresh``) so the RAM tier's byte ledger tracks
+        plan growth -- including DP scratch, which never spills.
+        """
+        touched, self._touched_plans = self._touched_plans, {}
+        store = getattr(self.cache, "store_plan", None)
+        refresh = getattr(self.cache, "refresh", None)
+        for key, plan in touched.items():
+            if plan.dirty and store is not None:
+                store(key, plan)
+                plan.dirty = False
+            if refresh is not None:
+                refresh(key)
 
     def _build_numerics(
         self,

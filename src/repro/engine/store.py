@@ -45,6 +45,7 @@ from typing import Hashable
 
 import numpy as np
 
+from repro.core.placement_plan import PlacementPlan
 from repro.engine.cache import DerivedGraphCache, PhaseNumerics
 from repro.errors import ConfigError
 from repro.linalg.backend import HAVE_SCIPY, is_sparse_matrix
@@ -63,6 +64,13 @@ __all__ = [
 
 STORE_FORMAT_VERSION = 1
 DEFAULT_CACHE_ROOT_ENV = "REPRO_CACHE_DIR"
+# The per-entry placement-plan blob (repro.core.placement_plan): midpoint
+# laws and first-visit tables spilled next to the numerics so a warm
+# restart skips the walk layer's re-classification too. Published by a
+# single atomic file rename *into* an already-published entry directory;
+# optional on read (a missing or bad plan blob is just a cold plan, never
+# a miss on the numerics).
+PLAN_BLOB = "plan.npz"
 # Crash leftovers (tmp dirs whose writer died before the rename) are
 # swept on open, but only once they are unambiguously stale -- a live
 # concurrent writer's tmp dir must never be deleted from under it.
@@ -153,7 +161,11 @@ class DiskTier:
     """
 
     def __init__(
-        self, root: str | os.PathLike, *, max_bytes: int | None = None
+        self,
+        root: str | os.PathLike,
+        *,
+        max_bytes: int | None = None,
+        load_plans: bool = True,
     ) -> None:
         if max_bytes is not None and max_bytes < 1:
             raise ConfigError(
@@ -161,6 +173,10 @@ class DiskTier:
             )
         self.root = Path(root)
         self.max_bytes = max_bytes
+        # Reference-mode sessions never read plans; skipping the blob
+        # load spares them the npz materialization on every disk hit
+        # (and keeps dead plan bytes out of their RAM tier).
+        self.load_plans = load_plans
         self.blobs = self.root / "blobs"
         self.blobs.mkdir(parents=True, exist_ok=True)
         self.hits = 0
@@ -205,10 +221,29 @@ class DiskTier:
             self.misses += 1
             self._discard(digest)
             return None
+        if self.load_plans:
+            numerics.plan = self._load_plan(entry_dir)
         self.hits += 1
         self._touch(digest)
         self._heal_index(digest, entry_dir)
         return numerics
+
+    def _load_plan(self, entry_dir: Path) -> PlacementPlan | None:
+        """The entry's persisted placement plan, or None (never an error).
+
+        A plan blob is an accelerator, not part of the numerics
+        contract: any read failure degrades to a cold plan and removes
+        the broken file so the next spill can republish it.
+        """
+        plan_path = entry_dir / PLAN_BLOB
+        if not plan_path.exists():
+            return None
+        try:
+            with np.load(plan_path) as arrays:
+                return PlacementPlan.from_arrays(dict(arrays.items()))
+        except Exception:
+            plan_path.unlink(missing_ok=True)
+            return None
 
     def _heal_index(self, digest: str, entry_dir: Path) -> None:
         """Re-register a live blob the ledger lost track of.
@@ -352,6 +387,39 @@ class DiskTier:
         (directory / "meta.json").write_text(json.dumps(meta))
         return _blob_bytes(directory)
 
+    def store_plan(self, key: Hashable, plan: PlacementPlan) -> bool:
+        """Publish (or refresh) an entry's placement-plan blob.
+
+        The plan spills *into* an already-published numerics entry (a
+        plan without its numerics is useless, and lookup only reads
+        blobs under a meta.json-bearing directory). One atomic
+        ``os.replace`` of a single file, so concurrent workers racing on
+        the same digest just last-write-win a bit-equal payload. Returns
+        True when the blob was written.
+        """
+        digest = key_digest(key)
+        entry_dir = self.blobs / digest
+        if not (entry_dir / "meta.json").exists():
+            return False
+        arrays = plan.export_arrays()
+        if len(arrays) <= 1:  # format stamp only: nothing worth spilling
+            return False
+        tmp = self.blobs / (
+            f".tmp-plan-{digest}-{os.getpid()}-{time.monotonic_ns()}.npz"
+        )
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp, entry_dir / PLAN_BLOB)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            return False
+        try:
+            self._record(digest, _blob_bytes(entry_dir))
+        except OSError:
+            pass
+        return True
+
     # -- index / eviction ----------------------------------------------
 
     def _index_path(self) -> Path:
@@ -466,9 +534,40 @@ class DiskTier:
                 continue
             try:
                 if now - entry.stat().st_mtime > STALE_TMP_SECONDS:
-                    shutil.rmtree(entry, ignore_errors=True)
+                    if entry.is_dir():
+                        shutil.rmtree(entry, ignore_errors=True)
+                    else:  # abandoned single-file spill (plan blobs)
+                        entry.unlink(missing_ok=True)
             except OSError:
                 continue
+
+    # -- maintenance (the `python -m repro cache` surface) ---------------
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries down to ``max_bytes``.
+
+        One-shot maintenance eviction (the CLI's ``cache --prune-to``),
+        independent of the tier's configured budget; ``0`` empties the
+        store. Returns the number of entries evicted.
+        """
+        if max_bytes < 0:
+            raise ConfigError(f"prune target must be >= 0, got {max_bytes}")
+        before = self.evictions
+        original = self.max_bytes
+        self.max_bytes = max_bytes
+        try:
+            self._write_index(self._evict_over_budget(self._read_index()))
+        finally:
+            self.max_bytes = original
+        return self.evictions - before
+
+    def clear(self) -> int:
+        """Delete every published entry; returns how many were removed."""
+        removed = self.entry_count()
+        shutil.rmtree(self.blobs, ignore_errors=True)
+        self.blobs.mkdir(parents=True, exist_ok=True)
+        self._write_index({})
+        return removed
 
     # -- introspection --------------------------------------------------
 
@@ -526,13 +625,24 @@ class TieredPhaseStore:
         self.memory.store(key, numerics)
         self.disk.store(key, numerics)
 
+    def store_plan(self, key: Hashable, plan: PlacementPlan) -> None:
+        """Spill a grown placement plan to the shared disk tier.
+
+        The RAM tier needs no write (the plan object already hangs off
+        the resident :class:`PhaseNumerics`); the disk blob is what lets
+        worker processes and future sessions warm-start classification.
+        """
+        self.disk.store_plan(key, plan)
+
+    def refresh(self, key: Hashable) -> None:
+        """Re-measure the RAM tier's copy of a plan-bearing entry."""
+        self.memory.refresh(key)
+
     def clear(self, *, disk: bool = False) -> None:
         """Drop the memory tier; optionally delete the disk tier's blobs."""
         self.memory.clear()
         if disk:
-            shutil.rmtree(self.disk.blobs, ignore_errors=True)
-            self.disk.blobs.mkdir(parents=True, exist_ok=True)
-            self.disk._write_index({})
+            self.disk.clear()
 
     def stats(self) -> dict[str, int]:
         """Flat per-tier counters (all ints, wire- and meta-friendly)."""
@@ -561,6 +671,8 @@ def open_phase_store(config) -> DerivedGraphCache | TieredPhaseStore | None:
     if config.cache_dir is None:
         return memory
     disk = DiskTier(
-        resolve_cache_root(config.cache_dir), max_bytes=config.cache_disk_bytes
+        resolve_cache_root(config.cache_dir),
+        max_bytes=config.cache_disk_bytes,
+        load_plans=getattr(config, "placement_mode", "batched") == "batched",
     )
     return TieredPhaseStore(memory, disk)

@@ -30,6 +30,8 @@ from repro.matching.permanent import (
 from repro.matching.sampler import (
     ClassifiedBipartite,
     expand_table_to_assignment,
+    instance_digest,
+    prepare_contingency_dp,
     sample_assignment_by_classes,
     sample_contingency_table,
     sample_matching_exact,
@@ -42,6 +44,8 @@ __all__ = [
     "permanent_ryser",
     "ClassifiedBipartite",
     "expand_table_to_assignment",
+    "instance_digest",
+    "prepare_contingency_dp",
     "sample_assignment_by_classes",
     "sample_contingency_table",
     "sample_matching_exact",

@@ -17,13 +17,22 @@ assignment by uniform multiset permutations -- together an exact (TV error
 :func:`sample_matching_exact` (self-reducible Ryser) and
 :func:`sample_matching_mcmc` (Metropolis) are provided for validation and
 for the approximate-sampler code path of Lemma 4.
+
+The DP is split into a deterministic *build* (feasibility, composition
+tables, forward reachability, backward log-partition values -- no
+randomness) and a cheap randomness-consuming *sampling pass*:
+:func:`prepare_contingency_dp` returns the built evaluator so batch
+workloads (:class:`repro.core.placement_plan.PlacementPlan`) can reuse
+one build across every draw that meets an isomorphic instance
+(:func:`instance_digest`); :func:`sample_contingency_table` is the
+one-shot composition of the two.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Hashable, Sequence
 
 import numpy as np
@@ -42,6 +51,8 @@ __all__ = [
     "sample_contingency_table",
     "expand_table_to_assignment",
     "sample_assignment_by_classes",
+    "prepare_contingency_dp",
+    "instance_digest",
 ]
 
 
@@ -234,6 +245,427 @@ def _trivial_table(instance: ClassifiedBipartite) -> np.ndarray | None:
     return None
 
 
+def instance_digest(instance: ClassifiedBipartite) -> str:
+    """Content address of the DP-relevant part of an instance.
+
+    Two instances with equal ``(row_counts, col_counts, class_weights)``
+    are *isomorphic* for the contingency DP: labels only matter when a
+    table is expanded to an assignment. The digest is what lets a
+    :class:`~repro.core.placement_plan.PlacementPlan` reuse one prepared
+    DP across pairs, levels, and ensemble draws.
+    """
+    digest = hashlib.sha1()
+    digest.update(
+        repr((tuple(instance.row_counts), tuple(instance.col_counts))).encode()
+    )
+    digest.update(
+        np.ascontiguousarray(
+            np.asarray(instance.class_weights, dtype=np.float64)
+        ).tobytes()
+    )
+    return digest.hexdigest()
+
+
+class _PreparedTrivial:
+    """Closed-form single-row/column-class table; consumes no randomness."""
+
+    consumes_rng = False
+
+    def __init__(self, table: np.ndarray) -> None:
+        self._table = table
+
+    def sample(self, rng: np.random.Generator | None = None) -> np.ndarray:
+        return self._table.copy()
+
+    def nbytes(self) -> int:
+        return int(self._table.nbytes)
+
+
+class _PreparedReference:
+    """The pure-Python suffix DP, built once and sampled many times.
+
+    Mirrors the seed implementation exactly -- same composition
+    enumeration order, same log-space accumulation order -- so the
+    sampled option probabilities are bit-identical; the only difference
+    is that the suffix memo (and optionally the composition memo) lives
+    on the object instead of being rebuilt and cleared per call.
+    """
+
+    consumes_rng = True
+
+    def __init__(
+        self,
+        instance: ClassifiedBipartite,
+        comp_memo: dict | None = None,
+    ) -> None:
+        self._weights = np.asarray(instance.class_weights, dtype=np.float64)
+        self._a = tuple(int(k) for k in instance.row_counts)
+        self._b = tuple(int(k) for k in instance.col_counts)
+        self._suffix: dict[tuple[int, tuple[int, ...]], float] = {}
+        self._comps = comp_memo if comp_memo is not None else {}
+        if self._log_suffix(0, self._a) == -math.inf:
+            raise MatchingError(
+                "instance admits no positive-weight perfect matching "
+                "(class permanent is zero)"
+            )
+
+    def _compositions(
+        self, total: int, remaining: tuple[int, ...]
+    ) -> list[tuple[int, ...]]:
+        key = (total, remaining)
+        hit = self._comps.get(key)
+        if hit is None:
+            hit = _compositions(total, remaining)
+            self._comps[key] = hit
+        return hit
+
+    def nbytes(self) -> int:
+        """Rough bytes of the suffix memo (~56B per float cache slot)."""
+        return 56 * len(self._suffix)
+
+    def _log_suffix(self, col_index: int, remaining: tuple[int, ...]) -> float:
+        key = (col_index, remaining)
+        hit = self._suffix.get(key)
+        if hit is not None:
+            return hit
+        if col_index == len(self._b):
+            value = 0.0 if all(x == 0 for x in remaining) else -math.inf
+        else:
+            num_rows = len(self._a)
+            terms: list[float] = []
+            for allocation in self._compositions(self._b[col_index], remaining):
+                log_factor = _log_allocation_factor(
+                    self._weights, col_index, allocation
+                )
+                if log_factor == -math.inf:
+                    continue
+                rest = tuple(
+                    remaining[r] - allocation[r] for r in range(num_rows)
+                )
+                tail = self._log_suffix(col_index + 1, rest)
+                if tail == -math.inf:
+                    continue
+                terms.append(log_factor + tail)
+            value = _logsumexp(terms)
+        self._suffix[key] = value
+        return value
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        num_rows = len(self._a)
+        remaining = self._a
+        table = np.zeros((num_rows, len(self._b)), dtype=np.int64)
+        for col_index in range(len(self._b)):
+            options = []
+            option_logs = []
+            for allocation in self._compositions(self._b[col_index], remaining):
+                log_factor = _log_allocation_factor(
+                    self._weights, col_index, allocation
+                )
+                if log_factor == -math.inf:
+                    continue
+                rest = tuple(
+                    remaining[r] - allocation[r] for r in range(num_rows)
+                )
+                tail = self._log_suffix(col_index + 1, rest)
+                if tail == -math.inf:
+                    continue
+                options.append(allocation)
+                option_logs.append(log_factor + tail)
+            if not options:
+                raise MatchingError(
+                    f"dead end at column class {col_index}: "
+                    "no feasible allocation"
+                )
+            logs = np.asarray(option_logs)
+            probabilities = np.exp(logs - logs.max())
+            probabilities = probabilities / probabilities.sum()
+            choice = int(rng.choice(len(options), p=probabilities))
+            allocation = options[choice]
+            table[:, col_index] = allocation
+            remaining = tuple(
+                remaining[r] - allocation[r] for r in range(num_rows)
+            )
+        return table
+
+
+class _PreparedVectorized:
+    """The layered numpy DP with its deterministic passes precomputed.
+
+    Everything value-dependent is computed at build time: log weights
+    (zero weights masked, handled via feasibility tests so 0 * -inf never
+    appears), a factorial table for the 1/k! terms, one composition table
+    per column capped at the *full* row counts, the forward reachability
+    layers, and the backward log-partition values. States (remaining
+    row-count vectors) are encoded in a mixed radix so layers can be
+    deduplicated, sorted, and joined with searchsorted. Sampling then
+    costs one feasibility mask + searchsorted per column class -- the
+    only randomness-consuming part, so a plan can reuse one build across
+    every draw that meets the same (counts, weights) instance.
+    """
+
+    consumes_rng = True
+    _BLOCK_ELEMENTS = 4_000_000
+
+    def __init__(self, instance: ClassifiedBipartite) -> None:
+        weights = np.asarray(instance.class_weights, dtype=np.float64)
+        a = tuple(int(k) for k in instance.row_counts)
+        b = tuple(int(k) for k in instance.col_counts)
+        num_rows = len(a)
+        num_cols = len(b)
+        self._a = a
+        self._b = b
+
+        positive = weights > 0.0
+        with np.errstate(divide="ignore"):
+            log_weights = np.where(
+                positive, np.log(np.where(positive, weights, 1.0)), 0.0
+            )
+        max_count = max(a, default=0)
+        lgamma_table = np.array(
+            [math.lgamma(k + 1) for k in range(max_count + 1)]
+        )
+
+        col_comps: list[np.ndarray] = []
+        col_log_factors: list[np.ndarray] = []
+        for c in range(num_cols):
+            caps = tuple(min(r, b[c]) for r in a)
+            comps = compositions_array(b[c], caps)
+            if comps.shape[0] == 0:
+                log_factors = np.empty(0)
+            else:
+                log_factors = (
+                    comps @ log_weights[:, c] - lgamma_table[comps].sum(axis=1)
+                )
+                blocked = ~positive[:, c]
+                if blocked.any():
+                    infeasible = (comps[:, blocked] > 0).any(axis=1)
+                    log_factors = np.where(infeasible, -np.inf, log_factors)
+            col_comps.append(comps)
+            col_log_factors.append(log_factors)
+        self._col_comps = col_comps
+        self._col_log_factors = col_log_factors
+        # Static per-column pieces of the sampling pass, hoisted out of
+        # sample() so warm draws pay only the remaining-dependent work:
+        # the finite-factor mask and each allocation's radix code.
+        self._col_finite = [np.isfinite(lf) for lf in col_log_factors]
+
+        strides = np.empty(num_rows, dtype=np.int64)
+        acc = 1
+        for r in range(num_rows - 1, -1, -1):
+            strides[r] = acc
+            acc *= a[r] + 1
+        self._strides = strides
+        a_arr = np.asarray(a, dtype=np.int64)
+        self._a_arr = a_arr
+        self._col_comp_codes = [comps @ strides for comps in col_comps]
+
+        # Forward pass: reachable states after each column's allocation.
+        layers: list[tuple[np.ndarray, np.ndarray]] = []
+        states = a_arr.reshape(1, num_rows)
+        layers.append((states, states @ strides))
+        for c in range(num_cols):
+            comps_f, __ = self._finite_columns(c)
+            states = layers[-1][0]
+            rest_blocks: list[np.ndarray] = []
+            if comps_f.shape[0] and states.shape[0]:
+                block = max(
+                    1, self._BLOCK_ELEMENTS // (comps_f.shape[0] * num_rows + 1)
+                )
+                for lo in range(0, states.shape[0], block):
+                    chunk = states[lo:lo + block]
+                    feasible = (
+                        comps_f[None, :, :] <= chunk[:, None, :]
+                    ).all(axis=2)
+                    rest_blocks.append(
+                        (chunk[:, None, :] - comps_f[None, :, :])[feasible]
+                    )
+            if rest_blocks:
+                rests = np.concatenate(rest_blocks, axis=0)
+            else:
+                rests = np.empty((0, num_rows), dtype=np.int64)
+            codes = rests @ strides
+            codes, first = np.unique(codes, return_index=True)
+            layers.append((rests[first], codes))
+        self._layers = layers
+
+        # Backward pass: log partition values per layer (the log_suffix DP,
+        # vectorized over whole (state, allocation) blocks at once).
+        values: list[np.ndarray | None] = [None] * (num_cols + 1)
+        final_codes = layers[num_cols][1]
+        values[num_cols] = np.where(final_codes == 0, 0.0, -np.inf)
+        for c in range(num_cols - 1, -1, -1):
+            states, codes = layers[c]
+            comps_f, log_factors_f = self._finite_columns(c)
+            level = np.full(states.shape[0], -np.inf)
+            if comps_f.shape[0] and states.shape[0]:
+                next_codes = layers[c + 1][1]
+                next_values = values[c + 1]
+                comp_codes = comps_f @ strides
+                block = max(
+                    1, self._BLOCK_ELEMENTS // (comps_f.shape[0] * num_rows + 1)
+                )
+                for lo in range(0, states.shape[0], block):
+                    chunk = states[lo:lo + block]
+                    feasible = (
+                        comps_f[None, :, :] <= chunk[:, None, :]
+                    ).all(axis=2)
+                    rest_codes = codes[lo:lo + block, None] - comp_codes[None, :]
+                    tails = _lookup(rest_codes, next_codes, next_values)
+                    totals = np.where(
+                        feasible & np.isfinite(tails),
+                        log_factors_f[None, :] + tails,
+                        -np.inf,
+                    )
+                    peak = totals.max(axis=1)
+                    live = peak > -np.inf
+                    if live.any():
+                        shifted = np.exp(totals[live] - peak[live, None])
+                        level[lo:lo + block][live] = (
+                            peak[live] + np.log(shifted.sum(axis=1))
+                        )
+            values[c] = level
+        self._values = values
+
+        if values[0][0] == -math.inf:
+            raise MatchingError(
+                "instance admits no positive-weight perfect matching "
+                "(class permanent is zero)"
+            )
+
+    def _finite_columns(self, col_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Allocations with a finite weight factor (the only contributors)."""
+        finite = np.isfinite(self._col_log_factors[col_index])
+        return (
+            self._col_comps[col_index][finite],
+            self._col_log_factors[col_index][finite],
+        )
+
+    def nbytes(self) -> int:
+        """Bytes of the layered DP state (layers, values, per-column aux).
+
+        Composition tables are shared through the global
+        :func:`compositions_array` cache, so they are charged there, not
+        per prepared object.
+        """
+        total = 0
+        for states, codes in self._layers:
+            total += states.nbytes + codes.nbytes
+        for values in self._values:
+            if values is not None:
+                total += values.nbytes
+        for mask in self._col_finite:
+            total += mask.nbytes
+        for codes in self._col_comp_codes:
+            total += codes.nbytes
+        for factors in self._col_log_factors:
+            total += factors.nbytes
+        return int(total)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        # One allocation draw per column class, options indexed in
+        # composition-enumeration order (same order as the reference DP).
+        # Integer arithmetic throughout, so tracking `remaining` as an
+        # int64 vector (instead of a tuple rebuilt per column) changes
+        # no values; the option log-probabilities are bit-identical.
+        a = self._a
+        strides = self._strides
+        remaining = self._a_arr.copy()
+        remaining_code = int(self._a_arr @ strides)
+        table = np.zeros((len(a), len(self._b)), dtype=np.int64)
+        for col_index in range(len(self._b)):
+            comps = self._col_comps[col_index]
+            log_factors = self._col_log_factors[col_index]
+            option_logs = np.full(comps.shape[0], -np.inf)
+            if comps.shape[0]:
+                feasible = (
+                    (comps <= remaining).all(axis=1)
+                    & self._col_finite[col_index]
+                )
+                if feasible.any():
+                    rest_codes = (
+                        remaining_code
+                        - self._col_comp_codes[col_index][feasible]
+                    )
+                    tails = _lookup(
+                        rest_codes,
+                        self._layers[col_index + 1][1],
+                        self._values[col_index + 1],
+                    )
+                    option_logs[feasible] = log_factors[feasible] + tails
+            options = np.flatnonzero(np.isfinite(option_logs))
+            if options.shape[0] == 0:
+                raise MatchingError(
+                    f"dead end at column class {col_index}: "
+                    "no feasible allocation"
+                )
+            logs = option_logs[options]
+            probabilities = np.exp(logs - logs.max())
+            probabilities = probabilities / probabilities.sum()
+            choice = int(rng.choice(options.shape[0], p=probabilities))
+            allocation = comps[options[choice]]
+            table[:, col_index] = allocation
+            remaining -= allocation
+            remaining_code -= int(allocation @ strides)
+        return table
+
+
+def _lookup(
+    codes: np.ndarray, layer_codes: np.ndarray, layer_values: np.ndarray
+) -> np.ndarray:
+    """Values of encoded states in a sorted layer; -inf when absent."""
+    if layer_codes.shape[0] == 0:
+        return np.full(codes.shape, -np.inf)
+    index = np.searchsorted(layer_codes, codes)
+    index = np.minimum(index, layer_codes.shape[0] - 1)
+    found = layer_codes[index] == codes
+    return np.where(found, layer_values[index], -np.inf)
+
+
+def prepare_contingency_dp(
+    instance: ClassifiedBipartite,
+    *,
+    implementation: str = "auto",
+    comp_memo: dict | None = None,
+):
+    """Build the deterministic half of the contingency DP for reuse.
+
+    Returns a prepared evaluator with ``sample(rng) -> table`` and a
+    ``consumes_rng`` flag. The forward/backward (or recursive suffix)
+    passes are functions of the instance alone -- no randomness touches
+    them -- so one build can serve every future draw against an equal
+    (counts, weights) instance; that reuse is the core of the batched
+    placement engine (see :class:`repro.core.placement_plan.PlacementPlan`).
+
+    ``implementation`` dispatch matches :func:`sample_contingency_table`:
+    ``"auto"`` picks closed form / pure Python / layered numpy by
+    instance shape, ``"vectorized"`` and ``"reference"`` pin an
+    evaluator. A state space too large to encode in int64 falls back to
+    the reference recursion, which only materializes reachable states
+    lazily -- checked *before* enumerating per-column composition
+    tables, whose size grows with the same combinatorics. ``comp_memo``
+    optionally shares a plan-scope composition memo between reference
+    builds.
+    """
+    if implementation == "auto":
+        trivial = _trivial_table(instance)
+        if trivial is not None:
+            return _PreparedTrivial(trivial)
+        if instance.size <= _SMALL_INSTANCE_SIZE:
+            return _PreparedReference(instance, comp_memo)
+    elif implementation == "reference":
+        return _PreparedReference(instance, comp_memo)
+    elif implementation != "vectorized":
+        raise MatchingError(
+            f"unknown contingency DP implementation {implementation!r}"
+        )
+    state_space = 1
+    for count in instance.row_counts:
+        state_space *= int(count) + 1
+    if state_space >= (1 << 62):
+        return _PreparedReference(instance, comp_memo)
+    return _PreparedVectorized(instance)
+
+
 def sample_contingency_table(
     instance: ClassifiedBipartite,
     rng: np.random.Generator | None = None,
@@ -261,192 +693,14 @@ def sample_contingency_table(
     - ``"vectorized"``: always the layered numpy DP;
     - ``"reference"``: always the original pure-Python DP (seed-faithful
       baseline for benchmarks and cross-validation).
+
+    One-shot convenience over :func:`prepare_contingency_dp` + sample;
+    batch workloads keep the prepared object and sample it repeatedly.
     """
-    if implementation == "auto":
-        trivial = _trivial_table(instance)
-        if trivial is not None:
-            return trivial
-        if instance.size <= _SMALL_INSTANCE_SIZE:
-            return _sample_contingency_table_reference(instance, rng)
-    elif implementation == "reference":
-        return _sample_contingency_table_reference(instance, rng)
-    elif implementation != "vectorized":
-        raise MatchingError(
-            f"unknown contingency DP implementation {implementation!r}"
-        )
-    rng = np.random.default_rng(rng)
-    weights = np.asarray(instance.class_weights, dtype=np.float64)
-    a = tuple(int(k) for k in instance.row_counts)
-    b = tuple(int(k) for k in instance.col_counts)
-    num_rows = len(a)
-    num_cols = len(b)
-
-    # Everything value-dependent is precomputed once per call: log weights
-    # (zero weights masked, handled via feasibility tests so 0 * -inf never
-    # appears), a factorial table for the 1/k! terms, and -- the hot part --
-    # one composition table per column, capped at the *full* row counts.
-    # Any state's options {k : sum k = b_c, k <= remaining} are the
-    # order-preserving subset of that table with k <= remaining, so each
-    # state costs one vectorized comparison instead of a fresh enumeration.
-    # States (remaining row-count vectors) are encoded in a mixed radix so
-    # layers can be deduplicated, sorted, and joined with searchsorted. A
-    # state space too large to encode in int64 falls back to the reference
-    # recursion, which only materializes reachable states lazily -- checked
-    # *before* enumerating per-column composition tables, whose size grows
-    # with the same combinatorics.
-    state_space = 1
-    for count in a:
-        state_space *= count + 1
-    if state_space >= (1 << 62):
-        return _sample_contingency_table_reference(instance, rng)
-
-    positive = weights > 0.0
-    with np.errstate(divide="ignore"):
-        log_weights = np.where(positive, np.log(np.where(positive, weights, 1.0)), 0.0)
-    max_count = max(a, default=0)
-    lgamma_table = np.array([math.lgamma(k + 1) for k in range(max_count + 1)])
-
-    col_comps: list[np.ndarray] = []
-    col_log_factors: list[np.ndarray] = []
-    for c in range(num_cols):
-        caps = tuple(min(r, b[c]) for r in a)
-        comps = compositions_array(b[c], caps)
-        if comps.shape[0] == 0:
-            log_factors = np.empty(0)
-        else:
-            log_factors = (
-                comps @ log_weights[:, c] - lgamma_table[comps].sum(axis=1)
-            )
-            blocked = ~positive[:, c]
-            if blocked.any():
-                infeasible = (comps[:, blocked] > 0).any(axis=1)
-                log_factors = np.where(infeasible, -np.inf, log_factors)
-        col_comps.append(comps)
-        col_log_factors.append(log_factors)
-
-    a_arr = np.asarray(a, dtype=np.int64)
-    strides = np.empty(num_rows, dtype=np.int64)
-    acc = 1
-    for r in range(num_rows - 1, -1, -1):
-        strides[r] = acc
-        acc *= a[r] + 1
-
-    def _finite_columns(col_index: int) -> tuple[np.ndarray, np.ndarray]:
-        """Allocations with a finite weight factor (the only contributors)."""
-        finite = np.isfinite(col_log_factors[col_index])
-        return col_comps[col_index][finite], col_log_factors[col_index][finite]
-
-    def _lookup(
-        codes: np.ndarray, layer_codes: np.ndarray, layer_values: np.ndarray
-    ) -> np.ndarray:
-        """Values of encoded states in a sorted layer; -inf when absent."""
-        if layer_codes.shape[0] == 0:
-            return np.full(codes.shape, -np.inf)
-        index = np.searchsorted(layer_codes, codes)
-        index = np.minimum(index, layer_codes.shape[0] - 1)
-        found = layer_codes[index] == codes
-        return np.where(found, layer_values[index], -np.inf)
-
-    # Forward pass: reachable states after each column's allocation.
-    _BLOCK_ELEMENTS = 4_000_000
-    layers: list[tuple[np.ndarray, np.ndarray]] = []
-    states = a_arr.reshape(1, num_rows)
-    layers.append((states, states @ strides))
-    for c in range(num_cols):
-        comps_f, __ = _finite_columns(c)
-        states = layers[-1][0]
-        rest_blocks: list[np.ndarray] = []
-        if comps_f.shape[0] and states.shape[0]:
-            block = max(1, _BLOCK_ELEMENTS // (comps_f.shape[0] * num_rows + 1))
-            for lo in range(0, states.shape[0], block):
-                chunk = states[lo:lo + block]
-                feasible = (comps_f[None, :, :] <= chunk[:, None, :]).all(axis=2)
-                rest_blocks.append(
-                    (chunk[:, None, :] - comps_f[None, :, :])[feasible]
-                )
-        if rest_blocks:
-            rests = np.concatenate(rest_blocks, axis=0)
-        else:
-            rests = np.empty((0, num_rows), dtype=np.int64)
-        codes = rests @ strides
-        codes, first = np.unique(codes, return_index=True)
-        layers.append((rests[first], codes))
-
-    # Backward pass: log partition values per layer (the log_suffix DP,
-    # vectorized over whole (state, allocation) blocks at once).
-    values: list[np.ndarray | None] = [None] * (num_cols + 1)
-    final_codes = layers[num_cols][1]
-    values[num_cols] = np.where(final_codes == 0, 0.0, -np.inf)
-    for c in range(num_cols - 1, -1, -1):
-        states, codes = layers[c]
-        comps_f, log_factors_f = _finite_columns(c)
-        level = np.full(states.shape[0], -np.inf)
-        if comps_f.shape[0] and states.shape[0]:
-            next_codes = layers[c + 1][1]
-            next_values = values[c + 1]
-            comp_codes = comps_f @ strides
-            block = max(1, _BLOCK_ELEMENTS // (comps_f.shape[0] * num_rows + 1))
-            for lo in range(0, states.shape[0], block):
-                chunk = states[lo:lo + block]
-                feasible = (comps_f[None, :, :] <= chunk[:, None, :]).all(axis=2)
-                rest_codes = codes[lo:lo + block, None] - comp_codes[None, :]
-                tails = _lookup(rest_codes, next_codes, next_values)
-                totals = np.where(
-                    feasible & np.isfinite(tails),
-                    log_factors_f[None, :] + tails,
-                    -np.inf,
-                )
-                peak = totals.max(axis=1)
-                live = peak > -np.inf
-                if live.any():
-                    shifted = np.exp(totals[live] - peak[live, None])
-                    level[lo:lo + block][live] = (
-                        peak[live] + np.log(shifted.sum(axis=1))
-                    )
-        values[c] = level
-
-    if values[0][0] == -math.inf:
-        raise MatchingError(
-            "instance admits no positive-weight perfect matching "
-            "(class permanent is zero)"
-        )
-
-    # Sampling pass: one allocation draw per column class, options indexed
-    # in composition-enumeration order (same order as the reference DP).
-    remaining = a
-    remaining_code = int(a_arr @ strides)
-    table = np.zeros((num_rows, num_cols), dtype=np.int64)
-    for col_index in range(num_cols):
-        comps = col_comps[col_index]
-        log_factors = col_log_factors[col_index]
-        option_logs = np.full(comps.shape[0], -np.inf)
-        if comps.shape[0]:
-            remaining_arr = np.asarray(remaining, dtype=np.int64)
-            feasible = (
-                (comps <= remaining_arr).all(axis=1) & np.isfinite(log_factors)
-            )
-            if feasible.any():
-                rest_codes = remaining_code - (comps[feasible] @ strides)
-                tails = _lookup(
-                    rest_codes, layers[col_index + 1][1], values[col_index + 1]
-                )
-                option_logs[feasible] = log_factors[feasible] + tails
-        options = np.flatnonzero(np.isfinite(option_logs))
-        if options.shape[0] == 0:
-            raise MatchingError(
-                f"dead end at column class {col_index}: no feasible allocation"
-            )
-        logs = option_logs[options]
-        probabilities = np.exp(logs - logs.max())
-        probabilities = probabilities / probabilities.sum()
-        choice = int(rng.choice(options.shape[0], p=probabilities))
-        allocation = comps[options[choice]]
-        table[:, col_index] = allocation
-        remaining = tuple(
-            int(r) - int(k) for r, k in zip(remaining, allocation)
-        )
-        remaining_code -= int(allocation @ strides)
-    return table
+    prepared = prepare_contingency_dp(instance, implementation=implementation)
+    if not prepared.consumes_rng:
+        return prepared.sample()
+    return prepared.sample(np.random.default_rng(rng))
 
 
 def _sample_contingency_table_reference(
@@ -456,69 +710,11 @@ def _sample_contingency_table_reference(
 
     Identical law and option ordering to the vectorized default; kept so
     tests can A/B the two evaluators and so throughput benchmarks can
-    measure the seed implementation's wall-clock faithfully.
+    measure the seed implementation's wall-clock faithfully (the suffix
+    memo is built fresh per call, exactly like the seed's lru_cache).
     """
     rng = np.random.default_rng(rng)
-    weights = np.asarray(instance.class_weights, dtype=np.float64)
-    a = tuple(instance.row_counts)
-    b = tuple(instance.col_counts)
-    num_rows = len(a)
-
-    # The whole DP runs in log space: per-phase walks can assign hundreds
-    # of midpoints to one class, making w^k / k! underflow or overflow any
-    # linear-scale evaluation.
-
-    @lru_cache(maxsize=None)
-    def log_suffix(col_index: int, remaining: tuple[int, ...]) -> float:
-        if col_index == len(b):
-            return 0.0 if all(x == 0 for x in remaining) else -math.inf
-        terms: list[float] = []
-        for allocation in _compositions(b[col_index], remaining):
-            log_factor = _log_allocation_factor(weights, col_index, allocation)
-            if log_factor == -math.inf:
-                continue
-            rest = tuple(remaining[r] - allocation[r] for r in range(num_rows))
-            tail = log_suffix(col_index + 1, rest)
-            if tail == -math.inf:
-                continue
-            terms.append(log_factor + tail)
-        return _logsumexp(terms)
-
-    remaining = a
-    table = np.zeros((num_rows, len(b)), dtype=np.int64)
-    if log_suffix(0, remaining) == -math.inf:
-        log_suffix.cache_clear()
-        raise MatchingError(
-            "instance admits no positive-weight perfect matching "
-            "(class permanent is zero)"
-        )
-    for col_index in range(len(b)):
-        options = []
-        option_logs = []
-        for allocation in _compositions(b[col_index], remaining):
-            log_factor = _log_allocation_factor(weights, col_index, allocation)
-            if log_factor == -math.inf:
-                continue
-            rest = tuple(remaining[r] - allocation[r] for r in range(num_rows))
-            tail = log_suffix(col_index + 1, rest)
-            if tail == -math.inf:
-                continue
-            options.append(allocation)
-            option_logs.append(log_factor + tail)
-        if not options:
-            log_suffix.cache_clear()
-            raise MatchingError(
-                f"dead end at column class {col_index}: no feasible allocation"
-            )
-        logs = np.asarray(option_logs)
-        probabilities = np.exp(logs - logs.max())
-        probabilities = probabilities / probabilities.sum()
-        choice = int(rng.choice(len(options), p=probabilities))
-        allocation = options[choice]
-        table[:, col_index] = allocation
-        remaining = tuple(remaining[r] - allocation[r] for r in range(num_rows))
-    log_suffix.cache_clear()
-    return table
+    return _PreparedReference(instance).sample(rng)
 
 
 def _log_allocation_factor(
@@ -563,18 +759,25 @@ def expand_table_to_assignment(
     """
     rng = np.random.default_rng(rng)
     table = np.asarray(table)
+    row_labels = instance.row_labels
+    num_rows = table.shape[0]
+    class_of_slot = np.repeat(
+        np.tile(np.arange(num_rows), table.shape[1]), table.T.reshape(-1)
+    )
     assignment: list[list[Hashable]] = []
+    cursor = 0
     for c, count in enumerate(instance.col_counts):
         if int(table[:, c].sum()) != count:
             raise MatchingError(
                 f"table column {c} sums to {int(table[:, c].sum())}, "
                 f"expected {count}"
             )
-        labels: list[Hashable] = []
-        for r, multiplicity in enumerate(table[:, c]):
-            labels.extend([instance.row_labels[r]] * int(multiplicity))
-        order = rng.permutation(len(labels))
-        assignment.append([labels[i] for i in order])
+        # This column's row-class indices in enumeration order (identical
+        # to the label list the per-row extend loop used to build).
+        classes = class_of_slot[cursor:cursor + count]
+        cursor += count
+        order = rng.permutation(count)
+        assignment.append([row_labels[classes[i]] for i in order])
     return assignment
 
 

@@ -92,6 +92,8 @@ def sample_midpoint(
     rng: np.random.Generator,
     *,
     count: int = 1,
+    plan=None,
+    level: int | None = None,
 ) -> list[int]:
     """Sample ``count`` i.i.d. midpoints between (p, q) (Formula 1).
 
@@ -100,10 +102,15 @@ def sample_midpoint(
     unnormalized law over v is ``half_power[p, v] * half_power[v, q]``.
     Raises :class:`WalkError` when the two-step return probability
     ``P^{delta}[p, q]`` is zero (such a gap cannot exist in a genuine
-    walk).
+    walk). ``plan``/``level`` optionally serve the law from a
+    :class:`~repro.core.placement_plan.PlacementPlan` memo -- the cached
+    vector is bit-equal to recomputation, so draws match either way.
     """
-    distribution = matrix_row(half_power, p) * matrix_col(half_power, q)
-    total = distribution.sum()
+    if plan is not None and level is not None:
+        distribution, total = plan.law(level, p, q, half_power)
+    else:
+        distribution = matrix_row(half_power, p) * matrix_col(half_power, q)
+        total = distribution.sum()
     if total <= 0:
         raise WalkError(
             f"no vertex can be the midpoint between {p} and {q}: "
@@ -118,13 +125,18 @@ def _fill_level(
     walk: PartialWalk,
     half_power,
     rng: np.random.Generator,
+    *,
+    plan=None,
+    level: int | None = None,
 ) -> PartialWalk:
     """Insert one midpoint into every gap, halving the spacing."""
     if walk.spacing % 2 != 0:
         raise WalkError(f"cannot halve odd spacing {walk.spacing}")
     new_vertices: list[int] = [walk.vertices[0]]
     for p, q in walk.pairs():
-        midpoint = sample_midpoint(half_power, p, q, rng)[0]
+        midpoint = sample_midpoint(
+            half_power, p, q, rng, plan=plan, level=level
+        )[0]
         new_vertices.append(midpoint)
         new_vertices.append(q)
     return PartialWalk(walk.spacing // 2, new_vertices)

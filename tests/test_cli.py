@@ -219,6 +219,136 @@ class TestCacheDirFlag:
         assert "spills" in out
 
 
+class TestPlacementModeFlag:
+    def test_meta_carries_default_mode(self, capsys):
+        assert main(["sample", "--family", "cycle", "--n", "6", "--json",
+                     "--ell", "1024"]) == 0
+        meta = json.loads(capsys.readouterr().out)["meta"]
+        assert meta["placement_mode"] == "batched"
+
+    def test_reference_override_is_byte_identical(self, capsys):
+        base = ["sample", "--family", "complete", "--n", "9", "--json",
+                "--seed", "4", "--ell", "1024"]
+        assert main(base) == 0
+        batched = json.loads(capsys.readouterr().out)
+        assert main(base + ["--placement-mode", "reference"]) == 0
+        reference = json.loads(capsys.readouterr().out)
+        assert reference["meta"]["placement_mode"] == "reference"
+        assert reference["result"]["tree"] == batched["result"]["tree"]
+        assert reference["result"]["rounds"] == batched["result"]["rounds"]
+
+    def test_rejects_unknown_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sample", "--family", "cycle", "--n", "6",
+                  "--placement-mode", "turbo"])
+
+
+class TestCacheCommand:
+    def _populate(self, cache_dir) -> None:
+        assert main([
+            "sample", "--family", "cycle", "--n", "8", "--seed", "2",
+            "--ell", "512", "--cache-dir", str(cache_dir), "--json",
+        ]) == 0
+
+    def test_stats_on_populated_dir(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"derived-graph cache at {tmp_path}" in out
+        assert "entries:" in out
+        assert "calibration profile: absent" in out
+
+    def test_stats_json_golden_shape(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["action"] == "stats"
+        assert payload["root"] == str(tmp_path)
+        assert payload["entries"] > 0
+        assert payload["bytes"] > 0
+        assert payload["calibration_profile"] is False
+        assert "evicted" not in payload
+
+    def test_prune_to_zero_empties_store(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path),
+                     "--prune-to", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["action"] == "prune"
+        assert payload["evicted"] > 0
+        assert payload["entries"] == 0
+        assert payload["bytes"] == 0
+
+    def test_prune_keeps_entries_under_budget(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path), "--json"]) == 0
+        before = json.loads(capsys.readouterr().out)
+        assert main(["cache", "--cache-dir", str(tmp_path),
+                     "--prune-to", "1G", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["evicted"] == 0
+        assert payload["entries"] == before["entries"]
+
+    def test_clear_removes_everything_but_not_calibration(
+        self, capsys, tmp_path
+    ):
+        self._populate(tmp_path)
+        (tmp_path / "calibration.json").write_text("{}")
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path), "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared" in out
+        assert "entries: 0" in out
+        assert "calibration profile: present" in out
+        assert (tmp_path / "calibration.json").exists()
+
+    def test_warm_restart_after_prune_recovers(self, capsys, tmp_path):
+        """Pruning is maintenance, not corruption: the next run simply
+        recomputes and respills."""
+        self._populate(tmp_path)
+        assert main(["cache", "--cache-dir", str(tmp_path),
+                     "--prune-to", "0"]) == 0
+        capsys.readouterr()
+        self._populate(tmp_path)
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["cache"]["spills"] > 0
+
+    def test_rejects_malformed_byte_size(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cache", "--prune-to", "lots"])
+
+    @pytest.mark.parametrize("bogus", ["inf", "-inf", "nan", "-5", "1e40"])
+    def test_rejects_non_finite_byte_sizes(self, capsys, bogus):
+        """Regression: 'inf' used to escape as an OverflowError traceback."""
+        with pytest.raises(SystemExit):
+            # `=` form so argparse cannot mistake "-inf" for an option.
+            main(["cache", f"--prune-to={bogus}"])
+        assert "byte size" in capsys.readouterr().err
+
+    def test_byte_size_suffix_parsing(self):
+        from repro.cli import _parse_byte_size
+
+        assert _parse_byte_size("500000") == 500000
+        assert _parse_byte_size("256K") == 256 * 1024
+        assert _parse_byte_size("1.5M") == int(1.5 * 1024 * 1024)
+        assert _parse_byte_size("2G") == 2 * 1024**3
+        assert _parse_byte_size("0") == 0
+
+    def test_stats_on_missing_dir_does_not_create_it(self, capsys, tmp_path):
+        missing = tmp_path / "not" / "created"
+        assert main(["cache", "--cache-dir", str(missing)]) == 0
+        assert "no cache directory" in capsys.readouterr().out
+        assert not missing.exists()
+        assert main(["cache", "--cache-dir", str(missing), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exists"] is False
+        assert not missing.exists()
+
+
 class TestCalibrateCommand:
     def test_quick_calibrate_writes_profile(self, capsys, tmp_path):
         assert main([

@@ -208,11 +208,18 @@ class TestCacheBehavior:
         other.run(np.random.default_rng(2))
         assert cache.hits > hits_before, override  # phase-1 entry shared
 
-    def test_fingerprint_excludes_exactly_the_cache_fields(self):
-        """Every config field is either fingerprinted or cache-behavior."""
+    def test_fingerprint_excludes_exactly_the_non_numerics_fields(self):
+        """Every config field is either fingerprinted or non-numerics.
+
+        The exclusion set is cache sizing/location knobs plus
+        placement_mode -- the walk-layer execution mode reads phase
+        numerics but never changes their bytes (and the modes draw
+        byte-identical trees), so batched and reference sessions must
+        share one cache entry per subset.
+        """
         from dataclasses import fields
 
-        from repro.engine.cache import CACHE_BEHAVIOR_FIELDS, config_fingerprint
+        from repro.engine.cache import NON_NUMERICS_FIELDS, config_fingerprint
 
         config = SamplerConfig(ell=1 << 9)
         fingerprint = config_fingerprint(
@@ -220,10 +227,22 @@ class TestCacheBehavior:
         )
         for field in fields(config):
             appears = f"'{field.name}'" in fingerprint
-            if field.name in CACHE_BEHAVIOR_FIELDS:
+            if field.name in NON_NUMERICS_FIELDS:
                 assert not appears, field.name
             else:
                 assert appears, field.name
+
+    def test_placement_mode_shares_cache_entries(self):
+        """Flipping placement_mode may not partition a shared cache."""
+        from repro.engine.cache import config_fingerprint
+
+        batched = SamplerConfig(ell=1 << 9)
+        reference = SamplerConfig(ell=1 << 9, placement_mode="reference")
+        assert config_fingerprint(
+            batched, resolved_ell=1 << 9, linalg_backend="dense"
+        ) == config_fingerprint(
+            reference, resolved_ell=1 << 9, linalg_backend="dense"
+        )
 
     def test_byte_budget_evicts_lru(self):
         cache = DerivedGraphCache(max_entries=64, max_bytes=100)
@@ -279,7 +298,15 @@ class TestCacheBehavior:
                     matrix_nbytes(numerics.ladder.power(k))
                     for k in numerics.ladder.exponents
                 ) + matrix_nbytes(numerics.transition)
-                assert total == individual - matrix_nbytes(numerics.transition)
+                # An attached placement plan (batched mode) is charged to
+                # the entry too -- it lives and dies with it.
+                plan_bytes = (
+                    0 if numerics.plan is None else numerics.plan.nbytes()
+                )
+                assert total == (
+                    individual - matrix_nbytes(numerics.transition)
+                    + plan_bytes
+                )
 
     def test_lru_eviction_bounds_entries(self):
         cache = DerivedGraphCache(max_entries=2)

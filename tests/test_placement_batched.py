@@ -1,0 +1,491 @@
+"""Cross-validation pinning the batched placement engine to the reference law.
+
+Three layers of guarantees, strongest first:
+
+1. **Byte identity**: for every registered graph family and both sampler
+   variants, ``placement_mode="batched"`` and ``"reference"`` draw
+   byte-identical trees and identical round ledgers from the same seed
+   (the plan only memoizes deterministic structure and consumes the RNG
+   in the reference order). Reference mode itself is pinned to hardcoded
+   seed trees captured before the batched engine existed.
+2. **DP equivalence**: a prepared contingency DP sampled repeatedly
+   agrees draw-for-draw with the one-shot ``sample_contingency_table``
+   under matched RNG states, for every implementation choice.
+3. **Law equivalence**: sampled contingency tables over an enumerable
+   instance match the exact table distribution implied by the
+   ``permanent_class_dp`` factorization (chi-square), with the plan's
+   digest-based dedup in the loop.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro import graphs
+from repro.core.config import SamplerConfig
+from repro.core.placement_plan import PlacementPlan
+from repro.engine.runner import SamplerEngine
+from repro.graphs.families import build_family
+from repro.matching.permanent import _compositions
+from repro.matching.sampler import (
+    ClassifiedBipartite,
+    instance_digest,
+    prepare_contingency_dp,
+    sample_contingency_table,
+)
+
+# Seed trees drawn from the pre-batched-engine code (fast-audit config,
+# family built at n=12 with rng seed 2026, session/request seed 11).
+# placement_mode="reference" must keep producing them byte-for-byte --
+# and because batched mode is RNG-contract-identical, so must it.
+GOLDEN_SEED_TREES = {
+    ("barbell", "approximate"): ((0, 1), (0, 3), (1, 2), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 11), (9, 10), (10, 11)),
+    ("bipartite", "approximate"): ((0, 9), (1, 10), (2, 11), (3, 9), (4, 9), (4, 10), (5, 10), (6, 9), (7, 9), (7, 11), (8, 11)),
+    ("complete", "approximate"): ((0, 3), (0, 7), (0, 9), (1, 10), (2, 3), (2, 10), (3, 6), (4, 6), (5, 11), (6, 8), (7, 11)),
+    ("cycle", "approximate"): ((0, 1), (0, 11), (1, 2), (2, 3), (3, 4), (4, 5), (6, 7), (7, 8), (8, 9), (9, 10), (10, 11)),
+    ("expander", "approximate"): ((0, 1), (0, 7), (0, 10), (1, 2), (1, 3), (3, 6), (4, 5), (4, 7), (7, 11), (8, 11), (9, 10)),
+    ("gnp", "approximate"): ((0, 2), (0, 4), (0, 9), (1, 7), (1, 9), (3, 10), (4, 5), (5, 11), (6, 10), (8, 9), (9, 10)),
+    ("grid", "approximate"): ((0, 1), (1, 2), (1, 5), (3, 7), (4, 8), (5, 6), (5, 9), (6, 7), (6, 10), (8, 9), (10, 11)),
+    ("lollipop", "approximate"): ((0, 1), (0, 4), (1, 3), (1, 5), (2, 4), (5, 6), (6, 7), (7, 8), (8, 9), (9, 10), (10, 11)),
+    ("path", "approximate"): ((0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9), (9, 10), (10, 11)),
+    ("star", "approximate"): ((0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 9), (0, 10), (0, 11)),
+    ("wheel", "approximate"): ((0, 1), (0, 3), (0, 5), (0, 6), (0, 9), (0, 10), (1, 2), (1, 11), (4, 5), (6, 7), (7, 8)),
+    ("barbell", "exact"): ((0, 1), (0, 3), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 10), (9, 10), (10, 11)),
+    ("bipartite", "exact"): ((0, 10), (0, 11), (1, 11), (2, 9), (2, 10), (3, 9), (4, 9), (5, 11), (6, 10), (7, 10), (8, 11)),
+    ("complete", "exact"): ((0, 1), (0, 4), (0, 8), (0, 9), (1, 6), (2, 7), (3, 7), (4, 5), (5, 11), (6, 10), (7, 8)),
+    ("cycle", "exact"): ((0, 1), (0, 11), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9), (10, 11)),
+    ("expander", "exact"): ((0, 3), (1, 2), (1, 6), (2, 3), (2, 4), (5, 10), (5, 11), (6, 8), (7, 11), (8, 9), (8, 11)),
+    ("gnp", "exact"): ((0, 2), (1, 5), (1, 9), (2, 3), (2, 4), (2, 6), (3, 5), (3, 10), (3, 11), (5, 7), (6, 8)),
+    ("grid", "exact"): ((0, 1), (1, 2), (2, 3), (2, 6), (3, 7), (4, 8), (5, 6), (5, 9), (6, 10), (7, 11), (8, 9)),
+    ("lollipop", "exact"): ((0, 1), (0, 2), (0, 5), (3, 4), (3, 5), (5, 6), (6, 7), (7, 8), (8, 9), (9, 10), (10, 11)),
+    ("path", "exact"): ((0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9), (9, 10), (10, 11)),
+    ("star", "exact"): ((0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 9), (0, 10), (0, 11)),
+    ("wheel", "exact"): ((0, 5), (0, 6), (0, 7), (0, 8), (0, 9), (0, 11), (1, 2), (2, 3), (3, 4), (4, 5), (10, 11)),
+}
+
+
+def _draw(family: str, variant: str, mode: str):
+    graph, __ = build_family(family, 12, np.random.default_rng(2026))
+    config = SamplerConfig(ell=1 << 10, placement_mode=mode)
+    engine = SamplerEngine(graph, config, variant=variant)
+    result = engine.run(np.random.default_rng(np.random.SeedSequence(11)))
+    return result
+
+
+class TestByteIdentity:
+    """Batched == reference == seed, tree by tree and round by round."""
+
+    @pytest.mark.parametrize(
+        "family,variant", sorted(GOLDEN_SEED_TREES), ids=lambda v: str(v)
+    )
+    def test_reference_mode_reproduces_seed_trees(self, family, variant):
+        result = _draw(family, variant, "reference")
+        assert result.tree == GOLDEN_SEED_TREES[(family, variant)]
+
+    @pytest.mark.parametrize(
+        "family,variant", sorted(GOLDEN_SEED_TREES), ids=lambda v: str(v)
+    )
+    def test_batched_matches_reference(self, family, variant):
+        batched = _draw(family, variant, "batched")
+        reference = _draw(family, variant, "reference")
+        assert batched.tree == reference.tree
+        assert batched.rounds == reference.rounds
+        assert (
+            batched.ledger.rounds_by_category()
+            == reference.ledger.rounds_by_category()
+        )
+        # ...and both equal the pinned seed tree.
+        assert batched.tree == GOLDEN_SEED_TREES[(family, variant)]
+
+    def test_batched_matches_reference_across_draw_sequences(self):
+        """Plan reuse across sequential draws never perturbs the stream."""
+        graph = graphs.complete_graph(10)
+        trees = {}
+        for mode in ("batched", "reference"):
+            engine = SamplerEngine(
+                graph, SamplerConfig(ell=1 << 8, placement_mode=mode)
+            )
+            rng = np.random.default_rng(7)
+            trees[mode] = [engine.run(rng).tree for __ in range(8)]
+        assert trees["batched"] == trees["reference"]
+
+
+class TestPreparedDPEquivalence:
+    """prepare + sample == one-shot sample, for matched RNG states."""
+
+    @staticmethod
+    def _instances():
+        rng = np.random.default_rng(99)
+        yield ClassifiedBipartite(
+            row_labels=(0, 1, 2),
+            row_counts=(2, 1, 3),
+            col_labels=("a", "b"),
+            col_counts=(4, 2),
+            class_weights=rng.uniform(0.1, 2.0, size=(3, 2)),
+        )
+        yield ClassifiedBipartite(  # a zero-weight entry, still feasible
+            row_labels=(0, 1),
+            row_counts=(3, 2),
+            col_labels=("a", "b", "c"),
+            col_counts=(2, 2, 1),
+            class_weights=np.array([[1.0, 0.0, 0.5], [0.4, 1.2, 2.0]]),
+        )
+        yield ClassifiedBipartite(  # large enough for the vectorized path
+            row_labels=tuple(range(4)),
+            row_counts=(3, 3, 2, 2),
+            col_labels=tuple(range(3)),
+            col_counts=(4, 3, 3),
+            class_weights=rng.uniform(0.05, 1.5, size=(4, 3)),
+        )
+
+    @pytest.mark.parametrize(
+        "implementation", ["auto", "vectorized", "reference"]
+    )
+    def test_prepared_equals_one_shot(self, implementation):
+        for instance in self._instances():
+            prepared = prepare_contingency_dp(
+                instance, implementation=implementation
+            )
+            for seed in range(5):
+                one_shot = sample_contingency_table(
+                    instance,
+                    np.random.default_rng(seed),
+                    implementation=implementation,
+                )
+                repeat = (
+                    prepared.sample(np.random.default_rng(seed))
+                    if prepared.consumes_rng
+                    else prepared.sample()
+                )
+                assert np.array_equal(one_shot, repeat), (
+                    implementation,
+                    seed,
+                )
+
+    def test_plan_dedup_serves_isomorphic_instances(self):
+        """Equal (counts, weights) with different labels share one build."""
+        plan = PlacementPlan()
+        weights = np.array([[1.0, 0.5], [0.25, 2.0]])
+        first = ClassifiedBipartite(
+            row_labels=(5, 9), row_counts=(2, 2),
+            col_labels=((0, 1), (1, 0)), col_counts=(2, 2),
+            class_weights=weights,
+        )
+        relabeled = ClassifiedBipartite(
+            row_labels=(100, 200), row_counts=(2, 2),
+            col_labels=("x", "y"), col_counts=(2, 2),
+            class_weights=weights.copy(),
+        )
+        assert instance_digest(first) == instance_digest(relabeled)
+        a = plan.prepared_dp(first)
+        b = plan.prepared_dp(relabeled)
+        assert a is b
+        assert plan.dp_misses == 1 and plan.dp_hits == 1
+        # Different weights => different digest => fresh build.
+        other = ClassifiedBipartite(
+            row_labels=(5, 9), row_counts=(2, 2),
+            col_labels=((0, 1), (1, 0)), col_counts=(2, 2),
+            class_weights=weights * 1.5,
+        )
+        assert plan.prepared_dp(other) is not a
+        assert plan.dp_misses == 2
+
+
+def _exact_table_law(instance: ClassifiedBipartite) -> dict[bytes, float]:
+    """Exact table distribution from the permanent_class_dp factorization:
+    P(T) prop to prod_{r,c} w[r,c]^{T[r,c]} / T[r,c]!."""
+    weights = np.asarray(instance.class_weights, dtype=np.float64)
+    a = tuple(instance.row_counts)
+    b = tuple(instance.col_counts)
+
+    tables: list[np.ndarray] = []
+
+    def recurse(col: int, remaining: tuple[int, ...], partial: list):
+        if col == len(b):
+            if all(x == 0 for x in remaining):
+                tables.append(np.array(partial, dtype=np.int64).T)
+            return
+        for allocation in _compositions(b[col], remaining):
+            recurse(
+                col + 1,
+                tuple(r - k for r, k in zip(remaining, allocation)),
+                partial + [allocation],
+            )
+
+    recurse(0, a, [])
+    law: dict[bytes, float] = {}
+    for table in tables:
+        log_weight = 0.0
+        feasible = True
+        for r in range(len(a)):
+            for c in range(len(b)):
+                count = int(table[r, c])
+                if count == 0:
+                    continue
+                if weights[r, c] <= 0.0:
+                    feasible = False
+                    break
+                log_weight += (
+                    count * math.log(weights[r, c]) - math.lgamma(count + 1)
+                )
+            if not feasible:
+                break
+        if feasible:
+            law[table.tobytes()] = math.exp(log_weight)
+    norm = sum(law.values())
+    return {key: value / norm for key, value in law.items()}
+
+
+class TestContingencyTableLaw:
+    """Sampled table frequencies match the exact marginal distribution."""
+
+    @pytest.mark.parametrize(
+        "implementation,use_plan",
+        list(product(["auto", "vectorized", "reference"], [False, True])),
+    )
+    def test_frequencies_match_exact_law(self, implementation, use_plan):
+        instance = ClassifiedBipartite(
+            row_labels=(0, 1),
+            row_counts=(3, 2),
+            col_labels=("a", "b"),
+            col_counts=(3, 2),
+            class_weights=np.array([[1.0, 0.6], [0.3, 1.8]]),
+        )
+        law = _exact_table_law(instance)
+        assert len(law) > 1
+        draws = 4000
+        rng = np.random.default_rng(1234)
+        plan = PlacementPlan()
+        counts: dict[bytes, int] = {}
+        for __ in range(draws):
+            if use_plan:
+                prepared = plan.prepared_dp(instance, implementation)
+                table = prepared.sample(rng)
+            else:
+                table = sample_contingency_table(
+                    instance, rng, implementation=implementation
+                )
+            counts[table.tobytes()] = counts.get(table.tobytes(), 0) + 1
+        assert set(counts) <= set(law)
+        support = list(law)
+        observed = np.array([counts.get(k, 0) for k in support], dtype=float)
+        expected = np.array([law[k] * draws for k in support])
+        __, p_value = scipy_stats.chisquare(observed, expected)
+        assert p_value > 1e-4, (implementation, use_plan, p_value)
+        if use_plan:
+            assert plan.dp_hits == draws - 1
+
+
+class TestPlanPersistence:
+    """Plans survive the npz round trip and disk-tier restarts unchanged."""
+
+    def test_export_import_round_trip(self):
+        plan = PlacementPlan()
+        rng = np.random.default_rng(3)
+        half = rng.uniform(0.01, 1.0, size=(6, 6))
+        law1, total1 = plan.law(4, 1, 2, half)
+        law2, total2 = plan.law(2, 0, 5, half)
+        plan.first_visit(
+            3, 4, lambda: (np.array([0, 1, 2]), np.array([0.2, 0.3, 0.5]))
+        )
+        restored = PlacementPlan.from_arrays(
+            {k: np.asarray(v) for k, v in plan.export_arrays().items()}
+        )
+        r1, t1 = restored.law(4, 1, 2, half)
+        assert np.array_equal(r1, law1) and t1 == total1
+        r2, t2 = restored.law(2, 0, 5, half)
+        assert np.array_equal(r2, law2) and t2 == total2
+        neighbors, probabilities = restored.first_visit(
+            3, 4, lambda: pytest.fail("should be served from the memo")
+        )
+        assert np.array_equal(neighbors, [0, 1, 2])
+        assert restored.law_hits == 2 and restored.first_visit_hits == 1
+
+    def test_bad_plan_arrays_raise(self):
+        with pytest.raises((ValueError, KeyError)):
+            PlacementPlan.from_arrays({"bogus": np.zeros(3)})
+        with pytest.raises(ValueError):
+            PlacementPlan.from_arrays(
+                {"plan_format": np.asarray([999], dtype=np.int64)}
+            )
+        with pytest.raises(ValueError):
+            PlacementPlan.from_arrays(
+                {
+                    "plan_format": np.asarray([1], dtype=np.int64),
+                    "fvn/1/2": np.asarray([0, 1]),  # fvp half missing
+                }
+            )
+
+    def test_warm_disk_restart_reuses_classification(self, tmp_path):
+        """A restarted session loads plans and draws identical trees."""
+        from repro.api import EnsembleRequest, Session, preset_config
+        from repro.engine.store import PLAN_BLOB
+
+        graph = graphs.complete_graph(24)
+        config = preset_config(
+            "fast-bench", ell=1 << 8, cache_dir=str(tmp_path)
+        )
+        cold = Session(graph, config, seed=0)
+        first = cold.run(EnsembleRequest(count=2, seed=5, jobs=1))
+        plan_blobs = list(tmp_path.glob(f"blobs/*/{PLAN_BLOB}"))
+        assert plan_blobs, "batched runs must spill plans"
+
+        warm = Session(graph, config, seed=0)
+        second = warm.run(EnsembleRequest(count=2, seed=5, jobs=1))
+        assert first.result.trees == second.result.trees
+        assert [r.rounds for r in first.result.results] == [
+            r.rounds for r in second.result.results
+        ]
+
+        # The restarted engine's phase-1 plan must have come from disk
+        # with its laws intact (law hits on the very first warm draw).
+        engine = warm.engine("approximate")
+        entry = warm._cache.lookup(
+            (engine._cache_token, tuple(range(graph.n)))
+        )
+        assert entry is not None and entry.plan is not None
+        assert entry.plan.law_hits > 0
+
+    def test_reference_mode_spills_no_plans(self, tmp_path):
+        from repro.api import EnsembleRequest, Session, preset_config
+        from repro.engine.store import PLAN_BLOB
+
+        graph = graphs.complete_graph(16)
+        config = preset_config(
+            "fast-bench",
+            ell=1 << 8,
+            cache_dir=str(tmp_path),
+            placement_mode="reference",
+        )
+        Session(graph, config, seed=0).run(
+            EnsembleRequest(count=2, seed=5, jobs=1)
+        )
+        assert not list(tmp_path.glob(f"blobs/*/{PLAN_BLOB}"))
+
+    def test_reference_mode_never_loads_plan_blobs(self, tmp_path):
+        """A reference session warm-starting from batched spills must not
+        pay for (or retain) plans it can never use."""
+        from repro.api import EnsembleRequest, Session, preset_config
+        from repro.engine.store import PLAN_BLOB
+
+        graph = graphs.complete_graph(16)
+        batched = preset_config(
+            "fast-bench", ell=1 << 8, cache_dir=str(tmp_path)
+        )
+        Session(graph, batched, seed=0).run(
+            EnsembleRequest(count=2, seed=5, jobs=1)
+        )
+        assert list(tmp_path.glob(f"blobs/*/{PLAN_BLOB}"))
+        reference = preset_config(
+            "fast-bench",
+            ell=1 << 8,
+            cache_dir=str(tmp_path),
+            placement_mode="reference",
+        )
+        session = Session(graph, reference, seed=0)
+        session.run(EnsembleRequest(count=1, seed=5, jobs=1))
+        engine = session.engine("approximate")
+        entry = session._cache.lookup(
+            (engine._cache_token, tuple(range(graph.n)))
+        )
+        assert entry is not None and entry.plan is None
+
+    def test_plan_memos_evict_lru_when_full(self):
+        """A full memo displaces its LRU entry instead of refusing."""
+        plan = PlacementPlan(max_laws=2)
+        half = np.full((4, 4), 0.25)
+        plan.law(1, 0, 1, half)
+        plan.law(1, 0, 2, half)
+        plan.law(1, 0, 1, half)  # refresh (0, 1): (0, 2) becomes LRU
+        plan.law(1, 0, 3, half)  # evicts (0, 2)
+        assert plan.evicted == 1
+        assert (1, 0, 3) in plan._laws and (1, 0, 1) in plan._laws
+        assert (1, 0, 2) not in plan._laws
+        plan.law(1, 0, 3, half)
+        assert plan.law_hits == 2  # the newest entry was admitted
+
+    def test_cache_refresh_tracks_plan_growth(self):
+        """The RAM tier's byte ledger follows plan growth via refresh."""
+        from repro.engine.cache import DerivedGraphCache
+
+        cache = DerivedGraphCache(max_entries=4)
+        engine = SamplerEngine(
+            graphs.complete_graph(8),
+            SamplerConfig(ell=1 << 8),
+            cache=cache,
+        )
+        engine.run(np.random.default_rng(0))
+        for key, numerics in cache._entries.items():
+            assert numerics.plan is not None
+            assert cache._sizes[key] == numerics.nbytes(), (
+                "refresh must re-measure plan-bearing entries"
+            )
+            assert numerics.plan.nbytes() > 0
+
+    def test_corrupt_plan_blob_is_a_cold_plan_not_a_crash(self, tmp_path):
+        from repro.api import EnsembleRequest, Session, preset_config
+        from repro.engine.store import PLAN_BLOB
+
+        graph = graphs.complete_graph(16)
+        config = preset_config(
+            "fast-bench", ell=1 << 8, cache_dir=str(tmp_path)
+        )
+        baseline = Session(graph, config, seed=0).run(
+            EnsembleRequest(count=2, seed=5, jobs=1)
+        )
+        for blob in tmp_path.glob(f"blobs/*/{PLAN_BLOB}"):
+            blob.write_bytes(b"not an npz")
+        recovered = Session(graph, config, seed=0).run(
+            EnsembleRequest(count=2, seed=5, jobs=1)
+        )
+        assert recovered.result.trees == baseline.result.trees
+        # The broken blobs were dropped on load (and fresh plans respilled
+        # by the recovery run), never trusted.
+        for blob in tmp_path.glob(f"blobs/*/{PLAN_BLOB}"):
+            assert blob.read_bytes() != b"not an npz"
+
+    def test_ensemble_workers_share_plans(self, tmp_path):
+        """jobs=2 over a shared cache_dir equals jobs=1 (plans included)."""
+        from repro.api import EnsembleRequest, Session, preset_config
+
+        graph = graphs.complete_graph(16)
+        config = preset_config(
+            "fast-bench", ell=1 << 8, cache_dir=str(tmp_path)
+        )
+        parallel = Session(graph, config, seed=0).run(
+            EnsembleRequest(count=4, seed=5, jobs=2)
+        )
+        serial = Session(graph, config, seed=0).run(
+            EnsembleRequest(count=4, seed=5, jobs=1)
+        )
+        assert parallel.result.trees == serial.result.trees
+
+
+class TestSessionSurface:
+    """The resolved mode is visible to API and CLI consumers."""
+
+    def test_meta_carries_placement_mode(self):
+        from repro.api import SampleRequest, Session, preset_config
+
+        graph = graphs.cycle_graph(8)
+        response = Session(
+            graph, preset_config("fast-audit"), seed=0
+        ).run(SampleRequest(seed=0))
+        assert response.meta["placement_mode"] == "batched"
+        response = Session(
+            graph,
+            preset_config("fast-audit", placement_mode="reference"),
+            seed=0,
+        ).run(SampleRequest(seed=0))
+        assert response.meta["placement_mode"] == "reference"
+
+    def test_unknown_placement_mode_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="placement mode"):
+            SamplerConfig(placement_mode="turbo")

@@ -1,0 +1,129 @@
+"""Chi-square uniformity regression harness for the placement engine.
+
+The placement rewrite (PlacementPlan + prepared contingency DPs) changes
+the one component whose correctness is *distributional*, so these tests
+draw real ensembles and compare the empirical tree distribution against
+Kirchhoff-exact probabilities -- for both ``placement_mode`` settings and
+both sampler variants. Thresholds follow the policy documented in
+``tests/statutil.py`` (fixed seeds, chi-square p-floor AND exact-TV
+noise bound).
+
+Fast cases run in tier-1; the heavier sweeps (K5's 125-tree support,
+weighted chord cycles, full mode x variant cross) carry the ``slow``
+marker and are additionally gated on ``REPRO_SLOW_TESTS=1`` -- the
+nightly CI job sets it, so tier-1 wall-clock stays bounded.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import graphs
+from repro.core.config import SamplerConfig
+
+from statutil import assert_matches_tree_law, draw_trees
+
+# Short nominal walks keep draws fast; the Appendix 5.1 Las-Vegas
+# extension keeps the output law exact regardless of ell.
+FAST_ELL = 1 << 6
+
+run_slow = pytest.mark.skipif(
+    not os.environ.get("REPRO_SLOW_TESTS"),
+    reason="heavy statistical sweep; set REPRO_SLOW_TESTS=1 (nightly CI)",
+)
+
+
+def _config(mode: str) -> SamplerConfig:
+    return SamplerConfig(ell=FAST_ELL, placement_mode=mode)
+
+
+def weighted_square() -> "graphs.WeightedGraph":
+    """4-cycle with distinct weights: 4 trees with distinct probabilities."""
+    return graphs.WeightedGraph.from_edges(
+        4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (0, 3, 4.0)]
+    )
+
+
+class TestTier1Uniformity:
+    """Fast cases: small supports, ~1-2k draws, every mode."""
+
+    @pytest.mark.parametrize("mode", ["batched", "reference"])
+    def test_k4_approximate(self, mode):
+        graph = graphs.complete_graph(4)  # 16 spanning trees
+        trees = draw_trees(
+            graph, 2000, config=_config(mode), variant="approximate", seed=41
+        )
+        assert_matches_tree_law(graph, trees, label=f"k4/approx/{mode}")
+
+    @pytest.mark.parametrize("mode", ["batched", "reference"])
+    def test_k4_exact_variant(self, mode):
+        graph = graphs.complete_graph(4)
+        trees = draw_trees(
+            graph, 1000, config=_config(mode), variant="exact", seed=42
+        )
+        assert_matches_tree_law(graph, trees, label=f"k4/exact/{mode}")
+
+    @pytest.mark.parametrize("mode", ["batched", "reference"])
+    def test_cycle4(self, mode):
+        graph = graphs.cycle_graph(4)  # 4 spanning trees
+        trees = draw_trees(
+            graph, 1200, config=_config(mode), variant="approximate", seed=43
+        )
+        assert_matches_tree_law(graph, trees, label=f"cycle4/{mode}")
+
+    @pytest.mark.parametrize("mode", ["batched", "reference"])
+    def test_weighted_square(self, mode):
+        """Weighted input: the law is weight-proportional, not uniform."""
+        graph = weighted_square()
+        trees = draw_trees(
+            graph, 1500, config=_config(mode), variant="approximate", seed=44
+        )
+        assert_matches_tree_law(graph, trees, label=f"wsquare/{mode}")
+
+
+@run_slow
+@pytest.mark.slow
+class TestNightlyUniformity:
+    """Heavy sweeps: larger supports and the full mode x variant cross."""
+
+    @pytest.mark.parametrize("mode", ["batched", "reference"])
+    @pytest.mark.parametrize("variant", ["approximate", "exact"])
+    def test_k5(self, mode, variant):
+        graph = graphs.complete_graph(5)  # 125 spanning trees
+        trees = draw_trees(
+            graph, 6000, config=_config(mode), variant=variant, seed=45
+        )
+        assert_matches_tree_law(graph, trees, label=f"k5/{variant}/{mode}")
+
+    @pytest.mark.parametrize("mode", ["batched", "reference"])
+    @pytest.mark.parametrize("variant", ["approximate", "exact"])
+    def test_weighted_chord_cycle(self, mode, variant):
+        graph = graphs.WeightedGraph.from_edges(
+            5,
+            [
+                (0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.5),
+                (3, 4, 0.5), (0, 4, 3.0), (1, 3, 2.5),
+            ],
+        )
+        trees = draw_trees(
+            graph, 5000, config=_config(mode), variant=variant, seed=46
+        )
+        assert_matches_tree_law(
+            graph, trees, label=f"wchord/{variant}/{mode}"
+        )
+
+    @pytest.mark.parametrize("mode", ["batched", "reference"])
+    def test_k4_reference_dp_method(self, mode):
+        """The exact-dp-reference matching method under both modes."""
+        graph = graphs.complete_graph(4)
+        config = SamplerConfig(
+            ell=FAST_ELL,
+            placement_mode=mode,
+            matching_method="exact-dp-reference",
+        )
+        trees = draw_trees(
+            graph, 2000, config=config, variant="approximate", seed=47
+        )
+        assert_matches_tree_law(graph, trees, label=f"k4/refdp/{mode}")

@@ -12,6 +12,7 @@ from repro.core.truncation import (
     LevelView,
     check_truncation_point,
     find_truncation_index,
+    find_truncation_index_fast,
 )
 from repro.errors import WalkError
 from repro.linalg import PowerLadder
@@ -126,3 +127,42 @@ class TestFindTruncationIndex:
         assert clique.ledger.rounds_by_category().get(
             "truncation/aggregate", 0
         ) > 0
+
+
+class TestFastTruncationIndex:
+    """The batched-mode direct scan: same answer, same probe charges."""
+
+    def test_matches_probing_search_and_charges(self, rng):
+        for trial in range(40):
+            local_rng = np.random.default_rng(2000 + trial)
+            vertices = [
+                int(v) for v in local_rng.integers(0, 5, size=1 + 2 * int(
+                    local_rng.integers(1, 5)
+                ))
+            ]
+            for rho in (2, 3, 4, 5):
+                # Two identically seeded views: MidpointBank consumes rng.
+                probing_view = make_view(
+                    np.random.default_rng(7000 + trial), vertices
+                )
+                fast_view = make_view(
+                    np.random.default_rng(7000 + trial), vertices
+                )
+                probing_clique = CongestedClique(5)
+                fast_clique = CongestedClique(5)
+                expected = find_truncation_index(
+                    probing_view, rho, clique=probing_clique
+                )
+                fast = find_truncation_index_fast(
+                    fast_view, rho, clique=fast_clique
+                )
+                assert fast == expected, (trial, rho, vertices)
+                assert (
+                    fast_clique.ledger.rounds_by_category()
+                    == probing_clique.ledger.rounds_by_category()
+                ), (trial, rho, vertices)
+
+    def test_rho_validation(self, rng):
+        view = make_view(rng, [0, 2])
+        with pytest.raises(WalkError):
+            find_truncation_index_fast(view, 1)
