@@ -187,6 +187,9 @@ class Session:
             # per-phase PlacementPlan, "reference" the seed-faithful
             # per-pair path; trees are byte-identical either way).
             "placement_mode": self.config.placement_mode,
+            # The RNG contract actually in force ("v2" block draws need
+            # a plan, so reference mode always reports "v1").
+            "rng_contract": self.config.effective_rng_contract,
             "seconds": round(time.perf_counter() - start, 6),
             # Cumulative session cache counters, captured after the
             # request so every envelope carries tier hit/miss/spill/

@@ -47,7 +47,8 @@ Subcommands:
 ``cache``
     Inspect or maintain a persistent derived-graph cache directory:
     show entry/byte stats, ``--prune-to BYTES`` (LRU eviction down to a
-    budget), or ``--clear`` it entirely.
+    budget), ``--prune-expired DAYS`` (TTL expiry of untouched entries),
+    or ``--clear`` it entirely.
 ``families``
     List the available graph families (``--json`` for the machine-
     readable registry).
@@ -108,6 +109,8 @@ def _open_session(args: argparse.Namespace, ell: int | None = None) -> Session:
         overrides["cache_dir"] = args.cache_dir
     if getattr(args, "placement_mode", None) is not None:
         overrides["placement_mode"] = args.placement_mode
+    if getattr(args, "rng_contract", None) is not None:
+        overrides["rng_contract"] = args.rng_contract
     config = preset_config("fast-bench", **overrides)
     return Session(graph, config, seed=args.seed, meta=meta)
 
@@ -166,6 +169,20 @@ def _add_placement_flag(parser: argparse.ArgumentParser) -> None:
              "classification and DP builds across draws (default), "
              "'reference' keeps the seed-faithful per-pair path; trees "
              "are byte-identical either way",
+    )
+
+
+def _add_rng_contract_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared RNG-contract override flag."""
+    parser.add_argument(
+        "--rng-contract",
+        dest="rng_contract",
+        default=None,
+        choices=["v2", "v1"],
+        help="randomness contract: 'v2' resolves decisions by block "
+             "draws against plan CDFs (default; fastest), 'v1' keeps "
+             "the per-decision stream that reproduces pre-v2 seeded "
+             "trees; both sample the identical distribution",
     )
 
 
@@ -235,6 +252,7 @@ def _make_parser() -> argparse.ArgumentParser:
     _add_linalg_flag(sample)
     _add_cache_dir_flag(sample)
     _add_placement_flag(sample)
+    _add_rng_contract_flag(sample)
 
     rounds = sub.add_parser("rounds", help="compare sampler round bills")
     rounds.add_argument("--family", default="expander", choices=family_names())
@@ -246,6 +264,7 @@ def _make_parser() -> argparse.ArgumentParser:
     _add_linalg_flag(rounds)
     _add_cache_dir_flag(rounds)
     _add_placement_flag(rounds)
+    _add_rng_contract_flag(rounds)
 
     pagerank = sub.add_parser(
         "pagerank", help="walk-based PageRank vs the exact solve"
@@ -280,6 +299,7 @@ def _make_parser() -> argparse.ArgumentParser:
     _add_linalg_flag(ensemble)
     _add_cache_dir_flag(ensemble)
     _add_placement_flag(ensemble)
+    _add_rng_contract_flag(ensemble)
 
     audit = sub.add_parser(
         "audit", help="uniformity audit against exact enumeration"
@@ -298,6 +318,7 @@ def _make_parser() -> argparse.ArgumentParser:
     _add_linalg_flag(audit)
     _add_cache_dir_flag(audit)
     _add_placement_flag(audit)
+    _add_rng_contract_flag(audit)
 
     calibrate = sub.add_parser(
         "calibrate",
@@ -331,6 +352,13 @@ def _make_parser() -> argparse.ArgumentParser:
         type=_parse_byte_size,
         help="evict least-recently-used entries until the store holds at "
              "most BYTES (suffixes K/M/G accepted; 0 empties it)",
+    )
+    cache_action.add_argument(
+        "--prune-expired", dest="prune_expired", default=None, metavar="DAYS",
+        type=float,
+        help="evict entries not touched (read or written) within the last "
+             "DAYS days, per each entry's meta.json clock; fractional days "
+             "accepted, 0 expires everything not touched this instant",
     )
     cache_action.add_argument(
         "--clear", action="store_true",
@@ -536,6 +564,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     elif args.prune_to is not None:
         action = "prune"
         evicted = tier.prune(args.prune_to)
+    elif args.prune_expired is not None:
+        action = "prune-expired"
+        evicted = tier.prune_expired(args.prune_expired * 86400.0)
     entries = tier.entry_count()
     total = tier.total_bytes()
     calibration = (root / "calibration.json").exists()

@@ -23,6 +23,7 @@ FailurePolicy = Literal["extend", "error"]
 SchurMethod = Literal["block", "qr-product"]
 ShortcutMethod = Literal["solve", "power-iteration"]
 PlacementMode = Literal["batched", "reference"]
+RngContract = Literal["v2", "v1"]
 
 
 @dataclass(frozen=True)
@@ -74,11 +75,30 @@ class SamplerConfig:
         across levels, extension segments, and ensemble draws (and,
         through the tiered store, across process restarts).
         ``"reference"`` keeps the seed-faithful per-pair path.
-        The two modes consume the RNG identically over bit-equal
-        probabilities, so they draw byte-identical trees for the same
-        seed -- property-tested across every registered family and both
-        variants; the chi-square uniformity harness additionally pins
-        both modes to the Kirchhoff-exact tree law.
+        Under ``rng_contract="v1"`` the two modes consume the RNG
+        identically over bit-equal probabilities, so they draw
+        byte-identical trees for the same seed -- property-tested across
+        every registered family and both variants; the chi-square
+        uniformity harness additionally pins both modes to the
+        Kirchhoff-exact tree law.
+    rng_contract:
+        How the batched walk layer consumes randomness. ``"v2"``
+        (default) is the block-draw contract: per level (and per
+        contingency-DP draw / first-visit group), one uniform vector is
+        drawn from the generator and every pending decision is resolved
+        by ``np.searchsorted`` against CDFs the
+        :class:`~repro.core.placement_plan.PlacementPlan` caches
+        alongside its normalized laws. ``"v1"`` is the per-decision
+        ``Generator.choice(p=...)`` contract of earlier releases; it is
+        byte-compatible with ``placement_mode="reference"`` and with
+        seed fixtures captured before the v2 contract existed. Both
+        contracts sample the identical tree law (chi-square/exact-TV
+        harness) and charge identical round ledgers -- only *which* RNG
+        bits realize a draw differs, so same-seed trees differ across
+        contracts. ``placement_mode="reference"`` always consumes
+        v1-style regardless of this knob (the reference path has no
+        plan to hold CDFs); :attr:`effective_rng_contract` reports the
+        contract actually in force.
     precision_bits:
         Entry precision for matrix power ladders. ``None`` = full float64
         (the exact-arithmetic idealization); an integer activates the
@@ -159,6 +179,7 @@ class SamplerConfig:
     matching_method: MatchingMethod = "exact-dp"
     mcmc_steps: int | None = None
     placement_mode: PlacementMode = "batched"
+    rng_contract: RngContract = "v2"
     precision_bits: int | None = None
     schur_method: SchurMethod = "block"
     shortcut_method: ShortcutMethod = "solve"
@@ -197,6 +218,10 @@ class SamplerConfig:
         if self.placement_mode not in ("batched", "reference"):
             raise ConfigError(
                 f"unknown placement mode {self.placement_mode!r}"
+            )
+        if self.rng_contract not in ("v2", "v1"):
+            raise ConfigError(
+                f"unknown rng contract {self.rng_contract!r}"
             )
         if self.precision_bits is not None and self.precision_bits < 8:
             raise ConfigError(
@@ -265,6 +290,17 @@ class SamplerConfig:
             )
 
     # ------------------------------------------------------------------
+
+    @property
+    def effective_rng_contract(self) -> str:
+        """The RNG contract actually in force for this configuration.
+
+        The v2 block-draw contract lives on the plan-bearing batched
+        path; ``placement_mode="reference"`` always consumes v1-style.
+        """
+        if self.placement_mode == "batched" and self.rng_contract == "v2":
+            return "v2"
+        return "v1"
 
     def resolve_rho(self, n: int, *, exact_variant: bool = False) -> int:
         """The per-phase distinct-vertex quota for an n-vertex input.

@@ -67,6 +67,15 @@ class MidpointBank:
         memo (computed there on first use) instead of being rebuilt per
         level -- bit-identical vectors, so sampled sequences match the
         planless path exactly for the same RNG state.
+    contract:
+        RNG contract. ``"v1"`` (default) draws one ``rng.choice`` per
+        pair, byte-compatible with the seed implementation. ``"v2"``
+        validates every pair's normalizer floor *first* (a
+        :class:`~repro.errors.PrecisionError` fallback then leaves the
+        generator untouched), draws one uniform block for the whole
+        level, and resolves each pair by ``searchsorted`` against its
+        cumulative law -- the same per-pair distribution from different
+        generator bits.
     """
 
     def __init__(
@@ -80,6 +89,7 @@ class MidpointBank:
         leader: int = 0,
         plan=None,
         level: int | None = None,
+        contract: str = "v1",
     ) -> None:
         self.pair_counts = dict(pair_counts)
         self.half_power = half_power
@@ -108,6 +118,46 @@ class MidpointBank:
                 max_hosted * clique.n,
                 total_words=num_pairs * clique.n,
             )
+        if contract == "v2":
+            # Validate every pair's floor before any randomness is
+            # consumed: the Section 5.2 fallback can then rerun the level
+            # with the generator exactly where it started.
+            pending: list[tuple[Pair, int, np.ndarray]] = []
+            total_count = 0
+            for pair, count in self.pair_counts.items():
+                if count < 0:
+                    raise WalkError(f"negative count for pair {pair}")
+                p, q = pair
+                if plan is not None and level is not None:
+                    cdf, total = plan.cdf(level, p, q, half_power)
+                else:
+                    law = matrix_row(half_power, p) * matrix_col(
+                        half_power, q
+                    )
+                    total = float(law.sum())
+                    cdf = np.cumsum(law)
+                if total <= normalizer_floor or total <= 0.0:
+                    raise PrecisionError(
+                        f"midpoint normalizer for pair {pair} is "
+                        f"{total:.3e}, below the floor "
+                        f"{normalizer_floor:.3e}"
+                    )
+                pending.append((pair, count, cdf))
+                total_count += count
+            block = rng.random(total_count) if total_count else None
+            cursor = 0
+            for pair, count, cdf in pending:
+                uniforms = (
+                    block[cursor:cursor + count]
+                    if count
+                    else np.empty(0, dtype=np.float64)
+                )
+                cursor += count
+                draws = cdf.searchsorted(uniforms * cdf[-1], "right")
+                self._sequences[pair] = np.minimum(
+                    draws, n - 1
+                ).astype(np.int64)
+            return
         for pair, count in self.pair_counts.items():
             if count < 0:
                 raise WalkError(f"negative count for pair {pair}")

@@ -89,6 +89,7 @@ def _segment_fill(
     *,
     exact_placement: bool,
     plan=None,
+    contract: str = "v1",
 ) -> list[int]:
     """One distributed truncated fill of nominal length ``ladder.ell``.
 
@@ -97,8 +98,18 @@ def _segment_fill(
     """
     n = ladder.power(1).shape[0]
     ell = ladder.ell
-    end_law = matrix_row(ladder.power(ell), start)
-    end = int(rng.choice(n, p=end_law / end_law.sum()))
+    if contract == "v2":
+        # Block contract: one uniform against the memoized cumulative
+        # end law (extensions revisit start vertices across draws).
+        if plan is not None:
+            end_cdf = plan.end_cdf(start, ladder.power(ell))
+        else:
+            end_cdf = np.cumsum(matrix_row(ladder.power(ell), start))
+        end = int(end_cdf.searchsorted(rng.random() * end_cdf[-1], "right"))
+        end = min(end, n - 1)
+    else:
+        end_law = matrix_row(ladder.power(ell), start)
+        end = int(rng.choice(n, p=end_law / end_law.sum()))
     if clique is not None:
         # Algorithm 1 step 4: the leader samples W[ell] from its own row.
         clique.charge_step("init/sample-end", 1, 1, total_words=1)
@@ -114,7 +125,7 @@ def _segment_fill(
             bank = MidpointBank(
                 pair_counts, half_power, rng,
                 normalizer_floor=floor, clique=clique,
-                plan=plan, level=half,
+                plan=plan, level=half, contract=contract,
             )
         except PrecisionError:
             # Section 5.2 fallback: collect the network at the leader
@@ -129,7 +140,7 @@ def _segment_fill(
                 fill_half = walk.spacing // 2
                 walk = _fill_level(
                     walk, ladder.power(fill_half), rng,
-                    plan=plan, level=fill_half,
+                    plan=plan, level=fill_half, contract=contract,
                 )
                 walk = _truncate_at_distinct(walk, rho_seg)
             break
@@ -143,14 +154,16 @@ def _segment_fill(
         if t_star == 0:
             raise SamplingError("truncation collapsed to the start vertex")
         if exact_placement:
-            walk = place_by_pair_multisets(view, t_star, rng, clique=clique)
+            walk = place_by_pair_multisets(
+                view, t_star, rng, clique=clique, contract=contract
+            )
         else:
             walk = place_midpoints(
                 view, t_star, half_power, rng,
                 method=config.matching_method,
                 mcmc_steps=config.mcmc_steps,
                 clique=clique,
-                plan=plan, level=half,
+                plan=plan, level=half, contract=contract,
             )
         stats.levels += 1
     return list(walk.vertices)
@@ -168,6 +181,7 @@ def run_phase_walk(
     exact_placement: bool = False,
     stats: PhaseStats | None = None,
     plan=None,
+    contract: str = "v1",
 ) -> list[int]:
     """Sample a phase walk stopping at its rho_eff-th distinct vertex.
 
@@ -182,7 +196,10 @@ def run_phase_walk(
     :class:`~repro.core.placement_plan.PlacementPlan`
     (``placement_mode="batched"``): midpoint laws and contingency-DP
     builds are then served from the plan's memos -- same bits, same RNG
-    consumption, byte-identical walks.
+    consumption, byte-identical walks. ``contract`` selects the RNG
+    contract: ``"v1"`` keeps the per-decision bit-stream of the seed
+    implementation, ``"v2"`` draws uniform blocks resolved against the
+    plan's CDFs -- the identical walk law from different generator bits.
     """
     if stats is None:
         stats = PhaseStats(subset_size=transition.shape[0], rho_eff=rho_eff)
@@ -199,7 +216,7 @@ def run_phase_walk(
 
     walk = _segment_fill(
         ladder, start, rho_eff, config, rng, clique, stats,
-        exact_placement=exact_placement, plan=plan,
+        exact_placement=exact_placement, plan=plan, contract=contract,
     )
     seen = set(walk)
     extensions = 0
@@ -222,7 +239,7 @@ def run_phase_walk(
         remaining = rho_eff - len(seen)
         segment = _segment_fill(
             ladder, walk[-1], remaining + 1, config, rng, clique, stats,
-            exact_placement=exact_placement, plan=plan,
+            exact_placement=exact_placement, plan=plan, contract=contract,
         )
         walk.extend(segment[1:])
         seen = set(walk)

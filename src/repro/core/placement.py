@@ -107,6 +107,7 @@ def place_midpoints(
     clique: CongestedClique | None = None,
     plan=None,
     level: int | None = None,
+    contract: str = "v1",
 ) -> PartialWalk:
     """Sample the placement of the collected multiset (Section 2.1.3).
 
@@ -157,7 +158,9 @@ def place_midpoints(
         # Fall back to the appendix's per-pair multiset placement, which
         # resamples the same conditional law exactly (both are exact
         # resamplings of the true placement; see Appendix 5.3).
-        return place_by_pair_multisets(view, t_star, rng, clique=clique)
+        return place_by_pair_multisets(
+            view, t_star, rng, clique=clique, contract=contract
+        )
     if positions:
         pair_for_position = {
             t: view.pair_of_gap((t - 1) // 2) for t in positions
@@ -195,7 +198,7 @@ def place_midpoints(
         per_class = _sample_assignment(
             instance, view, positions, pair_for_position, rng,
             method=method, mcmc_steps=mcmc_steps,
-            plan=plan if batched else None,
+            plan=plan if batched else None, contract=contract,
         )
         # Hand the sampled labels to positions class by class, in
         # chronological order within each class.
@@ -219,6 +222,7 @@ def _sample_assignment(
     method: str,
     mcmc_steps: int | None,
     plan=None,
+    contract: str = "v1",
 ) -> list[list[int]]:
     """Dispatch to the configured matching sampler; returns per-column-class
     label lists (chronological within class)."""
@@ -237,14 +241,19 @@ def _sample_assignment(
             # (and the uniform within-class expansion) consumes the rng,
             # in exactly the per-instance order of the planless path.
             prepared = plan.prepared_dp(instance, implementation)
-            table = (
-                prepared.sample(rng)
-                if prepared.consumes_rng
-                else prepared.sample()
-            )
+            if not prepared.consumes_rng:
+                table = prepared.sample()
+            elif contract == "v2":
+                # Block contract: one uniform vector per table draw,
+                # resolved column by column against the prepared CDFs.
+                table = prepared.sample_block(rng)
+            else:
+                table = prepared.sample(rng)
             return [
                 [int(x) for x in labels]
-                for labels in expand_table_to_assignment(instance, table, rng)
+                for labels in expand_table_to_assignment(
+                    instance, table, rng, rng_contract=contract
+                )
             ]
         return [
             [int(x) for x in labels]
@@ -324,6 +333,7 @@ def place_by_pair_multisets(
     rng: np.random.Generator,
     *,
     clique: CongestedClique | None = None,
+    contract: str = "v1",
 ) -> PartialWalk:
     """Appendix 5.3 placement: per-pair multisets, uniform shuffles.
 
@@ -356,6 +366,8 @@ def place_by_pair_multisets(
             continue
         per_pair_positions.setdefault(view.pair_of_gap((t - 1) // 2), []).append(t)
 
+    pending: list[tuple[list[int], list[int]]] = []
+    total_values = 0
     for pair, upto in truncated.items():
         values = [int(v) for v in bank.sequence(pair)[:upto]]
         if pair == final_pair:
@@ -365,7 +377,22 @@ def place_by_pair_multisets(
             raise SamplingError(
                 f"pair {pair}: {len(values)} midpoints for {len(slots)} slots"
             )
-        order = rng.permutation(len(values))
-        for slot, index in zip(slots, order):
-            placed[slot] = values[int(index)]
+        pending.append((values, slots))
+        total_values += len(values)
+    if contract == "v2":
+        # One uniform block for the level; argsorting a pair's slice of
+        # iid uniform keys is a uniform permutation (ties have measure
+        # zero), so each pair's multiset shuffle stays exact.
+        block = rng.random(total_values)
+        cursor = 0
+        for values, slots in pending:
+            order = np.argsort(block[cursor:cursor + len(values)])
+            cursor += len(values)
+            for slot, index in zip(slots, order):
+                placed[slot] = values[int(index)]
+    else:
+        for values, slots in pending:
+            order = rng.permutation(len(values))
+            for slot, index in zip(slots, order):
+                placed[slot] = values[int(index)]
     return _assemble(view, t_star, placed)

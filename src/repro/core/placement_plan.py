@@ -27,6 +27,20 @@ per-phase memo that exploits this split:
   distribution over the candidate first-visit edges, a function of
   ``(G, S, prev, v)`` alone.
 
+The v2 RNG contract (``rng_contract="v2"``) adds CDF companions to each
+memo: ``cdf(level, p, q, half_power)`` is the cumulative sum of the
+unnormalized law (consumers scale a uniform by ``cdf[-1]`` instead of
+normalizing), ``first_visit_cdf`` and ``end_cdf`` do the same for
+Algorithm 4 edges and the segment end-vertex law, and ``prepared_dp``
+surfaces the evaluators' per-(column, state) CDF tables. CDFs are
+deterministic functions of the laws they accompany, so they are
+recomputed from the persisted laws on load rather than spilled --
+except the contingency-DP tables of the hottest instances
+(``DP_SEED_TOP_K`` by use count), which DO persist inside ``plan.npz``:
+a restarted process then serves its first block draws straight from the
+seeded memos, deferring each DP's forward/backward build until a state
+miss (closing the first-draw-after-restart gap).
+
 A plan belongs to one :class:`~repro.engine.cache.PhaseNumerics` entry
 (same key: graph/config fingerprint + subset) and rides the derived-graph
 cache with it -- in RAM by attachment, on disk as a ``plan.npz`` blob the
@@ -64,11 +78,22 @@ from repro.matching.sampler import (
     ClassifiedBipartite,
     instance_digest,
     prepare_contingency_dp,
+    restore_prepared_vectorized,
 )
 
 __all__ = ["PlacementPlan"]
 
-PLAN_FORMAT_VERSION = 1
+# Version 2 adds the persisted contingency-DP CDF tables (dpk/dpc/dpa/dpf
+# namespaces); version-1 blobs are still readable (they simply carry no
+# DP seeds).
+PLAN_FORMAT_VERSION = 2
+_READABLE_FORMATS = (1, 2)
+
+# How many instance digests' CDF tables ride along in plan.npz, ranked
+# by prepared_dp use count. Each entry is a few KiB (per-state allocation
+# matrices + cdf vectors), so the cap bounds blob growth while covering
+# every digest a warm phase actually cycles through.
+DP_SEED_TOP_K = 32
 
 
 class PlacementPlan:
@@ -86,10 +111,12 @@ class PlacementPlan:
         max_laws: int = 8192,
         max_dps: int = 2048,
         max_first_visit: int = 32768,
+        max_end_laws: int = 4096,
     ) -> None:
         self.max_laws = max_laws
         self.max_dps = max_dps
         self.max_first_visit = max_first_visit
+        self.max_end_laws = max_end_laws
         self._laws: OrderedDict[
             tuple[int, int, int], tuple[np.ndarray, float]
         ] = OrderedDict()
@@ -97,10 +124,27 @@ class PlacementPlan:
         # probability request (law / total, cached so repeat consumers
         # skip the O(n) divide; bit-equal to dividing fresh).
         self._probabilities: dict[tuple[int, int, int], np.ndarray] = {}
+        # Cumulative companions of _laws entries (v2 contract): cumsum of
+        # the unnormalized law, evicted together with the law.
+        self._cdfs: dict[tuple[int, int, int], np.ndarray] = {}
         self._dps: OrderedDict[tuple[str, str], object] = OrderedDict()
+        # Persisted-but-not-yet-rebuilt contingency-DP CDF tables, keyed
+        # by instance digest (loaded from plan.npz; consumed lazily when
+        # prepared_dp meets the digest), and per-digest use counters that
+        # rank which tables are worth persisting.
+        self._dp_seeds: dict[
+            str, dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]
+        ] = {}
+        self._dp_use: dict[str, int] = {}
         self._first_visit: OrderedDict[
             tuple[int, int], tuple[np.ndarray, np.ndarray]
         ] = OrderedDict()
+        # CDF companions of _first_visit entries (v2 contract).
+        self._first_visit_cdfs: dict[tuple[int, int], np.ndarray] = {}
+        # Segment end-vertex CDFs keyed by start vertex (the ladder's top
+        # power is fixed per plan, so the key needs nothing else). Not
+        # persisted: one O(n) cumsum per start vertex per process.
+        self._end_cdfs: OrderedDict[int, np.ndarray] = OrderedDict()
         # Plan-scope composition memo shared by every reference DP build
         # (the _compositions enumeration repeats across instances with
         # equal column sums and remaining-count vectors).
@@ -143,6 +187,7 @@ class PlacementPlan:
         if len(self._laws) >= self.max_laws:
             evicted_key, __ = self._laws.popitem(last=False)
             self._probabilities.pop(evicted_key, None)
+            self._cdfs.pop(evicted_key, None)
             self.evicted += 1
         self._laws[key] = entry
         self.dirty = True
@@ -170,6 +215,46 @@ class PlacementPlan:
             self._probabilities[key] = probabilities
         return probabilities, total
 
+    def cdf(
+        self, level: int, p: int, q: int, half_power
+    ) -> tuple[np.ndarray, float]:
+        """The cumulative midpoint law (v2 contract; memoized cumsum).
+
+        Returns ``(cdf, total)`` where ``cdf`` is the cumsum of the
+        *unnormalized* law -- v2 consumers draw by scaling a uniform with
+        ``cdf[-1]``, so no normalizing divide ever runs -- and ``total``
+        is the law's sum for the Section 5.2 floor check (identical
+        float to what the v1 path checks).
+        """
+        key = (level, p, q)
+        law, total = self.law(level, p, q, half_power)
+        hit = self._cdfs.get(key)
+        if hit is not None:
+            return hit, total
+        cdf = np.cumsum(law)
+        if key in self._laws:  # only cache alongside a resident law
+            self._cdfs[key] = cdf
+        return cdf, total
+
+    # -- segment end-vertex laws -----------------------------------------
+
+    def end_cdf(self, start: int, top_power) -> np.ndarray:
+        """Cumulative end-vertex law ``cumsum(P^ell[start, :])`` (v2).
+
+        The ladder's top power is one matrix per plan (extensions reuse
+        the nominal ell), so the memo keys on the start vertex alone.
+        """
+        hit = self._end_cdfs.get(start)
+        if hit is not None:
+            self._end_cdfs.move_to_end(start)
+            return hit
+        cdf = np.cumsum(matrix_row(top_power, start))
+        if len(self._end_cdfs) >= self.max_end_laws:
+            self._end_cdfs.popitem(last=False)
+            self.evicted += 1
+        self._end_cdfs[start] = cdf
+        return cdf
+
     # -- prepared contingency DPs ----------------------------------------
 
     def prepared_dp(
@@ -182,16 +267,37 @@ class PlacementPlan:
         any labels) resolve to one forward/backward pass. The returned
         object's ``sample(rng)`` is the only randomness-consuming step.
         """
-        key = (instance_digest(instance), implementation)
+        digest = instance_digest(instance)
+        key = (digest, implementation)
+        self._dp_use[digest] = self._dp_use.get(digest, 0) + 1
         hit = self._dps.get(key)
         if hit is not None:
             self._dps.move_to_end(key)
             self.dp_hits += 1
+            if getattr(hit, "cdf_memo_dirty", False):
+                # The evaluator grew its persisted-CDF memo since the
+                # last spill; mark the plan so the engine writes the new
+                # tables back to disk at the end of the run.
+                self.dirty = True
             return hit
         self.dp_misses += 1
-        prepared = prepare_contingency_dp(
-            instance, implementation=implementation, comp_memo=self._comp_memo
-        )
+        prepared = None
+        seed = self._dp_seeds.get(digest)
+        if seed is not None:
+            # A restarted process meets a digest whose CDF tables rode in
+            # with plan.npz: serve block draws from the seeded memo and
+            # defer the forward/backward build until a state miss.
+            prepared = restore_prepared_vectorized(
+                instance, seed, implementation=implementation
+            )
+            if prepared is not None:
+                del self._dp_seeds[digest]
+        if prepared is None:
+            prepared = prepare_contingency_dp(
+                instance,
+                implementation=implementation,
+                comp_memo=self._comp_memo,
+            )
         if len(self._dps) >= self.max_dps:
             self._dps.popitem(last=False)
             self.evicted += 1
@@ -222,11 +328,35 @@ class PlacementPlan:
         neighbors, probabilities = compute()
         entry = (np.asarray(neighbors), np.asarray(probabilities))
         if len(self._first_visit) >= self.max_first_visit:
-            self._first_visit.popitem(last=False)
+            evicted_key, __ = self._first_visit.popitem(last=False)
+            self._first_visit_cdfs.pop(evicted_key, None)
             self.evicted += 1
         self._first_visit[key] = entry
         self.dirty = True
         return entry
+
+    def first_visit_cdf(
+        self,
+        prev: int,
+        vertex: int,
+        compute: Callable[[], tuple[np.ndarray, np.ndarray]],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(neighbors, cdf)`` companion of :meth:`first_visit` (v2).
+
+        The cdf is the cumsum of the cached probability vector; v2
+        consumers scale their uniform by ``cdf[-1]`` (the probabilities
+        Algorithm 4 computes already sum to ~1, but scaling keeps the
+        draw exact under float round-off without a renormalizing pass).
+        """
+        key = (prev, vertex)
+        neighbors, probabilities = self.first_visit(prev, vertex, compute)
+        hit = self._first_visit_cdfs.get(key)
+        if hit is not None:
+            return neighbors, hit
+        cdf = np.cumsum(probabilities)
+        if key in self._first_visit:  # only cache alongside the entry
+            self._first_visit_cdfs[key] = cdf
+        return neighbors, cdf
 
     # -- introspection ---------------------------------------------------
 
@@ -237,12 +367,21 @@ class PlacementPlan:
             total += law.nbytes
         for probabilities in self._probabilities.values():
             total += probabilities.nbytes
+        for cdf in self._cdfs.values():
+            total += cdf.nbytes
         for neighbors, probabilities in self._first_visit.values():
             total += neighbors.nbytes + probabilities.nbytes
+        for cdf in self._first_visit_cdfs.values():
+            total += cdf.nbytes
+        for cdf in self._end_cdfs.values():
+            total += cdf.nbytes
         for prepared in self._dps.values():
             sizer = getattr(prepared, "nbytes", None)
             if callable(sizer):
                 total += int(sizer())
+        for seed in self._dp_seeds.values():
+            for allocations, cdf in seed.values():
+                total += allocations.nbytes + cdf.nbytes
         # Composition memo: tuples of small ints; ~16 bytes per count is
         # a serviceable order-of-magnitude charge.
         total += 16 * sum(
@@ -263,19 +402,56 @@ class PlacementPlan:
             "first_visit": len(self._first_visit),
             "first_visit_hits": self.first_visit_hits,
             "first_visit_misses": self.first_visit_misses,
+            "cdfs": len(self._cdfs) + len(self._first_visit_cdfs),
+            "end_cdfs": len(self._end_cdfs),
+            "dp_seeds": len(self._dp_seeds),
             "evicted": self.evicted,
             "bytes": int(self.nbytes()),
         }
 
     # -- persistence -----------------------------------------------------
 
+    def _dp_seed_exports(
+        self,
+    ) -> dict[str, dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]]:
+        """Per-digest CDF tables worth persisting, top-K by use count.
+
+        Candidates are live evaluators exposing a non-empty CDF memo
+        (``export_cdf_entries``) plus still-unconsumed seeds loaded from
+        a previous blob -- dropping the latter on re-export would lose a
+        restart's head start for digests this process never happened to
+        meet again.
+        """
+        candidates: dict[
+            str, dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]
+        ] = {}
+        for (digest, __), prepared in self._dps.items():
+            exporter = getattr(prepared, "export_cdf_entries", None)
+            if exporter is None or digest in candidates:
+                continue
+            entries = exporter()
+            if entries:
+                candidates[digest] = entries
+        for digest, entries in self._dp_seeds.items():
+            if digest not in candidates and entries:
+                candidates[digest] = entries
+        ranked = sorted(
+            candidates,
+            key=lambda digest: self._dp_use.get(digest, 0),
+            reverse=True,
+        )
+        return {digest: candidates[digest] for digest in ranked[:DP_SEED_TOP_K]}
+
     def export_arrays(self) -> dict[str, np.ndarray]:
         """The persistable memos as flat named arrays (npz-ready).
 
-        Prepared DPs are deliberately excluded: their layered state is
-        process-local scratch that rebuilds quickly from the persisted
-        classification, and serializing per-instance layer lists would
-        dwarf the numerics blobs they ride along with.
+        Prepared-DP layered state (forward/backward passes) is excluded
+        -- it rebuilds from the persisted classification -- but the
+        per-state CDF tables of the hottest digests ride along under the
+        ``dpk/dpc/dpa/dpf`` namespaces: keys, per-state option counts,
+        concatenated allocation rows, concatenated cdf values. Exporting
+        clears the evaluators' dirty flags so an unchanged steady state
+        is not respilled every run.
         """
         arrays: dict[str, np.ndarray] = {
             "plan_format": np.asarray([PLAN_FORMAT_VERSION], dtype=np.int64)
@@ -287,6 +463,25 @@ class PlacementPlan:
         ):
             arrays[f"fvn/{prev}/{vertex}"] = neighbors
             arrays[f"fvp/{prev}/{vertex}"] = probabilities
+        for digest, entries in self._dp_seed_exports().items():
+            keys = np.asarray(sorted(entries), dtype=np.int64).reshape(-1, 2)
+            counts = []
+            allocation_blocks = []
+            cdf_blocks = []
+            for col_index, code in keys:
+                allocations, cdf = entries[(int(col_index), int(code))]
+                counts.append(allocations.shape[0])
+                allocation_blocks.append(
+                    np.ascontiguousarray(allocations, dtype=np.int64)
+                )
+                cdf_blocks.append(np.ascontiguousarray(cdf, dtype=np.float64))
+            arrays[f"dpk/{digest}"] = keys
+            arrays[f"dpc/{digest}"] = np.asarray(counts, dtype=np.int64)
+            arrays[f"dpa/{digest}"] = np.concatenate(allocation_blocks, axis=0)
+            arrays[f"dpf/{digest}"] = np.concatenate(cdf_blocks)
+        for prepared in self._dps.values():
+            if getattr(prepared, "cdf_memo_dirty", False):
+                prepared.cdf_memo_dirty = False
         return arrays
 
     @classmethod
@@ -298,10 +493,11 @@ class PlacementPlan:
         so the store can treat a bad blob as absent.
         """
         version = np.asarray(arrays["plan_format"]).ravel()
-        if version.shape[0] != 1 or int(version[0]) != PLAN_FORMAT_VERSION:
+        if version.shape[0] != 1 or int(version[0]) not in _READABLE_FORMATS:
             raise ValueError(f"unsupported plan format {version!r}")
         plan = cls()
         pending_fv: dict[tuple[int, int], dict[str, np.ndarray]] = {}
+        pending_dp: dict[str, dict[str, np.ndarray]] = {}
         for name, value in arrays.items():
             if name == "plan_format":
                 continue
@@ -313,6 +509,10 @@ class PlacementPlan:
             elif kind in ("fvn", "fvp"):
                 prev, vertex = (int(x) for x in parts)
                 pending_fv.setdefault((prev, vertex), {})[kind] = value
+            elif kind in ("dpk", "dpc", "dpa", "dpf"):
+                if len(parts) != 1:
+                    raise ValueError(f"unknown plan array {name!r}")
+                pending_dp.setdefault(parts[0], {})[kind] = value
             else:
                 raise ValueError(f"unknown plan array {name!r}")
         for key, pair in pending_fv.items():
@@ -322,4 +522,31 @@ class PlacementPlan:
                 np.asarray(pair["fvn"]),
                 np.asarray(pair["fvp"], dtype=np.float64),
             )
+        for digest, record in pending_dp.items():
+            if set(record) != {"dpk", "dpc", "dpa", "dpf"}:
+                raise ValueError(f"partial dp-seed record for {digest!r}")
+            keys = np.asarray(record["dpk"], dtype=np.int64).reshape(-1, 2)
+            counts = np.asarray(record["dpc"], dtype=np.int64).ravel()
+            allocations = np.asarray(record["dpa"], dtype=np.int64)
+            cdfs = np.asarray(record["dpf"], dtype=np.float64).ravel()
+            if keys.shape[0] != counts.shape[0]:
+                raise ValueError(f"dp-seed key/count mismatch for {digest!r}")
+            total = int(counts.sum())
+            if (
+                np.any(counts <= 0)
+                or allocations.ndim != 2
+                or allocations.shape[0] != total
+                or cdfs.shape[0] != total
+            ):
+                raise ValueError(f"dp-seed block mismatch for {digest!r}")
+            entries: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+            offset = 0
+            for (col_index, code), count in zip(keys, counts):
+                stop = offset + int(count)
+                entries[(int(col_index), int(code))] = (
+                    allocations[offset:stop],
+                    cdfs[offset:stop],
+                )
+                offset = stop
+            plan._dp_seeds[digest] = entries
         return plan

@@ -65,7 +65,15 @@ CACHE_BEHAVIOR_FIELDS = frozenset(
 # linear algebra the placement layer only reads -- and because the two
 # modes draw byte-identical trees (property-tested), a batched session
 # may warm-start from a reference session's entries and vice versa.
-NON_NUMERICS_FIELDS = CACHE_BEHAVIOR_FIELDS | {"placement_mode"}
+# ``rng_contract`` qualifies for the same reason one step further out:
+# it only changes *which generator bits* realize a decision at read
+# time (per-decision choice vs block draws over plan CDFs), never the
+# laws or matrices stored in an entry, so v1 and v2 sessions share
+# numerics entries -- only golden seed fixtures fork across contracts.
+NON_NUMERICS_FIELDS = CACHE_BEHAVIOR_FIELDS | {
+    "placement_mode",
+    "rng_contract",
+}
 
 
 def config_fingerprint(config, *, resolved_ell: int, linalg_backend: str) -> str:

@@ -121,6 +121,10 @@ class SamplerEngine:
         # byte-identical trees, which is why the mode sits outside the
         # cache fingerprint (NON_NUMERICS_FIELDS).
         self.placement_mode = self.config.placement_mode
+        # The RNG contract actually in force: "v2" (block draws against
+        # plan CDFs) needs a plan, so reference mode always consumes
+        # v1-style bits regardless of config.rng_contract.
+        self.rng_contract = self.config.effective_rng_contract
         # Plans this run touched, for the end-of-run disk spill:
         # key -> plan (insertion order keeps spills deterministic).
         self._touched_plans: dict = {}
@@ -229,6 +233,7 @@ class SamplerEngine:
             exact_placement=(self.variant == "exact"),
             stats=stats,
             plan=plan,
+            contract=self.rng_contract,
         )
         walk_orig = [order[i] for i in local_walk]
 
@@ -244,28 +249,53 @@ class SamplerEngine:
         weight_into_s = graph.weights[:, s_mask].sum(axis=1)
         edges: list[tuple[int, int]] = []
         seen = {walk_orig[0]}
+        steps: list[tuple[int, int]] = []
         for position in range(1, len(walk_orig)):
             v = walk_orig[position]
             if v in seen:
                 continue
             seen.add(v)
-            prev = walk_orig[position - 1]
+            steps.append((walk_orig[position - 1], v))
+        if self.rng_contract == "v2" and plan is not None and steps:
+            # Block contract: the phase's first-visit edges share one
+            # uniform vector, each resolved against the memoized
+            # cumulative distribution of its (prev, v) step.
+            uniforms = rng.random(len(steps))
+            for (prev, v), uniform in zip(steps, uniforms):
 
-            def _cold_distribution(prev=prev, v=v):
-                return first_visit_edge_distribution(
-                    graph, subset, shortcut, prev, v,
-                    weight_into_s=weight_into_s,
-                )
+                def _cold_distribution(prev=prev, v=v):
+                    return first_visit_edge_distribution(
+                        graph, subset, shortcut, prev, v,
+                        weight_into_s=weight_into_s,
+                    )
 
-            if plan is not None:
-                neighbors, probabilities = plan.first_visit(
+                neighbors, cdf = plan.first_visit_cdf(
                     prev, v, _cold_distribution
                 )
-            else:
-                neighbors, probabilities = _cold_distribution()
-            u = int(neighbors[int(rng.choice(len(neighbors), p=probabilities))])
-            edges.append((u, v))
-            stats.new_vertices.append(v)
+                index = int(cdf.searchsorted(uniform * cdf[-1], "right"))
+                u = int(neighbors[min(index, len(cdf) - 1)])
+                edges.append((u, v))
+                stats.new_vertices.append(v)
+        else:
+            for prev, v in steps:
+
+                def _cold_distribution(prev=prev, v=v):
+                    return first_visit_edge_distribution(
+                        graph, subset, shortcut, prev, v,
+                        weight_into_s=weight_into_s,
+                    )
+
+                if plan is not None:
+                    neighbors, probabilities = plan.first_visit(
+                        prev, v, _cold_distribution
+                    )
+                else:
+                    neighbors, probabilities = _cold_distribution()
+                u = int(
+                    neighbors[int(rng.choice(len(neighbors), p=probabilities))]
+                )
+                edges.append((u, v))
+                stats.new_vertices.append(v)
         # Algorithm 4's communication: O(1) rounds for the whole phase
         # (each new vertex's machine gathers its neighbors' Q-entries).
         clique.charge_step(

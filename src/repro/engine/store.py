@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import shutil
 import time
@@ -559,6 +560,38 @@ class DiskTier:
             self._write_index(self._evict_over_budget(self._read_index()))
         finally:
             self.max_bytes = original
+        return self.evictions - before
+
+    def prune_expired(self, max_age_seconds: float) -> int:
+        """Evict entries not touched within ``max_age_seconds``.
+
+        TTL maintenance for orphaned blobs (the CLI's ``cache
+        --prune-expired``): the recency clock is each entry's
+        ``meta.json`` mtime -- refreshed on every hit -- so "expired"
+        means "no session has read or written this entry within the
+        window". Records whose directory or clock vanished (phantoms
+        left by concurrent eviction or corruption cleanup) are expired
+        by definition and dropped from the ledger alongside their
+        directory debris. Returns the number of entries removed.
+        """
+        if not math.isfinite(max_age_seconds) or max_age_seconds < 0:
+            raise ConfigError(
+                f"expiry age must be a finite number of seconds >= 0, "
+                f"got {max_age_seconds!r}"
+            )
+        cutoff = time.time() - max_age_seconds
+        index = self._read_index()
+        before = self.evictions
+        for digest in list(index):
+            try:
+                clock = (self.blobs / digest / "meta.json").stat().st_mtime
+            except OSError:
+                clock = None  # phantom record: directory or clock gone
+            if clock is None or clock <= cutoff:
+                shutil.rmtree(self.blobs / digest, ignore_errors=True)
+                del index[digest]
+                self.evictions += 1
+        self._write_index(index)
         return self.evictions - before
 
     def clear(self) -> int:

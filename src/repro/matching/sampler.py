@@ -26,6 +26,21 @@ workloads (:class:`repro.core.placement_plan.PlacementPlan`) can reuse
 one build across every draw that meets an isomorphic instance
 (:func:`instance_digest`); :func:`sample_contingency_table` is the
 one-shot composition of the two.
+
+Prepared evaluators expose two sampling passes over the identical law:
+
+- ``sample(rng)`` -- the v1 contract: one ``Generator.choice(p=...)``
+  per column class, byte-faithful to the pre-plan implementation.
+- ``sample_block(rng)`` -- the v2 contract: ONE uniform vector per draw
+  (``rng.random(num_columns)``), each column resolved by
+  ``np.searchsorted`` against a per-(column, remaining-state) CDF table.
+  The root-column table is built eagerly at prepare time; deeper states
+  are memoized on first visit, so warm draws touch no ``exp``/normalize
+  at all. The memo round-trips through ``export_cdf_entries`` /
+  ``from_cdf_seed`` so a :class:`~repro.core.placement_plan.PlacementPlan`
+  can persist the hottest instances' CDF tables and a restarted process
+  can serve its first draws without re-running the forward/backward
+  passes (the build is deferred until a state-memo miss).
 """
 
 from __future__ import annotations
@@ -52,6 +67,7 @@ __all__ = [
     "expand_table_to_assignment",
     "sample_assignment_by_classes",
     "prepare_contingency_dp",
+    "restore_prepared_vectorized",
     "instance_digest",
 ]
 
@@ -87,10 +103,15 @@ def sample_matching_exact(
             minor = np.delete(np.delete(current, 0, axis=0), j, axis=1)
             probabilities[j] = current[0, j] * permanent_ryser(minor)
         probabilities = np.clip(probabilities, 0.0, None)
-        norm = probabilities.sum()
-        if norm <= 0:
+        cdf = np.cumsum(probabilities)
+        if cdf[-1] <= 0:
             raise MatchingError("row has no extensible column choice")
-        choice = int(rng.choice(len(probabilities), p=probabilities / norm))
+        # Inverse-CDF over the unnormalized weights: scaling the uniform
+        # by the cumulative total samples the same law as normalizing the
+        # vector, without the redundant divide (and without choice()'s
+        # second pass over p to validate it).
+        choice = int(cdf.searchsorted(rng.random() * cdf[-1], "right"))
+        choice = min(choice, len(probabilities) - 1)
         assignment.append(remaining_cols[choice])
         remaining_cols.pop(choice)
         current = np.delete(np.delete(current, 0, axis=0), choice, axis=1)
@@ -277,6 +298,9 @@ class _PreparedTrivial:
     def sample(self, rng: np.random.Generator | None = None) -> np.ndarray:
         return self._table.copy()
 
+    # The v2 block contract: still no randomness (the table is forced).
+    sample_block = sample
+
     def nbytes(self) -> int:
         return int(self._table.nbytes)
 
@@ -302,6 +326,14 @@ class _PreparedReference:
         self._a = tuple(int(k) for k in instance.row_counts)
         self._b = tuple(int(k) for k in instance.col_counts)
         self._suffix: dict[tuple[int, tuple[int, ...]], float] = {}
+        # (col_index, remaining) -> (options, probabilities, cdf): the
+        # deterministic per-state option law, computed once and shared by
+        # both sampling contracts (the floats are identical to what the
+        # seed implementation recomputed per draw).
+        self._options: dict[
+            tuple[int, tuple[int, ...]],
+            tuple[list[tuple[int, ...]], np.ndarray, np.ndarray],
+        ] = {}
         self._comps = comp_memo if comp_memo is not None else {}
         if self._log_suffix(0, self._a) == -math.inf:
             raise MatchingError(
@@ -321,7 +353,46 @@ class _PreparedReference:
 
     def nbytes(self) -> int:
         """Rough bytes of the suffix memo (~56B per float cache slot)."""
-        return 56 * len(self._suffix)
+        total = 56 * len(self._suffix)
+        for options, probabilities, cdf in self._options.values():
+            total += 24 * len(options) + probabilities.nbytes + cdf.nbytes
+        return total
+
+    def _state_options(
+        self, col_index: int, remaining: tuple[int, ...]
+    ) -> tuple[list[tuple[int, ...]], np.ndarray, np.ndarray]:
+        key = (col_index, remaining)
+        hit = self._options.get(key)
+        if hit is not None:
+            return hit
+        num_rows = len(self._a)
+        options = []
+        option_logs = []
+        for allocation in self._compositions(self._b[col_index], remaining):
+            log_factor = _log_allocation_factor(
+                self._weights, col_index, allocation
+            )
+            if log_factor == -math.inf:
+                continue
+            rest = tuple(
+                remaining[r] - allocation[r] for r in range(num_rows)
+            )
+            tail = self._log_suffix(col_index + 1, rest)
+            if tail == -math.inf:
+                continue
+            options.append(allocation)
+            option_logs.append(log_factor + tail)
+        if not options:
+            raise MatchingError(
+                f"dead end at column class {col_index}: "
+                "no feasible allocation"
+            )
+        logs = np.asarray(option_logs)
+        probabilities = np.exp(logs - logs.max())
+        probabilities = probabilities / probabilities.sum()
+        entry = (options, probabilities, np.cumsum(probabilities))
+        self._options[key] = entry
+        return entry
 
     def _log_suffix(self, col_index: int, remaining: tuple[int, ...]) -> float:
         key = (col_index, remaining)
@@ -355,31 +426,30 @@ class _PreparedReference:
         remaining = self._a
         table = np.zeros((num_rows, len(self._b)), dtype=np.int64)
         for col_index in range(len(self._b)):
-            options = []
-            option_logs = []
-            for allocation in self._compositions(self._b[col_index], remaining):
-                log_factor = _log_allocation_factor(
-                    self._weights, col_index, allocation
-                )
-                if log_factor == -math.inf:
-                    continue
-                rest = tuple(
-                    remaining[r] - allocation[r] for r in range(num_rows)
-                )
-                tail = self._log_suffix(col_index + 1, rest)
-                if tail == -math.inf:
-                    continue
-                options.append(allocation)
-                option_logs.append(log_factor + tail)
-            if not options:
-                raise MatchingError(
-                    f"dead end at column class {col_index}: "
-                    "no feasible allocation"
-                )
-            logs = np.asarray(option_logs)
-            probabilities = np.exp(logs - logs.max())
-            probabilities = probabilities / probabilities.sum()
+            options, probabilities, __ = self._state_options(
+                col_index, remaining
+            )
             choice = int(rng.choice(len(options), p=probabilities))
+            allocation = options[choice]
+            table[:, col_index] = allocation
+            remaining = tuple(
+                remaining[r] - allocation[r] for r in range(num_rows)
+            )
+        return table
+
+    def sample_block(self, rng: np.random.Generator) -> np.ndarray:
+        """The v2 contract: one uniform block, inverse-CDF per column."""
+        num_rows = len(self._a)
+        num_cols = len(self._b)
+        uniforms = rng.random(num_cols)
+        remaining = self._a
+        table = np.zeros((num_rows, num_cols), dtype=np.int64)
+        for col_index in range(num_cols):
+            options, __, cdf = self._state_options(col_index, remaining)
+            choice = int(
+                cdf.searchsorted(uniforms[col_index] * cdf[-1], "right")
+            )
+            choice = min(choice, len(options) - 1)
             allocation = options[choice]
             table[:, col_index] = allocation
             remaining = tuple(
@@ -406,14 +476,60 @@ class _PreparedVectorized:
     consumes_rng = True
     _BLOCK_ELEMENTS = 4_000_000
 
-    def __init__(self, instance: ClassifiedBipartite) -> None:
-        weights = np.asarray(instance.class_weights, dtype=np.float64)
+    def __init__(self, instance: ClassifiedBipartite, *, build: bool = True) -> None:
         a = tuple(int(k) for k in instance.row_counts)
         b = tuple(int(k) for k in instance.col_counts)
         num_rows = len(a)
-        num_cols = len(b)
         self._a = a
         self._b = b
+        strides = np.empty(num_rows, dtype=np.int64)
+        acc = 1
+        for r in range(num_rows - 1, -1, -1):
+            strides[r] = acc
+            acc *= a[r] + 1
+        self._strides = strides
+        self._a_arr = np.asarray(a, dtype=np.int64)
+        self._root_code = int(self._a_arr @ strides)
+        # (col_index, remaining_code) -> (allocations, cdf): the per-state
+        # option CDF tables of the v2 block contract. The root-column
+        # table is built eagerly with the DP; deeper states are memoized
+        # on first visit during sample_block. cdf_memo_dirty flags growth
+        # since the plan last exported the memo (persistence).
+        self._cdf_memo: dict[
+            tuple[int, int], tuple[np.ndarray, np.ndarray]
+        ] = {}
+        self.cdf_memo_dirty = False
+        # The deterministic forward/backward build can be deferred when
+        # the memo was seeded from a persisted plan (from_cdf_seed): warm
+        # draws then never pay for it, and a state miss triggers it late.
+        self._source = instance
+        self._built = False
+        if build:
+            self._ensure_built()
+
+    @classmethod
+    def from_cdf_seed(
+        cls,
+        instance: ClassifiedBipartite,
+        entries: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]],
+    ) -> "_PreparedVectorized":
+        """An evaluator whose CDF memo is pre-seeded and whose DP build
+        is deferred until a memo miss (restart warm path)."""
+        prepared = cls(instance, build=False)
+        prepared._cdf_memo.update(entries)
+        return prepared
+
+    def _ensure_built(self) -> None:
+        if self._built:
+            return
+        instance = self._source
+        weights = np.asarray(instance.class_weights, dtype=np.float64)
+        a = self._a
+        b = self._b
+        num_rows = len(a)
+        num_cols = len(b)
+        strides = self._strides
+        a_arr = self._a_arr
 
         positive = weights > 0.0
         with np.errstate(divide="ignore"):
@@ -448,15 +564,6 @@ class _PreparedVectorized:
         # sample() so warm draws pay only the remaining-dependent work:
         # the finite-factor mask and each allocation's radix code.
         self._col_finite = [np.isfinite(lf) for lf in col_log_factors]
-
-        strides = np.empty(num_rows, dtype=np.int64)
-        acc = 1
-        for r in range(num_rows - 1, -1, -1):
-            strides[r] = acc
-            acc *= a[r] + 1
-        self._strides = strides
-        a_arr = np.asarray(a, dtype=np.int64)
-        self._a_arr = a_arr
         self._col_comp_codes = [comps @ strides for comps in col_comps]
 
         # Forward pass: reachable states after each column's allocation.
@@ -531,6 +638,13 @@ class _PreparedVectorized:
                 "instance admits no positive-weight perfect matching "
                 "(class permanent is zero)"
             )
+        self._built = True
+        # Eager root table: every draw starts at (column 0, full counts),
+        # so the "built once at prepare time" CDF is always this one.
+        root = (0, self._root_code)
+        if num_cols and root not in self._cdf_memo:
+            self._cdf_memo[root] = self._state_cdf(0, a_arr, self._root_code)
+            self.cdf_memo_dirty = True
 
     def _finite_columns(self, col_index: int) -> tuple[np.ndarray, np.ndarray]:
         """Allocations with a finite weight factor (the only contributors)."""
@@ -548,6 +662,10 @@ class _PreparedVectorized:
         per prepared object.
         """
         total = 0
+        for allocations, cdf in self._cdf_memo.values():
+            total += allocations.nbytes + cdf.nbytes
+        if not self._built:
+            return int(total)
         for states, codes in self._layers:
             total += states.nbytes + codes.nbytes
         for values in self._values:
@@ -561,7 +679,86 @@ class _PreparedVectorized:
             total += factors.nbytes
         return int(total)
 
+    def _state_cdf(
+        self, col_index: int, remaining: np.ndarray, remaining_code: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(feasible allocations, option CDF) for one DP state.
+
+        The option weights are the same ``exp(logs - logs.max())`` vector
+        the v1 pass hands to ``Generator.choice``; the CDF is its cumsum,
+        consumed by scaling a uniform with ``cdf[-1]`` (no normalize).
+        """
+        self._ensure_built()
+        comps = self._col_comps[col_index]
+        log_factors = self._col_log_factors[col_index]
+        option_logs = np.full(comps.shape[0], -np.inf)
+        if comps.shape[0]:
+            feasible = (
+                (comps <= remaining).all(axis=1)
+                & self._col_finite[col_index]
+            )
+            if feasible.any():
+                rest_codes = (
+                    remaining_code - self._col_comp_codes[col_index][feasible]
+                )
+                tails = _lookup(
+                    rest_codes,
+                    self._layers[col_index + 1][1],
+                    self._values[col_index + 1],
+                )
+                option_logs[feasible] = log_factors[feasible] + tails
+        options = np.flatnonzero(np.isfinite(option_logs))
+        if options.shape[0] == 0:
+            raise MatchingError(
+                f"dead end at column class {col_index}: "
+                "no feasible allocation"
+            )
+        logs = option_logs[options]
+        weights = np.exp(logs - logs.max())
+        return comps[options], np.cumsum(weights)
+
+    def sample_block(self, rng: np.random.Generator) -> np.ndarray:
+        """The v2 contract: one uniform block, inverse-CDF per column.
+
+        Consumes exactly one generator invocation per table draw. States
+        resolve through the CDF memo, so a warm (or seeded) evaluator
+        runs no feasibility masking, no ``exp``, and no DP lookups.
+        """
+        strides = self._strides
+        num_cols = len(self._b)
+        uniforms = rng.random(num_cols)
+        remaining_code = self._root_code
+        remaining = None  # materialized lazily, only for memo misses
+        table = np.zeros((len(self._a), num_cols), dtype=np.int64)
+        for col_index in range(num_cols):
+            key = (col_index, remaining_code)
+            entry = self._cdf_memo.get(key)
+            if entry is None:
+                if remaining is None:
+                    remaining = self._a_arr - table[:, :col_index].sum(axis=1)
+                entry = self._state_cdf(col_index, remaining, remaining_code)
+                self._cdf_memo[key] = entry
+                self.cdf_memo_dirty = True
+            allocations, cdf = entry
+            choice = int(
+                cdf.searchsorted(uniforms[col_index] * cdf[-1], "right")
+            )
+            choice = min(choice, allocations.shape[0] - 1)
+            allocation = allocations[choice]
+            table[:, col_index] = allocation
+            remaining_code -= int(allocation @ strides)
+            if remaining is not None:
+                remaining = remaining - allocation
+        return table
+
+    def export_cdf_entries(
+        self,
+    ) -> dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]:
+        """The CDF memo for persistence (shallow copies of the arrays)."""
+        return dict(self._cdf_memo)
+
     def sample(self, rng: np.random.Generator) -> np.ndarray:
+        self._ensure_built()
         # One allocation draw per column class, options indexed in
         # composition-enumeration order (same order as the reference DP).
         # Integer arithmetic throughout, so tracking `remaining` as an
@@ -666,6 +863,38 @@ def prepare_contingency_dp(
     return _PreparedVectorized(instance)
 
 
+def restore_prepared_vectorized(
+    instance: ClassifiedBipartite,
+    entries: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]],
+    *,
+    implementation: str = "auto",
+):
+    """A build-deferred vectorized evaluator seeded from persisted CDFs.
+
+    Returns ``None`` whenever :func:`prepare_contingency_dp` would
+    dispatch ``instance`` to a different evaluator (trivial closed form,
+    the small-instance reference DP, or the int64 radix-overflow
+    fallback) -- the caller then builds normally. Otherwise the returned
+    evaluator serves ``sample_block`` straight from the seeded memo and
+    only runs the forward/backward passes on a state miss (or a v1
+    ``sample`` call), which is what makes a restart's first warm draw
+    cheap.
+    """
+    if implementation not in ("auto", "vectorized"):
+        return None
+    if implementation == "auto":
+        if _trivial_table(instance) is not None:
+            return None
+        if instance.size <= _SMALL_INSTANCE_SIZE:
+            return None
+    state_space = 1
+    for count in instance.row_counts:
+        state_space *= int(count) + 1
+    if state_space >= (1 << 62):
+        return None
+    return _PreparedVectorized.from_cdf_seed(instance, entries)
+
+
 def sample_contingency_table(
     instance: ClassifiedBipartite,
     rng: np.random.Generator | None = None,
@@ -746,6 +975,8 @@ def expand_table_to_assignment(
     instance: ClassifiedBipartite,
     table: np.ndarray,
     rng: np.random.Generator | None = None,
+    *,
+    rng_contract: str = "v1",
 ) -> list[list[Hashable]]:
     """Turn a contingency table into per-column-class label sequences.
 
@@ -753,6 +984,13 @@ def expand_table_to_assignment(
     multiplicity ``table[r, c]``) are arranged in a uniformly random order
     across that class's positions -- the conditional law of the matching
     given its table is exactly uniform over such arrangements.
+
+    ``rng_contract`` selects how that uniform order is drawn: ``"v1"``
+    makes one ``Generator.permutation`` call per column class (the
+    seed-faithful path); ``"v2"`` draws ONE uniform block covering every
+    position and sorts each column's slice (iid uniform keys have almost
+    surely distinct values, so their argsort is a uniform permutation) --
+    a single generator invocation regardless of the column-class count.
 
     Returns ``assignment`` where ``assignment[c]`` is the length-
     ``col_counts[c]`` list of row labels, in position order.
@@ -763,6 +1001,11 @@ def expand_table_to_assignment(
     num_rows = table.shape[0]
     class_of_slot = np.repeat(
         np.tile(np.arange(num_rows), table.shape[1]), table.T.reshape(-1)
+    )
+    block = (
+        rng.random(int(sum(instance.col_counts)))
+        if rng_contract == "v2"
+        else None
     )
     assignment: list[list[Hashable]] = []
     cursor = 0
@@ -775,8 +1018,11 @@ def expand_table_to_assignment(
         # This column's row-class indices in enumeration order (identical
         # to the label list the per-row extend loop used to build).
         classes = class_of_slot[cursor:cursor + count]
+        if block is None:
+            order = rng.permutation(count)
+        else:
+            order = np.argsort(block[cursor:cursor + count])
         cursor += count
-        order = rng.permutation(count)
         assignment.append([row_labels[classes[i]] for i in order])
     return assignment
 

@@ -107,16 +107,23 @@ def sample_midpoint(
     vector is bit-equal to recomputation, so draws match either way.
     """
     if plan is not None and level is not None:
-        distribution, total = plan.law(level, p, q, half_power)
+        # The plan memoizes the normalized law alongside the raw one, so
+        # repeat visitors skip the O(n) divide (bit-equal either way).
+        probabilities, total = plan.probabilities(level, p, q, half_power)
+        if total <= 0:
+            raise WalkError(
+                f"no vertex can be the midpoint between {p} and {q}: "
+                "inconsistent partial walk"
+            )
     else:
         distribution = matrix_row(half_power, p) * matrix_col(half_power, q)
         total = distribution.sum()
-    if total <= 0:
-        raise WalkError(
-            f"no vertex can be the midpoint between {p} and {q}: "
-            "inconsistent partial walk"
-        )
-    probabilities = distribution / total
+        if total <= 0:
+            raise WalkError(
+                f"no vertex can be the midpoint between {p} and {q}: "
+                "inconsistent partial walk"
+            )
+        probabilities = distribution / total
     draws = rng.choice(len(probabilities), size=count, p=probabilities)
     return [int(v) for v in draws]
 
@@ -128,12 +135,42 @@ def _fill_level(
     *,
     plan=None,
     level: int | None = None,
+    contract: str = "v1",
 ) -> PartialWalk:
-    """Insert one midpoint into every gap, halving the spacing."""
+    """Insert one midpoint into every gap, halving the spacing.
+
+    Under ``contract="v2"`` the level consumes one uniform block (one
+    generator invocation for all gaps) and resolves each gap by
+    ``searchsorted`` against its cumulative law; ``"v1"`` keeps the
+    per-gap ``rng.choice`` bit-stream of the sequential reference.
+    """
     if walk.spacing % 2 != 0:
         raise WalkError(f"cannot halve odd spacing {walk.spacing}")
-    new_vertices: list[int] = [walk.vertices[0]]
-    for p, q in walk.pairs():
+    pairs = walk.pairs()
+    if contract == "v2":
+        cdfs: list[np.ndarray] = []
+        for p, q in pairs:
+            if plan is not None and level is not None:
+                cdf, total = plan.cdf(level, p, q, half_power)
+            else:
+                law = matrix_row(half_power, p) * matrix_col(half_power, q)
+                total = law.sum()
+                cdf = np.cumsum(law)
+            if total <= 0:
+                raise WalkError(
+                    f"no vertex can be the midpoint between {p} and {q}: "
+                    "inconsistent partial walk"
+                )
+            cdfs.append(cdf)
+        block = rng.random(len(pairs)) if pairs else ()
+        new_vertices = [walk.vertices[0]]
+        for (__, q), cdf, u in zip(pairs, cdfs, block):
+            midpoint = int(cdf.searchsorted(u * cdf[-1], "right"))
+            new_vertices.append(min(midpoint, len(cdf) - 1))
+            new_vertices.append(q)
+        return PartialWalk(walk.spacing // 2, new_vertices)
+    new_vertices = [walk.vertices[0]]
+    for p, q in pairs:
         midpoint = sample_midpoint(
             half_power, p, q, rng, plan=plan, level=level
         )[0]

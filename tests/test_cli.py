@@ -57,7 +57,11 @@ class TestSampleCommand:
         assert len(response.result.tree) == 5
 
     def test_json_golden(self, capsys):
-        """Golden test: the --json envelope for a pinned seed/instance."""
+        """Golden test: the --json envelope for a pinned seed/instance.
+
+        Regenerated once for the v2 RNG contract (see tests/README.md);
+        the v1 bit stream remains pinned via --rng-contract v1 below.
+        """
         code = main([
             "sample", "--family", "cycle", "--n", "6", "--json",
             "--seed", "0", "--ell", "1024",
@@ -69,8 +73,25 @@ class TestSampleCommand:
         for key, value in {
             "family": "cycle", "requested_n": 6, "n": 6,
             "size_adjusted": False, "variant": "approximate", "seed": 0,
+            "rng_contract": "v2",
         }.items():
             assert payload["meta"][key] == value, key
+        assert payload["result"]["tree"] == [
+            [0, 5], [1, 2], [2, 3], [3, 4], [4, 5]
+        ]
+        assert payload["result"]["rounds"] == 1110
+        assert payload["result"]["phases"] == 5
+
+    def test_json_golden_v1_contract(self, capsys):
+        """The pre-v2 bit stream stays reachable: --rng-contract v1
+        reproduces the exact envelope pinned before the contract change."""
+        code = main([
+            "sample", "--family", "cycle", "--n", "6", "--json",
+            "--seed", "0", "--ell", "1024", "--rng-contract", "v1",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["rng_contract"] == "v1"
         assert payload["result"]["tree"] == [
             [0, 5], [1, 2], [2, 3], [3, 4], [4, 5]
         ]
@@ -227,9 +248,11 @@ class TestPlacementModeFlag:
         assert meta["placement_mode"] == "batched"
 
     def test_reference_override_is_byte_identical(self, capsys):
+        """Reference mode always runs the v1 stream, so byte identity
+        with batched holds exactly when batched is pinned to v1 too."""
         base = ["sample", "--family", "complete", "--n", "9", "--json",
                 "--seed", "4", "--ell", "1024"]
-        assert main(base) == 0
+        assert main(base + ["--rng-contract", "v1"]) == 0
         batched = json.loads(capsys.readouterr().out)
         assert main(base + ["--placement-mode", "reference"]) == 0
         reference = json.loads(capsys.readouterr().out)
@@ -241,6 +264,28 @@ class TestPlacementModeFlag:
         with pytest.raises(SystemExit):
             main(["sample", "--family", "cycle", "--n", "6",
                   "--placement-mode", "turbo"])
+
+
+class TestRngContractFlag:
+    def test_meta_carries_default_contract(self, capsys):
+        assert main(["sample", "--family", "cycle", "--n", "6", "--json",
+                     "--ell", "1024"]) == 0
+        meta = json.loads(capsys.readouterr().out)["meta"]
+        assert meta["rng_contract"] == "v2"
+
+    def test_reference_mode_reports_effective_v1(self, capsys):
+        """v2 block draws need a plan; reference mode therefore always
+        reports (and runs) the v1 contract even when v2 is requested."""
+        assert main(["sample", "--family", "cycle", "--n", "6", "--json",
+                     "--ell", "1024", "--placement-mode", "reference",
+                     "--rng-contract", "v2"]) == 0
+        meta = json.loads(capsys.readouterr().out)["meta"]
+        assert meta["rng_contract"] == "v1"
+
+    def test_rejects_unknown_contract(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sample", "--family", "cycle", "--n", "6",
+                  "--rng-contract", "v3"])
 
 
 class TestCacheCommand:
@@ -316,6 +361,52 @@ class TestCacheCommand:
         self._populate(tmp_path)
         payload = json.loads(capsys.readouterr().out)
         assert payload["meta"]["cache"]["spills"] > 0
+
+    def test_prune_expired_evicts_only_stale_entries(
+        self, capsys, tmp_path
+    ):
+        import os
+
+        self._populate(tmp_path)
+        capsys.readouterr()
+        clocks = sorted(tmp_path.glob("blobs/*/meta.json"))
+        assert len(clocks) >= 2
+        stamp = clocks[0].stat().st_mtime - 10 * 86400
+        os.utime(clocks[0], (stamp, stamp))
+        assert main(["cache", "--cache-dir", str(tmp_path),
+                     "--prune-expired", "7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["action"] == "prune-expired"
+        assert payload["evicted"] == 1
+        assert payload["entries"] == len(clocks) - 1
+
+    def test_prune_expired_human_rendering(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path),
+                     "--prune-expired", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned: 0 entries evicted" in out
+
+    def test_prune_expired_zero_days_empties_store(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path),
+                     "--prune-expired", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["evicted"] > 0
+        assert payload["entries"] == 0
+
+    def test_prune_expired_rejects_negative_days(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        code = main(["cache", "--cache-dir", str(tmp_path),
+                     "--prune-expired=-1"])
+        assert code != 0
+
+    def test_prune_expired_excludes_other_actions(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "--cache-dir", str(tmp_path),
+                  "--prune-expired", "7", "--clear"])
 
     def test_rejects_malformed_byte_size(self, capsys):
         with pytest.raises(SystemExit):

@@ -391,6 +391,85 @@ class TestDiskTierRobustness:
 
 
 # ---------------------------------------------------------------------------
+# TTL expiry (cache --prune-expired)
+# ---------------------------------------------------------------------------
+
+
+class TestPruneExpired:
+    @staticmethod
+    def _populate(tmp_path, n=8):
+        """Two published entries (phase 1 + a later phase) via a real run."""
+        graph = graphs.complete_graph(n)
+        engine = SamplerEngine(graph, _config(tmp_path))
+        engine.run(np.random.default_rng(0))
+        return DiskTier(tmp_path)
+
+    @staticmethod
+    def _backdate(tier, digest, age_seconds):
+        clock = os.stat(tier.blobs / digest / "meta.json").st_mtime
+        stamp = clock - age_seconds
+        os.utime(tier.blobs / digest / "meta.json", (stamp, stamp))
+
+    def test_expired_entries_go_fresh_entries_stay(self, tmp_path):
+        tier = self._populate(tmp_path)
+        digests = sorted(d.name for d in tier.blobs.iterdir())
+        assert len(digests) >= 2
+        self._backdate(tier, digests[0], 10 * 86400)
+        removed = tier.prune_expired(7 * 86400.0)
+        assert removed == 1
+        assert digests[0] not in {d.name for d in tier.blobs.iterdir()}
+        assert tier.entry_count() == len(digests) - 1
+        # Nothing else is within the window: a second sweep is a no-op.
+        assert tier.prune_expired(7 * 86400.0) == 0
+
+    def test_hit_refreshes_the_clock(self, tmp_path):
+        """An entry read after backdating is no longer expired: the TTL
+        clock is recency of *use*, not creation time."""
+        key, numerics = _make_numerics()
+        tier = DiskTier(tmp_path)
+        tier.store(key, numerics)
+        digest = key_digest(key)
+        self._backdate(tier, digest, 10 * 86400)
+        assert tier.lookup(key) is not None  # touches meta.json
+        assert tier.prune_expired(7 * 86400.0) == 0
+        assert tier.entry_count() == 1
+
+    def test_phantom_records_are_expired(self, tmp_path):
+        """A ledger record whose directory vanished counts as expired and
+        is dropped without disturbing live entries."""
+        import shutil
+
+        tier = self._populate(tmp_path)
+        digests = sorted(d.name for d in tier.blobs.iterdir())
+        shutil.rmtree(tier.blobs / digests[0])
+        assert digests[0] in tier._read_index()  # ledger remembers it
+        removed = tier.prune_expired(365 * 86400.0)
+        assert removed == 1
+        assert digests[0] not in tier._read_index()
+        assert tier.entry_count() == len(digests) - 1
+
+    def test_corrupt_index_rebuilds_before_expiry(self, tmp_path):
+        tier = self._populate(tmp_path)
+        entries = tier.entry_count()
+        (tmp_path / "index.json").write_text("{{{ not json")
+        assert tier.prune_expired(7 * 86400.0) == 0
+        assert tier.entry_count() == entries
+
+    def test_zero_ttl_expires_everything_stale(self, tmp_path):
+        tier = self._populate(tmp_path)
+        entries = tier.entry_count()
+        # All clocks are in the past (if only by microseconds).
+        assert tier.prune_expired(0.0) == entries
+        assert tier.entry_count() == 0
+
+    def test_invalid_ttl_rejected(self, tmp_path):
+        tier = DiskTier(tmp_path)
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(ConfigError):
+                tier.prune_expired(bad)
+
+
+# ---------------------------------------------------------------------------
 # TieredPhaseStore composition
 # ---------------------------------------------------------------------------
 

@@ -3,11 +3,15 @@
 Three layers of guarantees, strongest first:
 
 1. **Byte identity**: for every registered graph family and both sampler
-   variants, ``placement_mode="batched"`` and ``"reference"`` draw
-   byte-identical trees and identical round ledgers from the same seed
-   (the plan only memoizes deterministic structure and consumes the RNG
-   in the reference order). Reference mode itself is pinned to hardcoded
-   seed trees captured before the batched engine existed.
+   variants, ``placement_mode="batched"`` under the v1 RNG contract and
+   ``"reference"`` draw byte-identical trees and identical round ledgers
+   from the same seed (the plan only memoizes deterministic structure
+   and, under v1, consumes the RNG in the reference order). Reference
+   mode itself is pinned to hardcoded seed trees captured before the
+   batched engine existed. The v2 block contract deliberately consumes
+   different bits, so batched+v2 is pinned to its *own* golden trees,
+   regenerated exactly once when the contract shipped (see
+   tests/README.md for the regeneration policy).
 2. **DP equivalence**: a prepared contingency DP sampled repeatedly
    agrees draw-for-draw with the one-shot ``sample_contingency_table``
    under matched RNG states, for every implementation choice.
@@ -42,7 +46,8 @@ from repro.matching.sampler import (
 # Seed trees drawn from the pre-batched-engine code (fast-audit config,
 # family built at n=12 with rng seed 2026, session/request seed 11).
 # placement_mode="reference" must keep producing them byte-for-byte --
-# and because batched mode is RNG-contract-identical, so must it.
+# and because batched mode under rng_contract="v1" consumes the RNG
+# identically, so must it.
 GOLDEN_SEED_TREES = {
     ("barbell", "approximate"): ((0, 1), (0, 3), (1, 2), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 11), (9, 10), (10, 11)),
     ("bipartite", "approximate"): ((0, 9), (1, 10), (2, 11), (3, 9), (4, 9), (4, 10), (5, 10), (6, 9), (7, 9), (7, 11), (8, 11)),
@@ -68,17 +73,48 @@ GOLDEN_SEED_TREES = {
     ("wheel", "exact"): ((0, 5), (0, 6), (0, 7), (0, 8), (0, 9), (0, 11), (1, 2), (2, 3), (3, 4), (4, 5), (10, 11)),
 }
 
+# Seed trees for the v2 block-draw contract (same instances and seeds as
+# above, placement_mode="batched" + rng_contract="v2"). Regenerated
+# exactly once when the v2 contract shipped; any future edit to these
+# values is a contract break and needs the tests/README.md sign-off.
+GOLDEN_SEED_TREES_V2 = {
+    ("barbell", "approximate"): ((0, 1), (1, 2), (1, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9), (9, 11), (10, 11)),
+    ("bipartite", "approximate"): ((0, 11), (1, 10), (2, 9), (2, 10), (3, 10), (4, 11), (5, 10), (5, 11), (6, 11), (7, 9), (8, 10)),
+    ("complete", "approximate"): ((0, 3), (0, 8), (1, 4), (2, 5), (2, 10), (3, 6), (3, 9), (4, 8), (7, 9), (8, 11), (10, 11)),
+    ("cycle", "approximate"): ((0, 1), (0, 11), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9), (9, 10)),
+    ("expander", "approximate"): ((0, 3), (0, 7), (0, 10), (1, 3), (2, 6), (4, 5), (4, 8), (5, 9), (6, 8), (7, 11), (8, 11)),
+    ("gnp", "approximate"): ((0, 7), (1, 2), (1, 8), (1, 11), (2, 6), (3, 11), (4, 6), (5, 6), (5, 7), (6, 10), (9, 11)),
+    ("grid", "approximate"): ((0, 1), (0, 4), (1, 2), (2, 3), (2, 6), (4, 5), (6, 7), (7, 11), (8, 9), (9, 10), (10, 11)),
+    ("lollipop", "approximate"): ((0, 5), (1, 2), (1, 4), (2, 3), (3, 5), (5, 6), (6, 7), (7, 8), (8, 9), (9, 10), (10, 11)),
+    ("path", "approximate"): ((0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9), (9, 10), (10, 11)),
+    ("star", "approximate"): ((0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 9), (0, 10), (0, 11)),
+    ("wheel", "approximate"): ((0, 1), (0, 2), (0, 7), (0, 8), (0, 9), (0, 10), (1, 11), (2, 3), (4, 5), (5, 6), (6, 7)),
+    ("barbell", "exact"): ((0, 1), (0, 2), (0, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9), (8, 10), (9, 11)),
+    ("bipartite", "exact"): ((0, 10), (0, 11), (1, 11), (2, 9), (2, 10), (3, 10), (4, 9), (5, 11), (6, 9), (7, 10), (8, 11)),
+    ("complete", "exact"): ((0, 1), (0, 4), (0, 8), (0, 10), (2, 3), (2, 7), (4, 5), (5, 11), (6, 8), (7, 8), (7, 9)),
+    ("cycle", "exact"): ((0, 1), (0, 11), (1, 2), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9), (9, 10), (10, 11)),
+    ("expander", "exact"): ((0, 3), (1, 2), (1, 6), (2, 3), (2, 4), (5, 10), (6, 8), (7, 10), (7, 11), (8, 9), (8, 11)),
+    ("gnp", "exact"): ((0, 2), (1, 11), (2, 3), (2, 10), (3, 5), (3, 8), (3, 11), (4, 8), (5, 7), (6, 8), (8, 9)),
+    ("grid", "exact"): ((0, 1), (1, 2), (2, 3), (2, 6), (4, 5), (4, 8), (5, 6), (6, 7), (6, 10), (9, 10), (10, 11)),
+    ("lollipop", "exact"): ((0, 4), (1, 2), (1, 4), (2, 5), (3, 4), (5, 6), (6, 7), (7, 8), (8, 9), (9, 10), (10, 11)),
+    ("path", "exact"): ((0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9), (9, 10), (10, 11)),
+    ("star", "exact"): ((0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 9), (0, 10), (0, 11)),
+    ("wheel", "exact"): ((0, 3), (0, 4), (0, 6), (0, 7), (0, 8), (0, 10), (1, 2), (1, 11), (2, 3), (5, 6), (8, 9)),
+}
 
-def _draw(family: str, variant: str, mode: str):
+
+def _draw(family: str, variant: str, mode: str, contract: str = "v1"):
     graph, __ = build_family(family, 12, np.random.default_rng(2026))
-    config = SamplerConfig(ell=1 << 10, placement_mode=mode)
+    config = SamplerConfig(
+        ell=1 << 10, placement_mode=mode, rng_contract=contract
+    )
     engine = SamplerEngine(graph, config, variant=variant)
     result = engine.run(np.random.default_rng(np.random.SeedSequence(11)))
     return result
 
 
 class TestByteIdentity:
-    """Batched == reference == seed, tree by tree and round by round."""
+    """Batched+v1 == reference == seed, tree by tree and round by round."""
 
     @pytest.mark.parametrize(
         "family,variant", sorted(GOLDEN_SEED_TREES), ids=lambda v: str(v)
@@ -90,8 +126,8 @@ class TestByteIdentity:
     @pytest.mark.parametrize(
         "family,variant", sorted(GOLDEN_SEED_TREES), ids=lambda v: str(v)
     )
-    def test_batched_matches_reference(self, family, variant):
-        batched = _draw(family, variant, "batched")
+    def test_batched_v1_matches_reference(self, family, variant):
+        batched = _draw(family, variant, "batched", "v1")
         reference = _draw(family, variant, "reference")
         assert batched.tree == reference.tree
         assert batched.rounds == reference.rounds
@@ -102,17 +138,42 @@ class TestByteIdentity:
         # ...and both equal the pinned seed tree.
         assert batched.tree == GOLDEN_SEED_TREES[(family, variant)]
 
+    @pytest.mark.parametrize(
+        "family,variant", sorted(GOLDEN_SEED_TREES_V2), ids=lambda v: str(v)
+    )
+    def test_batched_v2_reproduces_v2_seed_trees(self, family, variant):
+        result = _draw(family, variant, "batched", "v2")
+        assert result.tree == GOLDEN_SEED_TREES_V2[(family, variant)]
+
     def test_batched_matches_reference_across_draw_sequences(self):
         """Plan reuse across sequential draws never perturbs the stream."""
         graph = graphs.complete_graph(10)
         trees = {}
         for mode in ("batched", "reference"):
             engine = SamplerEngine(
-                graph, SamplerConfig(ell=1 << 8, placement_mode=mode)
+                graph,
+                SamplerConfig(
+                    ell=1 << 8, placement_mode=mode, rng_contract="v1"
+                ),
             )
             rng = np.random.default_rng(7)
             trees[mode] = [engine.run(rng).tree for __ in range(8)]
         assert trees["batched"] == trees["reference"]
+
+    def test_v2_draws_independent_of_plan_warmth(self):
+        """A warm plan must never change which bits a v2 draw consumes:
+        the k-th draw from a long-lived engine equals the k-th draw from
+        a fresh engine fed the identical generator state."""
+        graph = graphs.complete_graph(10)
+        config = SamplerConfig(ell=1 << 8, rng_contract="v2")
+        warm_engine = SamplerEngine(graph, config)
+        rng = np.random.default_rng(7)
+        warm = [warm_engine.run(rng).tree for __ in range(6)]
+        cold = []
+        rng = np.random.default_rng(7)
+        for __ in range(6):
+            cold.append(SamplerEngine(graph, config).run(rng).tree)
+        assert warm == cold
 
 
 class TestPreparedDPEquivalence:

@@ -230,11 +230,14 @@ class TestPrecisionFloorFallback:
     def test_brute_force_fallback_matches_across_modes(self, mode):
         """An absurd normalizer floor forces the Section 5.2 brute-force
         sequential fill (the plan-aware _fill_level path); both modes
-        must still draw the same valid trees."""
+        must still draw the same valid trees. Pinned to the v1 contract:
+        cross-mode byte identity is exactly the v1 guarantee (v2 block
+        draws consume different bits by design)."""
         graph = graphs.complete_graph(6)
         config = SamplerConfig(
             ell=1 << 6,
             placement_mode=mode,
+            rng_contract="v1",
             normalizer_floor_exponent=0.001,  # floor ~ 1: always trips
         )
         engine = SamplerEngine(graph, config)
@@ -250,3 +253,23 @@ class TestPrecisionFloorFallback:
             assert (
                 type(self)._trees["batched"] == type(self)._trees["reference"]
             )
+
+    def test_brute_force_fallback_under_v2(self):
+        """The same floor trips under the v2 block contract: the
+        PrecisionError must surface *before* any randomness is consumed
+        (the bank validates every pair's normalizer first), so the
+        fallback rerun still draws a valid tree."""
+        graph = graphs.complete_graph(6)
+        config = SamplerConfig(
+            ell=1 << 6,
+            placement_mode="batched",
+            rng_contract="v2",
+            normalizer_floor_exponent=0.001,
+        )
+        engine = SamplerEngine(graph, config)
+        for seed in range(4):
+            result = engine.run(np.random.default_rng(seed))
+            assert is_spanning_tree(graph, result.tree)
+            assert sum(
+                stats.brute_force_fallbacks for stats in result.phase_stats
+            ) > 0

@@ -3,8 +3,12 @@
 The placement rewrite (PlacementPlan + prepared contingency DPs) changes
 the one component whose correctness is *distributional*, so these tests
 draw real ensembles and compare the empirical tree distribution against
-Kirchhoff-exact probabilities -- for both ``placement_mode`` settings and
-both sampler variants. Thresholds follow the policy documented in
+Kirchhoff-exact probabilities -- for both ``placement_mode`` settings,
+both RNG contracts, and both sampler variants. (The v2 block contract
+re-derives every decision from inverse-CDF resolution, so it is gated on
+this harness rather than on byte identity with v1 -- the two contracts
+sample the same laws from different bits.) Thresholds follow the policy
+documented in
 ``tests/statutil.py`` (fixed seeds, chi-square p-floor AND exact-TV
 noise bound).
 
@@ -35,8 +39,16 @@ run_slow = pytest.mark.skipif(
 )
 
 
-def _config(mode: str) -> SamplerConfig:
-    return SamplerConfig(ell=FAST_ELL, placement_mode=mode)
+# The meaningful (placement_mode, rng_contract) cells: reference mode
+# always runs the v1 stream (no plan to hang block CDFs off), so the
+# grid is three cells, not four.
+MODE_CONTRACT = [("batched", "v2"), ("batched", "v1"), ("reference", "v1")]
+
+
+def _config(mode: str, contract: str = "v2") -> SamplerConfig:
+    return SamplerConfig(
+        ell=FAST_ELL, placement_mode=mode, rng_contract=contract
+    )
 
 
 def weighted_square() -> "graphs.WeightedGraph":
@@ -49,38 +61,50 @@ def weighted_square() -> "graphs.WeightedGraph":
 class TestTier1Uniformity:
     """Fast cases: small supports, ~1-2k draws, every mode."""
 
-    @pytest.mark.parametrize("mode", ["batched", "reference"])
-    def test_k4_approximate(self, mode):
+    @pytest.mark.parametrize("mode,contract", MODE_CONTRACT)
+    def test_k4_approximate(self, mode, contract):
         graph = graphs.complete_graph(4)  # 16 spanning trees
         trees = draw_trees(
-            graph, 2000, config=_config(mode), variant="approximate", seed=41
+            graph, 2000, config=_config(mode, contract),
+            variant="approximate", seed=41,
         )
-        assert_matches_tree_law(graph, trees, label=f"k4/approx/{mode}")
+        assert_matches_tree_law(
+            graph, trees, label=f"k4/approx/{mode}/{contract}"
+        )
 
-    @pytest.mark.parametrize("mode", ["batched", "reference"])
-    def test_k4_exact_variant(self, mode):
+    @pytest.mark.parametrize("mode,contract", MODE_CONTRACT)
+    def test_k4_exact_variant(self, mode, contract):
         graph = graphs.complete_graph(4)
         trees = draw_trees(
-            graph, 1000, config=_config(mode), variant="exact", seed=42
+            graph, 1000, config=_config(mode, contract), variant="exact",
+            seed=42,
         )
-        assert_matches_tree_law(graph, trees, label=f"k4/exact/{mode}")
+        assert_matches_tree_law(
+            graph, trees, label=f"k4/exact/{mode}/{contract}"
+        )
 
-    @pytest.mark.parametrize("mode", ["batched", "reference"])
-    def test_cycle4(self, mode):
+    @pytest.mark.parametrize("mode,contract", MODE_CONTRACT)
+    def test_cycle4(self, mode, contract):
         graph = graphs.cycle_graph(4)  # 4 spanning trees
         trees = draw_trees(
-            graph, 1200, config=_config(mode), variant="approximate", seed=43
+            graph, 1200, config=_config(mode, contract),
+            variant="approximate", seed=43,
         )
-        assert_matches_tree_law(graph, trees, label=f"cycle4/{mode}")
+        assert_matches_tree_law(
+            graph, trees, label=f"cycle4/{mode}/{contract}"
+        )
 
-    @pytest.mark.parametrize("mode", ["batched", "reference"])
-    def test_weighted_square(self, mode):
+    @pytest.mark.parametrize("mode,contract", MODE_CONTRACT)
+    def test_weighted_square(self, mode, contract):
         """Weighted input: the law is weight-proportional, not uniform."""
         graph = weighted_square()
         trees = draw_trees(
-            graph, 1500, config=_config(mode), variant="approximate", seed=44
+            graph, 1500, config=_config(mode, contract),
+            variant="approximate", seed=44,
         )
-        assert_matches_tree_law(graph, trees, label=f"wsquare/{mode}")
+        assert_matches_tree_law(
+            graph, trees, label=f"wsquare/{mode}/{contract}"
+        )
 
 
 @run_slow
@@ -88,18 +112,21 @@ class TestTier1Uniformity:
 class TestNightlyUniformity:
     """Heavy sweeps: larger supports and the full mode x variant cross."""
 
-    @pytest.mark.parametrize("mode", ["batched", "reference"])
+    @pytest.mark.parametrize("mode,contract", MODE_CONTRACT)
     @pytest.mark.parametrize("variant", ["approximate", "exact"])
-    def test_k5(self, mode, variant):
+    def test_k5(self, mode, contract, variant):
         graph = graphs.complete_graph(5)  # 125 spanning trees
         trees = draw_trees(
-            graph, 6000, config=_config(mode), variant=variant, seed=45
+            graph, 6000, config=_config(mode, contract), variant=variant,
+            seed=45,
         )
-        assert_matches_tree_law(graph, trees, label=f"k5/{variant}/{mode}")
+        assert_matches_tree_law(
+            graph, trees, label=f"k5/{variant}/{mode}/{contract}"
+        )
 
-    @pytest.mark.parametrize("mode", ["batched", "reference"])
+    @pytest.mark.parametrize("mode,contract", MODE_CONTRACT)
     @pytest.mark.parametrize("variant", ["approximate", "exact"])
-    def test_weighted_chord_cycle(self, mode, variant):
+    def test_weighted_chord_cycle(self, mode, contract, variant):
         graph = graphs.WeightedGraph.from_edges(
             5,
             [
@@ -108,22 +135,26 @@ class TestNightlyUniformity:
             ],
         )
         trees = draw_trees(
-            graph, 5000, config=_config(mode), variant=variant, seed=46
+            graph, 5000, config=_config(mode, contract), variant=variant,
+            seed=46,
         )
         assert_matches_tree_law(
-            graph, trees, label=f"wchord/{variant}/{mode}"
+            graph, trees, label=f"wchord/{variant}/{mode}/{contract}"
         )
 
-    @pytest.mark.parametrize("mode", ["batched", "reference"])
-    def test_k4_reference_dp_method(self, mode):
-        """The exact-dp-reference matching method under both modes."""
+    @pytest.mark.parametrize("mode,contract", MODE_CONTRACT)
+    def test_k4_reference_dp_method(self, mode, contract):
+        """The exact-dp-reference matching method under every cell."""
         graph = graphs.complete_graph(4)
         config = SamplerConfig(
             ell=FAST_ELL,
             placement_mode=mode,
+            rng_contract=contract,
             matching_method="exact-dp-reference",
         )
         trees = draw_trees(
             graph, 2000, config=config, variant="approximate", seed=47
         )
-        assert_matches_tree_law(graph, trees, label=f"k4/refdp/{mode}")
+        assert_matches_tree_law(
+            graph, trees, label=f"k4/refdp/{mode}/{contract}"
+        )
