@@ -200,7 +200,7 @@ class Session:
         }
         return Response(kind=request.kind, result=result, meta=meta)
 
-    def stream(self, request: EnsembleRequest):
+    def stream(self, request: EnsembleRequest, *, stats: dict | None = None):
         """Yield an ensemble's draws incrementally as workers complete.
 
         Spawns the same per-draw seeds as :meth:`run` on an equal
@@ -209,6 +209,11 @@ class Session:
         same order -- streaming changes delivery, never outputs. (With
         ``seed=None`` each call consumes a fresh lineage child, so two
         calls intentionally draw different ensembles.)
+
+        ``stats``, when given, is a caller-owned dict filled in as the
+        stream completes: aggregated worker cache counters plus a
+        ``degraded`` flag if the process pool broke mid-stream (the
+        serving layer reports both instead of masking the fallback).
         """
         if not isinstance(request, EnsembleRequest):
             raise ConfigError(
@@ -226,7 +231,7 @@ class Session:
         seed = self._request_seed(request)
         driver = EnsembleEngine(self.engine(self._variant(request)))
         yield from driver.iter_ensemble(
-            request.count, seed=seed, jobs=request.jobs
+            request.count, seed=seed, jobs=request.jobs, stats=stats
         )
 
     # -- handlers (one per request kind) --------------------------------
@@ -249,6 +254,10 @@ class Session:
             request.count, seed=seed, jobs=request.jobs
         )
         meta: dict = {"variant": variant, "count": request.count}
+        if result.degraded:
+            # The pool broke and the batch fell back to sequential
+            # (identical outputs); surfaced so services can report it.
+            meta["degraded"] = True
         if request.leverage_audit:
             from repro.analysis.ensemble import leverage_report_from_result
 

@@ -49,6 +49,12 @@ Subcommands:
     show entry/byte stats, ``--prune-to BYTES`` (LRU eviction down to a
     budget), ``--prune-expired DAYS`` (TTL expiry of untouched entries),
     or ``--clear`` it entirely.
+``serve``
+    Run the stdlib HTTP sampling service (:mod:`repro.service`): batch
+    ``POST /v1/run``, NDJSON streaming ``POST /v1/stream``, admission
+    control past ``--max-inflight`` (429 + Retry-After), per-request
+    budgets, and graceful SIGTERM drain. ``--port 0`` binds an
+    ephemeral port and reports it on stdout.
 ``families``
     List the available graph families (``--json`` for the machine-
     readable registry).
@@ -367,6 +373,65 @@ def _make_parser() -> argparse.ArgumentParser:
     cache.add_argument("--json", action="store_true",
                        help="machine-readable stats output")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP sampling service (batch + NDJSON streaming)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8437,
+        help="listen port (0 binds an ephemeral port, reported on stdout)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="batch worker processes (the shard layer)",
+    )
+    serve.add_argument(
+        "--max-inflight", dest="max_inflight", type=int, default=8,
+        help="admitted requests beyond this get 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--max-draws", dest="max_draws", type=int, default=10_000,
+        help="per-request ensemble/audit draw-count cap",
+    )
+    serve.add_argument(
+        "--max-graph-n", dest="max_graph_n", type=int, default=4096,
+        help="largest graph a request may name",
+    )
+    serve.add_argument(
+        "--max-jobs", dest="max_jobs", type=int, default=4,
+        help="per-request process fan-out cap (also clamps jobs=None)",
+    )
+    serve.add_argument(
+        "--max-body-bytes", dest="max_body_bytes", type=_parse_byte_size,
+        default=1 << 20, metavar="BYTES",
+        help="request body cap (suffixes K/M/G accepted)",
+    )
+    serve.add_argument(
+        "--max-seconds", dest="max_seconds", type=float, default=None,
+        help="per-request wall-clock budget (504 batch / stream error "
+             "record); default: unlimited",
+    )
+    serve.add_argument(
+        "--drain-seconds", dest="drain_seconds", type=float, default=10.0,
+        help="grace period for in-flight work on SIGTERM/SIGINT",
+    )
+    serve.add_argument(
+        "--preset", default="fast-bench",
+        help="default config preset for requests that name none",
+    )
+    serve.add_argument(
+        "--cache-dir", dest="cache_dir", default="auto", metavar="DIR",
+        help="shared warm-start cache volume applied to every worker "
+             "session (default: 'auto' = $REPRO_CACHE_DIR or "
+             "~/.cache/repro-spanning-trees; 'none' disables the "
+             "override and presets decide)",
+    )
+    serve.add_argument(
+        "--session-cap", dest="session_cap", type=int, default=8,
+        help="live sessions kept warm per worker process (LRU)",
+    )
+
     families = sub.add_parser("families", help="list graph families")
     families.add_argument("--json", action="store_true",
                           help="machine-readable family registry")
@@ -593,6 +658,35 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here: the service layer pulls in asyncio machinery no
+    # other subcommand needs.
+    from repro.service.protocol import ServiceLimits
+    from repro.service.server import ServerConfig, serve
+
+    cache_dir: str | None = args.cache_dir
+    if cache_dir in ("none", ""):
+        cache_dir = None
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        limits=ServiceLimits(
+            max_draws=args.max_draws,
+            max_graph_n=args.max_graph_n,
+            max_jobs=args.max_jobs,
+            max_body_bytes=args.max_body_bytes,
+            max_seconds=args.max_seconds,
+        ),
+        preset=args.preset,
+        cache_dir=cache_dir,
+        session_cap=args.session_cap,
+        drain_seconds=args.drain_seconds,
+    )
+    return serve(config)
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.selfcheck import main_cli
 
@@ -621,6 +715,7 @@ def main(argv: list[str] | None = None) -> int:
         "audit": _cmd_audit,
         "calibrate": _cmd_calibrate,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
         "families": _cmd_families,
         "verify": _cmd_verify,
     }

@@ -37,6 +37,7 @@ it warm-starts numerics. jobs=1 and jobs=N remain byte-identical.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import time
@@ -53,7 +54,40 @@ from repro.errors import GraphError
 from repro.graphs.core import WeightedGraph
 from repro.graphs.spanning import TreeKey
 
-__all__ = ["EnsembleResult", "EnsembleEngine", "sample_tree_ensemble"]
+__all__ = [
+    "EnsembleResult",
+    "EnsembleEngine",
+    "sample_tree_ensemble",
+    "aggregate_cache_stats",
+]
+
+_LOG = logging.getLogger(__name__)
+
+# Cache-stat keys that are point-in-time gauges rather than monotonic
+# counters: summing them across workers would overstate a fleet (every
+# worker over one shared cache_dir reports the same disk footprint), so
+# aggregation takes their max instead.
+_GAUGE_KEYS = frozenset({"entries", "bytes", "disk_entries", "disk_bytes"})
+
+
+def aggregate_cache_stats(per_worker: list[dict]) -> dict:
+    """Combine per-worker cache counters into one fleet-level dict.
+
+    Counter keys (hits/misses/spills/...) sum across workers -- the
+    fleet's total lookups equal a single process's for the same draws,
+    which is what the ``jobs``-invariance regression pins. Gauge keys
+    (current entries/bytes per tier) take the max: RAM tiers are
+    per-process and the disk tier is shared, so a sum would double
+    count.
+    """
+    aggregate: dict[str, int] = {}
+    for stats in per_worker:
+        for key, value in stats.items():
+            if key in _GAUGE_KEYS:
+                aggregate[key] = max(aggregate.get(key, 0), int(value))
+            else:
+                aggregate[key] = aggregate.get(key, 0) + int(value)
+    return aggregate
 
 
 @dataclass
@@ -65,6 +99,9 @@ class EnsembleResult:
     jobs: int
     entropy: int | None = None
     cache_stats: dict = field(default_factory=dict)
+    # True when the process pool broke and the batch fell back to the
+    # sequential path (identical outputs, degraded delivery).
+    degraded: bool = False
 
     @property
     def count(self) -> int:
@@ -98,6 +135,7 @@ class EnsembleResult:
             "cache_stats": {
                 key: int(value) for key, value in self.cache_stats.items()
             },
+            "degraded": bool(self.degraded),
         }
 
     @classmethod
@@ -115,17 +153,26 @@ class EnsembleResult:
                 else int(payload["entropy"])
             ),
             cache_stats=dict(payload.get("cache_stats", {})),
+            degraded=bool(payload.get("degraded", False)),
         )
 
 
 def _draw_chunk(
     payload: tuple[np.ndarray, SamplerConfig, str, list[np.random.SeedSequence]],
-) -> list[SampleResult]:
-    """Worker entry point: one engine + cache per process, one rng per draw."""
+) -> tuple[list[SampleResult], dict]:
+    """Worker entry point: one engine + cache per process, one rng per draw.
+
+    Returns ``(results, cache_stats)``: every chunk ships its worker's
+    per-tier cache counters back so the driver can aggregate a truthful
+    ``cache_stats`` for multiprocess runs (they used to be dropped,
+    leaving ``meta["cache"]`` empty exactly when a service fans out).
+    """
     weights, config, variant, seeds = payload
     graph = WeightedGraph(weights, validate=False)
     engine = SamplerEngine(graph, config, variant=variant)
-    return [engine.run(np.random.default_rng(seed)) for seed in seeds]
+    results = [engine.run(np.random.default_rng(seed)) for seed in seeds]
+    stats = engine.cache.stats() if engine.cache is not None else {}
+    return results, stats
 
 
 class EnsembleEngine:
@@ -195,15 +242,24 @@ class EnsembleEngine:
         jobs = self._resolve_jobs(jobs, count)
 
         start = time.perf_counter()
+        degraded = False
         if jobs <= 1:
             results = [
                 self.engine.run(np.random.default_rng(s)) for s in seeds
             ]
+            cache_stats = self._local_cache_stats()
         else:
-            results = self._run_parallel(seeds, jobs)
+            results, worker_stats, degraded = self._run_parallel(seeds, jobs)
+            # Degraded batches ran on the local engine, so its counters
+            # are the truthful ones; healthy fan-outs aggregate what the
+            # workers shipped back with their chunks.
+            cache_stats = (
+                self._local_cache_stats()
+                if degraded
+                else aggregate_cache_stats(worker_stats)
+            )
         seconds = time.perf_counter() - start
 
-        cache = self.engine.cache
         # SeedSequence entropy may be an int, a list of ints, or None;
         # record it only in the plain reproducible-scalar case.
         entropy = master.entropy if isinstance(master.entropy, int) else None
@@ -212,7 +268,8 @@ class EnsembleEngine:
             seconds=seconds,
             jobs=jobs,
             entropy=entropy,
-            cache_stats=cache.stats() if (cache is not None and jobs <= 1) else {},
+            cache_stats=cache_stats,
+            degraded=degraded,
         )
 
     def iter_ensemble(
@@ -221,6 +278,7 @@ class EnsembleEngine:
         *,
         seed: np.random.SeedSequence | np.random.Generator | int | None = None,
         jobs: int | None = None,
+        stats: dict | None = None,
     ):
         """Stream ``count`` independent draws, yielding each as it lands.
 
@@ -232,6 +290,12 @@ class EnsembleEngine:
         and are yielded in draw order as their chunks complete; consumers
         see results incrementally instead of waiting for the full batch.
 
+        ``stats``, when given, is a caller-owned dict that is filled in
+        as the stream runs: aggregated per-tier cache counters from the
+        workers (or the local engine), plus ``degraded: True`` if the
+        process pool broke and the remaining draws fell back to the
+        sequential path. It is complete once the generator is exhausted.
+
         Yields :class:`~repro.engine.results.SampleResult` instances.
         """
         if count < 1:
@@ -242,6 +306,8 @@ class EnsembleEngine:
         engine = self.engine
 
         delivered = 0
+        degraded = False
+        worker_stats: list[dict] = []
         if jobs > 1:
             # Smaller chunks than the batch path (which slices count/jobs)
             # so results surface early; identical output either way since
@@ -256,14 +322,23 @@ class EnsembleEngine:
                     for payload in payloads
                 ]
                 for future in futures:
-                    for result in future.result():
+                    results, chunk_stats = future.result()
+                    worker_stats.append(chunk_stats)
+                    for result in results:
                         delivered += 1
                         yield result
-            except (OSError, BrokenProcessPool, pickle.PicklingError):
+            except (OSError, BrokenProcessPool, pickle.PicklingError) as error:
                 # Same degradation contract as sample_ensemble: process
                 # machinery failed, so finish the not-yet-yielded suffix
-                # sequentially with the same per-draw seeds.
-                pass
+                # sequentially with the same per-draw seeds. Loudly: the
+                # consumer sees a flagged stream, operators see a log.
+                degraded = True
+                _LOG.warning(
+                    "ensemble stream degraded to sequential after %s: %s "
+                    "(jobs=%d, delivered=%d, remaining=%d)",
+                    type(error).__name__, error, jobs, delivered,
+                    len(seeds) - delivered,
+                )
             finally:
                 # No `with` block: a consumer abandoning the stream must
                 # not hang in executor shutdown until every queued chunk
@@ -271,7 +346,21 @@ class EnsembleEngine:
                 if pool is not None:
                     pool.shutdown(wait=False, cancel_futures=True)
         for child in seeds[delivered:]:
-            yield engine.run(np.random.default_rng(child))
+            result = engine.run(np.random.default_rng(child))
+            result.degraded = degraded
+            yield result
+        if stats is not None:
+            if jobs <= 1:
+                stats.update(self._local_cache_stats())
+            elif degraded:
+                # Completed chunks did real work before the pool broke;
+                # fold their counters in with the local fallback's.
+                stats.update(aggregate_cache_stats(
+                    worker_stats + [self._local_cache_stats()]
+                ))
+            else:
+                stats.update(aggregate_cache_stats(worker_stats))
+            stats["degraded"] = degraded
 
     # ------------------------------------------------------------------
 
@@ -313,25 +402,41 @@ class EnsembleEngine:
             for low in range(0, len(seeds), chunk_size)
         ]
 
+    def _local_cache_stats(self) -> dict:
+        """The driver engine's own cache counters (empty when disabled)."""
+        cache = self.engine.cache
+        return dict(cache.stats()) if cache is not None else {}
+
     def _run_parallel(
         self, seeds: list[np.random.SeedSequence], jobs: int
-    ) -> list[SampleResult]:
-        """Fan contiguous seed chunks across processes; order-preserving."""
+    ) -> tuple[list[SampleResult], list[dict], bool]:
+        """Fan contiguous seed chunks across processes; order-preserving.
+
+        Returns ``(results, per_worker_cache_stats, degraded)``.
+        """
         engine = self.engine
         payloads = self._chunk_payloads(seeds, (len(seeds) + jobs - 1) // jobs)
         try:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 chunked = list(pool.map(_draw_chunk, payloads))
-        except (OSError, BrokenProcessPool, pickle.PicklingError):
+        except (OSError, BrokenProcessPool, pickle.PicklingError) as error:
             # Process *machinery* failures only (sandboxed fork, broken
             # pool, unpicklable payload): same seeds sequentially =>
             # identical results. Exceptions raised inside a worker's
             # sampling propagate unchanged -- retrying them serially
-            # would just repeat the failure slowly.
-            return [
-                engine.run(np.random.default_rng(s)) for s in seeds
-            ]
-        return [result for chunk in chunked for result in chunk]
+            # would just repeat the failure slowly. The fallback is
+            # loud: logged here, flagged on every result it produced.
+            _LOG.warning(
+                "ensemble pool degraded to sequential after %s: %s "
+                "(jobs=%d, draws=%d)",
+                type(error).__name__, error, jobs, len(seeds),
+            )
+            results = [engine.run(np.random.default_rng(s)) for s in seeds]
+            for result in results:
+                result.degraded = True
+            return results, [], True
+        results = [result for chunk, _ in chunked for result in chunk]
+        return results, [stats for _, stats in chunked], False
 
 
 def sample_tree_ensemble(

@@ -30,6 +30,11 @@ class SampleResult:
     ledger: RoundLedger
     phase_stats: list["PhaseStats"] = field(default_factory=list)
     clique_stats: dict = field(default_factory=dict)
+    # True when this draw was produced by the ensemble driver's
+    # sequential-fallback path after the process pool broke (the tree and
+    # ledger are identical either way -- the flag reports the *delivery*
+    # degradation so services can surface it instead of masking it).
+    degraded: bool = False
 
     def rounds_by_category(self) -> dict[str, int]:
         """Total rounds per ledger category, descending."""
@@ -37,7 +42,7 @@ class SampleResult:
 
     def to_dict(self) -> dict:
         """JSON-serializable wire form (full diagnostics included)."""
-        return {
+        payload = {
             "tree": [[int(u), int(v)] for u, v in self.tree],
             "rounds": int(self.rounds),
             "phases": int(self.phases),
@@ -47,6 +52,11 @@ class SampleResult:
                 key: int(value) for key, value in self.clique_stats.items()
             },
         }
+        # Keyed in only when set: the healthy wire form stays byte-stable
+        # with pre-flag captures (goldens, cached envelopes).
+        if self.degraded:
+            payload["degraded"] = True
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SampleResult":
@@ -63,4 +73,5 @@ class SampleResult:
                 for stats in payload.get("phase_stats", [])
             ],
             clique_stats=dict(payload.get("clique_stats", {})),
+            degraded=bool(payload.get("degraded", False)),
         )

@@ -1,0 +1,50 @@
+"""The sharded ensemble-sampling service (stdlib-only serving layer).
+
+This package turns the session API into a network surface -- the
+ROADMAP's "heavy traffic from millions of users" tentpole. It is built
+entirely from the standard library (``asyncio`` for the front end,
+``http.client`` for the client helper, ``concurrent.futures`` for the
+worker shards): no web framework, no new dependencies.
+
+- :mod:`~repro.service.protocol` -- the service wire envelope (graph
+  spec + preset + config overrides + a PR 2 request envelope), admission
+  budgets, and validation that rejects bad requests *before* any work;
+- :mod:`~repro.service.pool` -- per-process :class:`SessionPool` caches
+  and the worker entry points batch requests execute on;
+- :mod:`~repro.service.server` -- the asyncio HTTP front end
+  (``python -m repro serve``): batch ``POST /v1/run``, NDJSON streaming
+  ``POST /v1/stream``, admission control (429 + Retry-After past
+  ``max_inflight``), and graceful SIGTERM drain;
+- :mod:`~repro.service.client` -- :class:`ServiceClient`, the stdlib
+  client the load generator, tests, and examples drive the server with.
+
+Reproducibility contract: a request with a pinned ``seed`` returns
+byte-identical trees and round ledgers no matter which server, worker
+process, or host serves it (the per-draw spawned-SeedSequence contract
+is jobs- and host-invariant by construction; property-tested in
+``tests/test_service_invariance.py``). Seedless requests draw from each
+worker session's own entropy and are deliberately non-reproducible.
+"""
+
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.protocol import (
+    ServiceError,
+    ServiceLimits,
+    ServiceTask,
+    parse_service_envelope,
+)
+from repro.service.pool import SessionPool
+from repro.service.server import ServerConfig, TreeService, serve
+
+__all__ = [
+    "ServiceClient",
+    "ServiceUnavailable",
+    "ServiceError",
+    "ServiceLimits",
+    "ServiceTask",
+    "parse_service_envelope",
+    "SessionPool",
+    "ServerConfig",
+    "TreeService",
+    "serve",
+]

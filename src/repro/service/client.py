@@ -1,0 +1,255 @@
+"""Stdlib client for the serving layer (``http.client`` under the hood).
+
+:class:`ServiceClient` is what the load generator, the test suites, and
+``examples/service_quickstart.py`` drive the server with. It speaks the
+service envelope (graph spec + preset + config overrides + request
+envelope) and hands back the same typed objects the in-process session
+API returns: :func:`run` a :class:`~repro.api.responses.Response`,
+:func:`stream` a generator of ``(index, SampleResult)`` pairs decoded
+from the NDJSON chunks as they arrive.
+
+Overload is a typed outcome, not a generic failure: 429/503 raise
+:class:`ServiceUnavailable` carrying the server's ``Retry-After`` hint,
+so callers can implement backoff without parsing error strings. Every
+call opens a fresh connection (the server is one-request-per-connection
+by design), which also means abandoning a ``stream`` generator closes
+the socket -- exactly the disconnect signal the server's slot-release
+path listens for.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from dataclasses import dataclass
+
+from repro.api.responses import Response, response_from_dict
+from repro.engine.results import SampleResult
+from repro.errors import ReproError
+
+__all__ = [
+    "ServiceClient",
+    "ServiceRequestError",
+    "ServiceUnavailable",
+    "StreamSummary",
+    "wait_until_ready",
+]
+
+
+class ServiceRequestError(ReproError):
+    """The server answered with an error payload (4xx/5xx)."""
+
+    def __init__(self, message: str, *, status: int) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+
+
+class ServiceUnavailable(ServiceRequestError):
+    """429 (overloaded) or 503 (draining): retry after ``retry_after``."""
+
+    def __init__(
+        self, message: str, *, status: int, retry_after: float | None
+    ) -> None:
+        super().__init__(message, status=status)
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """The terminal NDJSON record of a completed stream."""
+
+    count: int
+    seconds: float
+    degraded: bool
+    cache: dict
+
+
+class ServiceClient:
+    """One service endpoint; stateless between calls."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8437, *,
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    @staticmethod
+    def _raise_for_status(status: int, headers, body: bytes) -> None:
+        try:
+            message = json.loads(body).get("error", body.decode(errors="replace"))
+        except (json.JSONDecodeError, AttributeError):
+            message = body.decode(errors="replace")
+        if status in (429, 503):
+            retry_after = headers.get("Retry-After")
+            raise ServiceUnavailable(
+                message, status=status,
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        raise ServiceRequestError(message, status=status)
+
+    def _post_json(self, path: str, envelope: dict) -> dict:
+        body = json.dumps(envelope, allow_nan=False).encode()
+        conn = self._connect()
+        try:
+            conn.request("POST", path, body=body, headers={
+                "Content-Type": "application/json",
+                "Content-Length": str(len(body)),
+            })
+            response = conn.getresponse()
+            payload = response.read()
+            if response.status != 200:
+                self._raise_for_status(
+                    response.status, response.headers, payload
+                )
+            return json.loads(payload)
+        finally:
+            conn.close()
+
+    def _get_json(self, path: str) -> dict:
+        conn = self._connect()
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            payload = response.read()
+            if response.status != 200:
+                self._raise_for_status(
+                    response.status, response.headers, payload
+                )
+            return json.loads(payload)
+        finally:
+            conn.close()
+
+    # -- endpoints ------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._get_json("/healthz")
+
+    def stats(self) -> dict:
+        return self._get_json("/stats")
+
+    def run(
+        self, graph: dict, request: dict, *,
+        preset: str | None = None, config: dict | None = None,
+    ) -> Response:
+        """Batch execution: one envelope in, one typed Response out."""
+        payload = self._post_json("/v1/run", _envelope(
+            graph, request, preset=preset, config=config
+        ))
+        return response_from_dict(payload)
+
+    def stream(
+        self, graph: dict, request: dict, *,
+        preset: str | None = None, config: dict | None = None,
+    ):
+        """Yield ``(index, SampleResult)`` as the server emits them.
+
+        The generator's ``.summary`` attribute is unavailable (plain
+        generator); instead the terminal summary record is delivered via
+        StopIteration value: ``summary = yield from client.stream(...)``
+        inside a generator, or use :func:`stream_collect` for the common
+        collect-everything case. Server-side ``error`` records raise.
+        """
+        envelope = _envelope(graph, request, preset=preset, config=config)
+        body = json.dumps(envelope, allow_nan=False).encode()
+        conn = self._connect()
+        try:
+            conn.request("POST", "/v1/stream", body=body, headers={
+                "Content-Type": "application/json",
+                "Content-Length": str(len(body)),
+            })
+            response = conn.getresponse()
+            if response.status != 200:
+                payload = response.read()
+                self._raise_for_status(
+                    response.status, response.headers, payload
+                )
+            # http.client undoes the chunked framing; readline() hands
+            # back exactly the NDJSON records the server wrote.
+            summary: StreamSummary | None = None
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                record = json.loads(line)
+                kind = record.get("kind")
+                if kind == "result":
+                    yield (
+                        int(record["index"]),
+                        SampleResult.from_dict(record["result"]),
+                    )
+                elif kind == "summary":
+                    summary = StreamSummary(
+                        count=int(record["count"]),
+                        seconds=float(record["seconds"]),
+                        degraded=bool(record.get("degraded", False)),
+                        cache=dict(record.get("cache", {})),
+                    )
+                elif kind == "error":
+                    raise ServiceRequestError(
+                        str(record.get("error", "stream failed")),
+                        status=int(record.get("status", 500)),
+                    )
+            return summary
+        finally:
+            conn.close()
+
+    def stream_collect(
+        self, graph: dict, request: dict, *,
+        preset: str | None = None, config: dict | None = None,
+    ) -> tuple[list[SampleResult], StreamSummary | None]:
+        """Drain a stream into ``(results_in_draw_order, summary)``."""
+        results: list[SampleResult] = []
+        iterator = self.stream(
+            graph, request, preset=preset, config=config
+        )
+        summary = None
+        while True:
+            try:
+                index, result = next(iterator)
+            except StopIteration as stop:
+                summary = stop.value
+                break
+            assert index == len(results), "stream out of draw order"
+            results.append(result)
+        return results, summary
+
+
+def _envelope(
+    graph: dict, request: dict, *,
+    preset: str | None, config: dict | None,
+) -> dict:
+    envelope: dict = {"graph": graph, "request": request}
+    if preset is not None:
+        envelope["preset"] = preset
+    if config:
+        envelope["config"] = config
+    return envelope
+
+
+def wait_until_ready(
+    client: ServiceClient, *, timeout: float = 30.0, interval: float = 0.05
+) -> dict:
+    """Poll ``/healthz`` until the server answers; returns the payload."""
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            return client.healthz()
+        except (ConnectionError, socket.error, OSError) as error:
+            last_error = error
+            time.sleep(interval)
+    raise TimeoutError(
+        f"service at {client.host}:{client.port} not ready after "
+        f"{timeout}s: {last_error}"
+    )

@@ -1,0 +1,129 @@
+"""Per-process session pools and the batch worker entry points.
+
+Both halves of the service keep sessions warm the same way: an LRU
+:class:`SessionPool` keyed by :attr:`~repro.service.protocol.ServiceTask.
+session_key` (graph + preset + config overrides). The server process
+holds one for streaming requests; every batch worker process holds its
+own (module-global, built by :func:`init_worker` when the pool spawns).
+All of them point their sessions at the *same* ``cache_dir``, so a
+session that is cold in this process still warm-starts its phase
+numerics from whatever any other worker -- or any other host mounting
+the volume -- already computed. That shared disk tier, not session
+affinity, is what makes the shard layer scale: any worker can serve any
+task.
+
+Seeding: each pooled session gets a fresh entropy-derived root, so
+*seedless* requests draw genuinely independent randomness wherever they
+land. Requests with a pinned ``seed`` bypass the session lineage
+entirely (the PR 2 contract), which is what makes pinned-seed service
+calls byte-identical across workers and hosts.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+
+from repro.api.presets import get_preset
+from repro.api.session import Session
+from repro.service.protocol import ServiceTask
+
+__all__ = ["SessionPool", "init_worker", "run_task"]
+
+
+class SessionPool:
+    """A bounded LRU of live sessions keyed by task session key.
+
+    ``acquire`` returns ``(session, lock)``; callers hold the lock while
+    running requests on the session -- sessions share mutable engine
+    caches and are not safe for concurrent in-process use. Distinct
+    keys never contend. Thread-safe; eviction drops the pool's
+    reference only (an in-flight holder keeps its session alive).
+    """
+
+    def __init__(
+        self, *, limit: int = 8, cache_dir: str | None = None
+    ) -> None:
+        if limit < 1:
+            raise ValueError(f"session pool limit must be >= 1, got {limit}")
+        self._limit = limit
+        self._cache_dir = cache_dir
+        self._guard = threading.Lock()
+        self._sessions: OrderedDict[str, tuple[Session, threading.Lock]] = (
+            OrderedDict()
+        )
+        self.opened = 0
+        self.evicted = 0
+
+    def _build(self, task: ServiceTask) -> Session:
+        graph, meta = task.build_graph()
+        config = task.build_config(get_preset(task.preset).config)
+        if self._cache_dir is not None:
+            # The operator's cache volume wins over whatever the preset
+            # says: one directory shared by every worker is the whole
+            # point of the shard layer.
+            config = replace(config, cache_dir=self._cache_dir)
+        return Session(
+            graph, config, seed=secrets.randbits(63), meta=meta
+        )
+
+    def acquire(self, task: ServiceTask) -> tuple[Session, threading.Lock]:
+        """The warm (or newly built) session for ``task``, plus its lock."""
+        with self._guard:
+            entry = self._sessions.get(task.session_key)
+            if entry is not None:
+                self._sessions.move_to_end(task.session_key)
+                return entry
+        # Build outside the pool guard: graph construction and session
+        # setup can be slow, and other keys should not stall behind it.
+        session = self._build(task)
+        with self._guard:
+            entry = self._sessions.get(task.session_key)
+            if entry is not None:  # lost a build race; use the winner
+                self._sessions.move_to_end(task.session_key)
+                return entry
+            entry = (session, threading.Lock())
+            self._sessions[task.session_key] = entry
+            self.opened += 1
+            while len(self._sessions) > self._limit:
+                self._sessions.popitem(last=False)
+                self.evicted += 1
+            return entry
+
+    def stats(self) -> dict:
+        """Pool counters (sessions live / opened / evicted)."""
+        with self._guard:
+            return {
+                "sessions": len(self._sessions),
+                "sessions_opened": self.opened,
+                "sessions_evicted": self.evicted,
+            }
+
+
+# -- batch worker entry points (module-global pool per process) ---------
+
+_WORKER_POOL: SessionPool | None = None
+
+
+def init_worker(cache_dir: str | None, limit: int) -> None:
+    """ProcessPoolExecutor initializer: build this worker's session pool."""
+    global _WORKER_POOL
+    _WORKER_POOL = SessionPool(limit=limit, cache_dir=cache_dir)
+
+
+def run_task(task: ServiceTask) -> dict:
+    """Execute one batch task in a worker; returns the envelope dict.
+
+    The return value is ``Response.to_dict()`` -- sanitized, JSON-able,
+    and picklable, so the front end can serialize it without touching
+    numpy state. Errors propagate to the submitting process unchanged.
+    """
+    global _WORKER_POOL
+    if _WORKER_POOL is None:  # direct use outside an initialized pool
+        _WORKER_POOL = SessionPool()
+    session, lock = _WORKER_POOL.acquire(task)
+    with lock:
+        response = session.run(task.request)
+    return response.to_dict()

@@ -1,0 +1,627 @@
+"""The asyncio HTTP front end: ``python -m repro serve``.
+
+Stdlib only -- the server is ``asyncio.start_server`` plus a minimal
+HTTP/1.1 layer (one request per connection, ``Connection: close``),
+because the workloads are long-lived compute, not header gymnastics.
+
+Topology::
+
+    client -> front end (asyncio, this module)
+                |-- POST /v1/run     -> ProcessPoolExecutor worker shards
+                |                       (each holds a SessionPool; all
+                |                        warm-start from one cache_dir)
+                |-- POST /v1/stream  -> pump thread -> Session.stream
+                |                       (NDJSON chunks in draw order;
+                |                        request.jobs fans the draws
+                |                        over processes underneath)
+                |-- GET  /healthz, /stats
+
+Admission control happens in two layers, both *before* any sampling:
+
+- request budgets (:class:`~repro.service.protocol.ServiceLimits`):
+  draw counts, graph size, fan-out, body bytes -- violations are 400/413
+  at validation time, never mid-stream;
+- concurrency: past ``max_inflight`` admitted requests the server
+  answers 429 with a ``Retry-After`` hint instead of queueing unbounded
+  work. While draining (SIGTERM/SIGINT) new work gets 503 and in-flight
+  requests finish; queued-but-unstarted chunks are cancelled through
+  ``iter_ensemble``'s shutdown contract (``cancel_futures=True``), so
+  drain never hangs behind work nobody will receive.
+
+Failure surface: a broken process pool degrades batch requests to the
+server-process session pool (logged, surfaced as
+``meta["service_degraded"]``); a client that disconnects mid-stream
+frees its slot as soon as the next chunk write fails; per-request
+wall-clock budgets cut batches with 504 and streams with a terminal
+``error`` record. A batch worker that blows past the budget cannot be
+killed mid-C-call -- its slot is released and its result discarded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.api.requests import EnsembleRequest
+from repro.api.responses import sanitize_nonfinite
+from repro.errors import ConfigError, ReproError
+from repro.service.pool import SessionPool, init_worker, run_task
+from repro.service.protocol import (
+    ServiceError,
+    ServiceLimits,
+    ServiceTask,
+    parse_service_envelope,
+)
+
+__all__ = ["ServerConfig", "TreeService", "serve"]
+
+_LOG = logging.getLogger(__name__)
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 411: "Length Required",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything ``python -m repro serve`` can set.
+
+    ``port=0`` binds an ephemeral port (the startup line and
+    :attr:`TreeService.port` report the real one -- how tests and the
+    load generator avoid collisions). ``workers`` sizes the batch
+    process pool; ``max_inflight`` caps *admitted* requests of both
+    kinds. ``cache_dir`` is the shared warm-start volume every session
+    pool points at; ``preset`` the default config recipe requests build
+    on.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8437
+    workers: int = 2
+    max_inflight: int = 8
+    limits: ServiceLimits = field(default_factory=ServiceLimits)
+    preset: str = "fast-bench"
+    cache_dir: str | None = None
+    session_cap: int = 8
+    drain_seconds: float = 10.0
+    retry_after: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.max_inflight < 1:
+            raise ConfigError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.session_cap < 1:
+            raise ConfigError(
+                f"session_cap must be >= 1, got {self.session_cap}"
+            )
+        if self.drain_seconds < 0:
+            raise ConfigError(
+                f"drain_seconds must be >= 0, got {self.drain_seconds}"
+            )
+
+
+class TreeService:
+    """One server instance: listener, shard executors, counters."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.port: int | None = None  # resolved on start()
+        self._server: asyncio.base_events.Server | None = None
+        self._sessions = SessionPool(
+            limit=config.session_cap, cache_dir=config.cache_dir
+        )
+        self._proc_pool: ProcessPoolExecutor | None = None
+        self._proc_pool_broken = False
+        self._stream_threads = ThreadPoolExecutor(
+            max_workers=config.max_inflight,
+            thread_name_prefix="repro-stream",
+        )
+        self._inflight = 0
+        self._draining = asyncio.Event()
+        self._active_stops: set[threading.Event] = set()
+        self.counters = {
+            "admitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "rejected_validation": 0,
+            "rejected_overload": 0,
+            "rejected_draining": 0,
+            "timeouts": 0,
+            "streams_opened": 0,
+            "streams_completed": 0,
+            "client_disconnects": 0,
+            "degraded_batches": 0,
+            "degraded_streams": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and spin up the worker shards."""
+        config = self.config
+        self._proc_pool = ProcessPoolExecutor(
+            max_workers=config.workers,
+            initializer=init_worker,
+            initargs=(config.cache_dir, config.session_cap),
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, config.host, config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def begin_drain(self, reason: str = "signal") -> None:
+        """Flip into draining: stop admitting, let in-flight work finish."""
+        if not self._draining.is_set():
+            _LOG.warning("draining on %s (%d in flight)",
+                         reason, self._inflight)
+            self._draining.set()
+
+    async def wait_closed(self) -> int:
+        """Block until drained and torn down; returns the exit code (0)."""
+        await self._draining.wait()
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        deadline = time.monotonic() + self.config.drain_seconds
+        while self._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        # Past the grace period: tell surviving streams to stop at their
+        # next chunk boundary, then give them a beat to unwind.
+        for stop in list(self._active_stops):
+            stop.set()
+        force_deadline = time.monotonic() + 2.0
+        while self._inflight > 0 and time.monotonic() < force_deadline:
+            await asyncio.sleep(0.05)
+        # cancel_futures: queued-but-unstarted chunks are dropped -- the
+        # iter_ensemble shutdown contract, now load-bearing. Never wait
+        # on work nobody will receive.
+        if self._proc_pool is not None:
+            self._proc_pool.shutdown(wait=False, cancel_futures=True)
+        self._stream_threads.shutdown(wait=False, cancel_futures=True)
+        return 0
+
+    # -- HTTP plumbing --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._handle_request(reader, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            self.counters["client_disconnects"] += 1
+        except Exception:  # never let one connection kill the server
+            _LOG.exception("unhandled error serving a connection")
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _handle_request(self, reader, writer) -> None:
+        try:
+            header_blob = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=30.0
+            )
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            asyncio.TimeoutError,
+            TimeoutError,
+        ):
+            await self._send_json(writer, 400, {"error": "malformed request"})
+            return
+        try:
+            request_line, headers = self._parse_head(header_blob)
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            await self._send_json(writer, 400, {"error": "malformed request"})
+            return
+
+        if method == "GET" and target in ("/healthz", "/stats"):
+            payload = (
+                self._healthz() if target == "/healthz" else self._stats()
+            )
+            await self._send_json(writer, 200, payload)
+            return
+        if target not in ("/v1/run", "/v1/stream"):
+            await self._send_json(
+                writer, 404, {"error": f"unknown path {target!r}"}
+            )
+            return
+        if method != "POST":
+            await self._send_json(
+                writer, 405, {"error": f"{target} takes POST, not {method}"}
+            )
+            return
+
+        # -- body, within the byte budget -------------------------------
+        try:
+            length = int(headers.get("content-length", ""))
+        except ValueError:
+            await self._send_json(
+                writer, 411, {"error": "Content-Length required"}
+            )
+            return
+        if length > self.config.limits.max_body_bytes:
+            self.counters["rejected_validation"] += 1
+            await self._send_json(writer, 413, {
+                "error": (
+                    f"body of {length} bytes exceeds max_body_bytes = "
+                    f"{self.config.limits.max_body_bytes}"
+                )
+            })
+            return
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=30.0
+            )
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError, TimeoutError):
+            await self._send_json(writer, 400, {"error": "truncated body"})
+            return
+
+        # -- validation (the whole admission budget) ---------------------
+        try:
+            task = self._parse_task(body)
+        except ServiceError as error:
+            self.counters["rejected_validation"] += 1
+            await self._send_error(writer, error)
+            return
+
+        # -- concurrency admission ---------------------------------------
+        try:
+            self._admit()
+        except ServiceError as error:
+            await self._send_error(writer, error)
+            return
+        try:
+            if target == "/v1/run":
+                await self._run_batch(writer, task)
+            else:
+                await self._run_stream(writer, task)
+        finally:
+            self._inflight -= 1
+
+    @staticmethod
+    def _parse_head(blob: bytes) -> tuple[str, dict[str, str]]:
+        text = blob.decode("latin-1")
+        request_line, *header_lines = text.split("\r\n")
+        headers: dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return request_line, headers
+
+    def _parse_task(self, body: bytes) -> ServiceTask:
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"body is not valid JSON: {error}") from None
+        return parse_service_envelope(
+            payload, self.config.limits, default_preset=self.config.preset
+        )
+
+    def _admit(self) -> None:
+        """One slot, or the typed refusal the front end should send."""
+        if self._draining.is_set():
+            self.counters["rejected_draining"] += 1
+            raise ServiceError(
+                "server is draining", status=503,
+                retry_after=self.config.retry_after,
+            )
+        if self._inflight >= self.config.max_inflight:
+            self.counters["rejected_overload"] += 1
+            raise ServiceError(
+                f"at max_inflight = {self.config.max_inflight} admitted "
+                "requests", status=429,
+                retry_after=self.config.retry_after,
+            )
+        self._inflight += 1
+        self.counters["admitted"] += 1
+
+    # -- responses ------------------------------------------------------
+
+    async def _send_json(
+        self, writer, status: int, payload: dict,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload, allow_nan=False).encode()
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(body)),
+            "Connection": "close",
+            **(extra_headers or {}),
+        }
+        head = f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        head += "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+        writer.write(head.encode() + b"\r\n" + body)
+        await writer.drain()
+
+    async def _send_error(self, writer, error: ServiceError) -> None:
+        extra = {}
+        if error.retry_after is not None:
+            extra["Retry-After"] = str(max(1, round(error.retry_after)))
+        await self._send_json(
+            writer, error.status,
+            {"error": str(error), "status": error.status}, extra,
+        )
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "draining" if self._draining.is_set() else "ok",
+            "inflight": self._inflight,
+            "workers": self.config.workers,
+        }
+
+    def _stats(self) -> dict:
+        return {
+            "inflight": self._inflight,
+            "draining": self._draining.is_set(),
+            "counters": dict(self.counters),
+            "sessions": self._sessions.stats(),
+            "limits": {
+                "max_inflight": self.config.max_inflight,
+                "max_draws": self.config.limits.max_draws,
+                "max_graph_n": self.config.limits.max_graph_n,
+                "max_jobs": self.config.limits.max_jobs,
+                "max_body_bytes": self.config.limits.max_body_bytes,
+                "max_seconds": self.config.limits.max_seconds,
+            },
+        }
+
+    # -- batch path -----------------------------------------------------
+
+    def _run_inline(self, task: ServiceTask) -> dict:
+        """Degraded batch path: serve from the front end's own pool."""
+        session, lock = self._sessions.acquire(task)
+        with lock:
+            response = session.run(task.request)
+        payload = response.to_dict()
+        payload.setdefault("meta", {})["service_degraded"] = True
+        return payload
+
+    async def _run_batch(self, writer, task: ServiceTask) -> None:
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        try:
+            if self._proc_pool_broken:
+                raise BrokenProcessPool("pool marked broken")
+            future = loop.run_in_executor(self._proc_pool, run_task, task)
+            payload = await asyncio.wait_for(
+                future, timeout=self.config.limits.max_seconds
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            self.counters["timeouts"] += 1
+            await self._send_json(writer, 504, {
+                "error": (
+                    f"request exceeded max_seconds = "
+                    f"{self.config.limits.max_seconds}"
+                ),
+                "status": 504,
+            })
+            return
+        except (BrokenProcessPool, OSError) as error:
+            # Same degradation contract as the ensemble engine: process
+            # machinery failed, the request is still served -- loudly.
+            self._proc_pool_broken = True
+            self.counters["degraded_batches"] += 1
+            _LOG.warning(
+                "worker pool degraded to in-process serving after %s: %s",
+                type(error).__name__, error,
+            )
+            try:
+                payload = await asyncio.wait_for(
+                    loop.run_in_executor(
+                        self._stream_threads, self._run_inline, task
+                    ),
+                    timeout=self.config.limits.max_seconds,
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                self.counters["timeouts"] += 1
+                await self._send_json(writer, 504, {
+                    "error": (
+                        f"request exceeded max_seconds = "
+                        f"{self.config.limits.max_seconds}"
+                    ),
+                    "status": 504,
+                })
+                return
+            except ReproError as inner:
+                self.counters["failed"] += 1
+                await self._send_json(
+                    writer, 400, {"error": str(inner), "status": 400}
+                )
+                return
+        except ReproError as error:
+            # The task validated but still failed in execution (e.g. an
+            # audit over an enumeration-intractable graph): client error.
+            self.counters["failed"] += 1
+            await self._send_json(
+                writer, 400, {"error": str(error), "status": 400}
+            )
+            return
+        except Exception as error:
+            self.counters["failed"] += 1
+            _LOG.exception("batch task failed")
+            await self._send_json(writer, 500, {
+                "error": f"internal error: {type(error).__name__}",
+                "status": 500,
+            })
+            return
+        payload.setdefault("meta", {})["service_seconds"] = round(
+            time.perf_counter() - start, 6
+        )
+        self.counters["completed"] += 1
+        await self._send_json(writer, 200, payload)
+
+    # -- streaming path -------------------------------------------------
+
+    async def _run_stream(self, writer, task: ServiceTask) -> None:
+        request = task.request
+        if not isinstance(request, EnsembleRequest):
+            self.counters["rejected_validation"] += 1
+            await self._send_error(writer, ServiceError(
+                "/v1/stream takes an ensemble request; use /v1/run for "
+                f"{getattr(request, 'kind', '?')!r}"
+            ))
+            return
+        if request.leverage_audit:
+            self.counters["rejected_validation"] += 1
+            await self._send_error(writer, ServiceError(
+                "leverage_audit is a batch aggregate; use /v1/run"
+            ))
+            return
+        self.counters["streams_opened"] += 1
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        stop = threading.Event()
+        self._active_stops.add(stop)
+        deadline = (
+            time.monotonic() + self.config.limits.max_seconds
+            if self.config.limits.max_seconds is not None else None
+        )
+        pump = loop.run_in_executor(
+            self._stream_threads,
+            self._pump_stream, task, queue, loop, stop, deadline,
+        )
+        completed = False
+        try:
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/x-ndjson\r\n"
+                b"Transfer-Encoding: chunked\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            await writer.drain()
+            while True:
+                kind, payload = await queue.get()
+                if kind == "aborted":
+                    break
+                await self._send_stream_record(writer, payload)
+                if kind in ("summary", "error"):
+                    completed = kind == "summary"
+                    break
+            writer.write(b"0\r\n\r\n")  # terminal chunk
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            # The client went away mid-stream: free the slot now; the
+            # pump sees `stop` at its next chunk and closes the
+            # generator, which cancels queued worker chunks.
+            self.counters["client_disconnects"] += 1
+        finally:
+            stop.set()
+            self._active_stops.discard(stop)
+            try:
+                await pump
+            except Exception:  # pump errors were already queued
+                _LOG.exception("stream pump failed")
+        if completed:
+            self.counters["streams_completed"] += 1
+
+    async def _send_stream_record(self, writer, record: dict) -> None:
+        line = json.dumps(record, allow_nan=False).encode() + b"\n"
+        writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+        await writer.drain()
+
+    def _pump_stream(
+        self, task: ServiceTask, queue, loop, stop: threading.Event,
+        deadline: float | None,
+    ) -> None:
+        """Thread body: drive Session.stream, hand chunks to the loop."""
+        def emit(kind: str, payload: dict | None) -> None:
+            try:
+                loop.call_soon_threadsafe(queue.put_nowait, (kind, payload))
+            except RuntimeError:  # loop already closed (hard shutdown)
+                pass
+
+        start = time.perf_counter()
+        stream = None
+        try:
+            session, lock = self._sessions.acquire(task)
+            with lock:
+                stats: dict = {}
+                stream = session.stream(task.request, stats=stats)
+                index = 0
+                for result in stream:
+                    if stop.is_set():
+                        emit("aborted", None)
+                        return
+                    if deadline is not None and time.monotonic() > deadline:
+                        emit("error", {
+                            "kind": "error", "status": 504,
+                            "error": (
+                                f"stream exceeded max_seconds = "
+                                f"{self.config.limits.max_seconds}"
+                            ),
+                        })
+                        return
+                    emit("result", {
+                        "kind": "result",
+                        "index": index,
+                        "result": sanitize_nonfinite(result.to_dict()),
+                    })
+                    index += 1
+                if stats.get("degraded"):
+                    self.counters["degraded_streams"] += 1
+                emit("summary", {
+                    "kind": "summary",
+                    "count": index,
+                    "seconds": round(time.perf_counter() - start, 6),
+                    "degraded": bool(stats.get("degraded", False)),
+                    "cache": sanitize_nonfinite({
+                        k: v for k, v in stats.items() if k != "degraded"
+                    }),
+                })
+        except ReproError as error:
+            emit("error", {"kind": "error", "status": 400,
+                           "error": str(error)})
+        except Exception as error:
+            _LOG.exception("stream task failed")
+            emit("error", {"kind": "error", "status": 500,
+                           "error": f"internal error: {type(error).__name__}"})
+        finally:
+            if stream is not None:
+                # Explicit close runs iter_ensemble's finally: the pool
+                # shuts down with cancel_futures, so abandoned streams
+                # never leave orphaned chunk work running.
+                stream.close()
+
+
+async def _serve_async(config: ServerConfig) -> int:
+    service = TreeService(config)
+    await service.start()
+    loop = asyncio.get_running_loop()
+    for signame in ("SIGTERM", "SIGINT"):
+        try:
+            loop.add_signal_handler(
+                getattr(signal, signame), service.begin_drain, signame
+            )
+        except (NotImplementedError, RuntimeError):  # non-main thread, win
+            pass
+    print(
+        f"repro-service listening on http://{config.host}:{service.port} "
+        f"(workers={config.workers}, max_inflight={config.max_inflight})",
+        flush=True,
+    )
+    return await service.wait_closed()
+
+
+def serve(config: ServerConfig) -> int:
+    """Run a server until drained (SIGTERM/SIGINT); returns exit code 0."""
+    return asyncio.run(_serve_async(config))

@@ -160,3 +160,127 @@ class TestEnsembleEngineConstruction:
             2, np.random.default_rng(3)
         )
         assert len(results) == 2
+
+
+class TestMultiprocessCacheStats:
+    """Regression: jobs > 1 used to drop worker cache counters entirely."""
+
+    def test_jobs2_stats_nonempty_and_sum_to_jobs1(self):
+        """Per-worker counters come back and aggregate to the jobs=1 tally.
+
+        Fresh engines on both sides so every run starts from a cold
+        memory tier: total lookups (hits + misses) depend only on the
+        draws, never on how they were sharded.
+        """
+        g = graphs.erdos_renyi_graph(16, rng=np.random.default_rng(5))
+        single = EnsembleEngine(g, FAST).sample_ensemble(8, seed=3, jobs=1)
+        multi = EnsembleEngine(g, FAST).sample_ensemble(8, seed=3, jobs=2)
+        assert multi.trees == single.trees
+        assert not multi.degraded
+        assert multi.cache_stats, "jobs=2 must ship worker cache stats"
+        for key in ("hits", "misses"):
+            assert key in multi.cache_stats
+        assert (
+            multi.cache_stats["hits"] + multi.cache_stats["misses"]
+            == single.cache_stats["hits"] + single.cache_stats["misses"]
+        )
+
+    def test_aggregate_counter_vs_gauge_split(self):
+        from repro.engine.ensemble import aggregate_cache_stats
+
+        merged = aggregate_cache_stats([
+            {"hits": 2, "misses": 1, "entries": 7, "disk_bytes": 100},
+            {"hits": 3, "misses": 0, "entries": 4, "disk_bytes": 250},
+        ])
+        # Counters sum; gauges (current footprint) take the max, since
+        # every worker over one shared disk tier reports the same store.
+        assert merged == {
+            "hits": 5, "misses": 1, "entries": 7, "disk_bytes": 250
+        }
+
+    def test_iter_ensemble_fills_caller_stats(self):
+        g = graphs.cycle_with_chord(10)
+        for jobs in (1, 2):
+            stats: dict = {}
+            results = list(
+                EnsembleEngine(g, FAST).iter_ensemble(
+                    6, seed=4, jobs=jobs, stats=stats
+                )
+            )
+            assert len(results) == 6
+            assert stats["degraded"] is False
+            assert stats.get("hits", 0) + stats.get("misses", 0) > 0
+
+
+class TestPoolDegradation:
+    """Regression: pool failures used to be swallowed silently."""
+
+    @staticmethod
+    def _broken_pool(monkeypatch):
+        import repro.engine.ensemble as ensemble_module
+
+        class _BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no process spawning here")
+
+        monkeypatch.setattr(
+            ensemble_module, "ProcessPoolExecutor", _BrokenPool
+        )
+
+    def test_batch_degrades_loudly_with_identical_trees(
+        self, monkeypatch, caplog
+    ):
+        g = graphs.erdos_renyi_graph(14, rng=np.random.default_rng(8))
+        healthy = EnsembleEngine(g, FAST).sample_ensemble(5, seed=2, jobs=1)
+        self._broken_pool(monkeypatch)
+        with caplog.at_level("WARNING", logger="repro.engine.ensemble"):
+            degraded = EnsembleEngine(g, FAST).sample_ensemble(
+                5, seed=2, jobs=2
+            )
+        assert degraded.trees == healthy.trees
+        assert degraded.degraded is True
+        assert all(result.degraded for result in degraded.results)
+        assert degraded.cache_stats  # local engine's counters, not {}
+        assert any(
+            "degraded to sequential" in record.message
+            for record in caplog.records
+        )
+
+    def test_stream_degrades_loudly_and_flags_results(
+        self, monkeypatch, caplog
+    ):
+        g = graphs.cycle_with_chord(9)
+        healthy = list(
+            EnsembleEngine(g, FAST).iter_ensemble(4, seed=6, jobs=1)
+        )
+        self._broken_pool(monkeypatch)
+        stats: dict = {}
+        with caplog.at_level("WARNING", logger="repro.engine.ensemble"):
+            streamed = list(
+                EnsembleEngine(g, FAST).iter_ensemble(
+                    4, seed=6, jobs=2, stats=stats
+                )
+            )
+        assert [r.tree for r in streamed] == [r.tree for r in healthy]
+        assert stats["degraded"] is True
+        assert all(result.degraded for result in streamed)
+        assert any(
+            "ensemble stream degraded" in record.message
+            for record in caplog.records
+        )
+
+    def test_degraded_key_absent_from_healthy_wire_form(self):
+        """Healthy results keep their exact pre-flag wire form."""
+        g = graphs.path_graph(6)
+        result = EnsembleEngine(g, FAST).sample_ensemble(
+            1, seed=0, jobs=1
+        ).results[0]
+        assert "degraded" not in result.to_dict()
+        result.degraded = True
+        payload = result.to_dict()
+        assert payload["degraded"] is True
+        from repro.engine.results import SampleResult
+
+        assert SampleResult.from_dict(payload).degraded is True
+        del payload["degraded"]
+        assert SampleResult.from_dict(payload).degraded is False

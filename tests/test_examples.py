@@ -56,3 +56,12 @@ def test_pagerank_demo():
 def test_sparsifier_demo():
     out = run_example("sparsifier_demo.py", timeout=360)
     assert "sparsifier" in out
+
+
+@pytest.mark.slow
+def test_service_quickstart():
+    out = run_example("service_quickstart.py")
+    assert "streaming 5 draws" in out
+    assert "identity: streamed trees == direct Session trees" in out
+    assert "oversized request rejected" in out
+    assert "server exited 0" in out

@@ -1,0 +1,126 @@
+"""Host-invariance: any worker on any host serves byte-identical draws.
+
+The serving layer's core reproducibility claim: because every ensemble
+draw is keyed to its own spawned child of the request's pinned master
+seed (PR 2), and the tiered cache stores only *deterministic* derived
+numerics (PR 4), the same request answered by two different server
+processes -- stand-ins for two hosts mounting one shared ``cache_dir``
+volume -- returns byte-identical trees and round ledgers, equal to a
+direct in-process Session. One server is cold and populates the shared
+disk tier; the other warm-starts from it; invariance holding *across*
+that asymmetry is precisely the cache-correctness property.
+
+Swept over both sampler variants x both RNG contracts (the two axes
+that change how randomness is consumed), batch and streamed delivery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EnsembleRequest, Session
+from repro.api.presets import preset_config
+from repro.service.client import ServiceClient, wait_until_ready
+from repro.service.protocol import ServiceLimits, parse_service_envelope
+
+from tests.test_service import start_server, stop_server
+
+GRAPH = {"family": "cycle", "n": 8, "seed": 0}
+CELLS = [
+    pytest.param(variant, contract, id=f"{variant}-{contract}")
+    for variant in ("approximate", "exact")
+    for contract in ("v1", "v2")
+]
+
+
+@pytest.fixture(scope="module")
+def server_pair(tmp_path_factory):
+    """Two servers sharing one cache volume via $REPRO_CACHE_DIR."""
+    shared = tmp_path_factory.mktemp("shared-cache-volume")
+    env = {"REPRO_CACHE_DIR": str(shared)}
+    servers = []
+    try:
+        for _ in range(2):
+            proc, port = start_server(
+                "--workers", "2", "--cache-dir", "auto", env_extra=env
+            )
+            client = ServiceClient(port=port)
+            wait_until_ready(client)
+            servers.append((proc, client))
+        yield [client for _, client in servers]
+    finally:
+        for proc, _ in servers:
+            stop_server(proc, expect_code=None)
+
+
+def local_draws(variant: str, contract: str):
+    task = parse_service_envelope(
+        {"graph": GRAPH, "request": {"request": "sample"}}, ServiceLimits()
+    )
+    graph, meta = task.build_graph()
+    config = preset_config("fast-bench", ell=1024, rng_contract=contract)
+    session = Session(graph, config, seed=0, meta=meta)
+    response = session.run(
+        EnsembleRequest(count=3, variant=variant, seed=99, jobs=1)
+    )
+    return response.result.results
+
+
+@pytest.mark.parametrize("variant,contract", CELLS)
+def test_two_servers_match_each_other_and_local(
+    server_pair, variant, contract
+):
+    request = {
+        "request": "ensemble", "count": 3, "variant": variant, "seed": 99,
+    }
+    overrides = {"ell": 1024, "rng_contract": contract}
+
+    local = local_draws(variant, contract)
+    server_a, server_b = server_pair
+    batch_a = server_a.run(GRAPH, request, config=overrides).result.results
+    batch_b = server_b.run(GRAPH, request, config=overrides).result.results
+    streamed_b, summary = server_b.stream_collect(
+        GRAPH, request, config=overrides
+    )
+
+    # The bill is the invariant: trees, per-draw round totals, and
+    # per-category round sums are byte-equal everywhere. Raw ledger
+    # *entries* are not compared -- a warm engine replays cached phase
+    # numerics as one aggregated "(cached numerics)" charge where a cold
+    # worker bills the ladder step by step, identical totals either way,
+    # and which engines are warm is exactly what varies across hosts.
+    def bill(results):
+        return [
+            (r.tree, r.rounds, r.rounds_by_category()) for r in results
+        ]
+
+    reference = bill(local)
+    for label, results in (
+        ("server A batch", batch_a),
+        ("server B batch", batch_b),
+        ("server B stream", streamed_b),
+    ):
+        assert bill(results) == reference, (
+            f"{label} diverged from local session"
+        )
+    assert summary is not None and summary.degraded is False
+
+
+def test_second_server_warm_starts_from_shared_volume(server_pair):
+    """After the sweep, both servers see a populated shared disk tier.
+
+    Disk hits on a server that never computed those numerics itself is
+    the observable cross-process warm start (the 'two hosts, one
+    volume' deployment the shard layer is built around).
+    """
+    server_a, server_b = server_pair
+    request = {"request": "ensemble", "count": 2, "seed": 7}
+    overrides = {"ell": 1024}
+    _, summary_a = server_a.stream_collect(GRAPH, request, config=overrides)
+    _, summary_b = server_b.stream_collect(GRAPH, request, config=overrides)
+    assert summary_a is not None and summary_b is not None
+    for summary in (summary_a, summary_b):
+        cache = summary.cache
+        assert cache, "stream summaries must carry cache counters"
+        total_disk = cache.get("disk_hits", 0) + cache.get("hits", 0)
+        assert total_disk > 0, cache
