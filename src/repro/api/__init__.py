@@ -14,8 +14,14 @@ builds on (and the CLI's only backend):
   with lossless ``to_dict``/:func:`response_from_dict` JSON round trips
   for every result type;
 - :mod:`~repro.api.presets` -- the named configuration recipes
-  (``"paper-approximate"``, ``"paper-exact"``, ``"fast-bench"``,
-  ``"fast-audit"``).
+  (``"paper-approximate"``, ``"paper-exact"``, ``"paper-broadcast"``,
+  ``"fast-bench"``, ``"fast-audit"``, ...).
+
+Variant validation everywhere in this package derives from the
+:mod:`repro.core.variants` registry -- registering a new
+:class:`~repro.core.variants.VariantSpec` makes it addressable from
+requests, presets, sessions, the CLI, and the service envelope without
+further edits.
 
 The pre-session entry points (:func:`repro.sample_spanning_tree`,
 :meth:`~repro.core.sampler.CongestedCliqueTreeSampler.sample_many`,

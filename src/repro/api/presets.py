@@ -11,6 +11,10 @@ everywhere at once.
   the paper's nominal ``ell = Theta~(n^3)`` walk length.
 - ``"paper-exact"`` -- Appendix 5 defaults: ``rho = floor(n^(1/3))``,
   per-pair multiset placement, zero distributional error.
+- ``"paper-broadcast"`` -- the Anari-Haqi Broadcast Congested Clique
+  sampler: one full-cover phase, rounds billed to the
+  broadcast-bandwidth category (a different bandwidth regime from the
+  unicast presets).
 - ``"fast-bench"`` -- the demo/benchmark recipe: ``ell = 2^12`` (the
   Appendix 5.1 Las-Vegas extension keeps the output law exact).
 - ``"fast-audit"`` -- the statistical-audit recipe: ``ell = 2^10`` for
@@ -33,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.core.config import SamplerConfig
+from repro.core.variants import get_variant
 from repro.errors import ConfigError
 
 __all__ = ["Preset", "PRESETS", "get_preset", "preset_config", "resolve_config"]
@@ -46,6 +51,11 @@ class Preset:
     description: str
     variant: str
     config: SamplerConfig
+
+    def __post_init__(self) -> None:
+        # A preset naming an unregistered variant would surface only on
+        # first dispatch; fail at definition/deserialization time instead.
+        get_variant(self.variant)
 
 
 PRESETS: dict[str, Preset] = {
@@ -61,6 +71,13 @@ PRESETS: dict[str, Preset] = {
             "paper-exact",
             "Appendix 5 as published: exact placement, rho = floor(n^(1/3))",
             "exact",
+            SamplerConfig(),
+        ),
+        Preset(
+            "paper-broadcast",
+            "Anari-Haqi Broadcast CC sampler: one full-cover phase, "
+            "polylog broadcast rounds",
+            "broadcast",
             SamplerConfig(),
         ),
         Preset(

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, fields
 from typing import ClassVar
 
+from repro.core.variants import ensemble_variant_names, sample_variant_names
 from repro.errors import ConfigError
 
 __all__ = [
@@ -31,9 +32,6 @@ __all__ = [
     "request_from_dict",
     "REQUEST_TYPES",
 ]
-
-_SAMPLE_VARIANTS = ("approximate", "exact", "fastcover")
-_ENSEMBLE_VARIANTS = ("approximate", "exact")
 
 
 class _RequestBase:
@@ -77,10 +75,11 @@ class SampleRequest(_RequestBase):
     seed: int | None = None
 
     def __post_init__(self) -> None:
-        if self.variant is not None and self.variant not in _SAMPLE_VARIANTS:
+        allowed = sample_variant_names()
+        if self.variant is not None and self.variant not in allowed:
             raise ConfigError(
                 f"unknown sample variant {self.variant!r}; "
-                f"choose from {_SAMPLE_VARIANTS}"
+                f"choose from {allowed}"
             )
 
 
@@ -106,10 +105,11 @@ class EnsembleRequest(_RequestBase):
     def __post_init__(self) -> None:
         if self.count < 1:
             raise ConfigError(f"count must be >= 1, got {self.count}")
-        if self.variant is not None and self.variant not in _ENSEMBLE_VARIANTS:
+        allowed = ensemble_variant_names()
+        if self.variant is not None and self.variant not in allowed:
             raise ConfigError(
                 f"unknown ensemble variant {self.variant!r}; "
-                f"choose from {_ENSEMBLE_VARIANTS}"
+                f"choose from {allowed}"
             )
         if self.jobs is not None and self.jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
@@ -134,10 +134,11 @@ class AuditRequest(_RequestBase):
     def __post_init__(self) -> None:
         if self.samples < 1:
             raise ConfigError(f"samples must be >= 1, got {self.samples}")
-        if self.variant is not None and self.variant not in _ENSEMBLE_VARIANTS:
+        allowed = ensemble_variant_names()
+        if self.variant is not None and self.variant not in allowed:
             raise ConfigError(
                 f"unknown audit variant {self.variant!r}; "
-                f"choose from {_ENSEMBLE_VARIANTS}"
+                f"choose from {allowed}"
             )
         if self.jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {self.jobs}")

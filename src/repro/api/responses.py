@@ -129,7 +129,15 @@ class AuditReport(_ReportBase):
 
 @dataclass(frozen=True)
 class RoundBillReport(_ReportBase):
-    """Round bills of the three samplers on one graph, side by side."""
+    """Round bills of the registered samplers on one graph, side by side.
+
+    The broadcast fields default to 0 so pre-registry wire documents
+    (which never carried them) still deserialize; ``from_dict`` filters
+    to known fields, so newer documents remain readable by older code.
+    Note the broadcast figures are *Broadcast Congested Clique* rounds
+    -- a different bandwidth regime from the unicast columns, reported
+    side by side but never summed.
+    """
 
     approximate_rounds: int
     approximate_phases: int
@@ -137,6 +145,8 @@ class RoundBillReport(_ReportBase):
     exact_phases: int
     fastcover_rounds: int
     fastcover_walk_length: int
+    broadcast_rounds: int = 0
+    broadcast_phases: int = 0
 
 
 @dataclass(frozen=True)

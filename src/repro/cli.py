@@ -29,8 +29,10 @@ Subcommands:
     Draw one spanning tree with the chosen sampler variant and print the
     edge list plus phase/round diagnostics.
 ``rounds``
-    Run all three samplers on one graph and print a round-bill comparison
-    (the quickstart's table, scriptable).
+    Run every registered sampler variant on one graph and print a
+    round-bill comparison (the quickstart's table, scriptable); the
+    broadcast row is Broadcast Congested Clique rounds, a different
+    bandwidth regime from the unicast rows.
 ``pagerank``
     Walk-based PageRank estimate vs the exact solve.
 ``ensemble``
@@ -80,6 +82,7 @@ from repro.api import (
     Session,
     preset_config,
 )
+from repro.core.variants import ensemble_variant_names, sample_variant_names
 from repro.errors import ReproError
 from repro.graphs.core import WeightedGraph
 from repro.graphs.families import (
@@ -248,7 +251,7 @@ def _make_parser() -> argparse.ArgumentParser:
     sample.add_argument("--n", type=int, default=32)
     sample.add_argument(
         "--variant", default="approximate",
-        choices=["approximate", "exact", "fastcover"],
+        choices=list(sample_variant_names()),
     )
     sample.add_argument("--seed", type=int, default=0)
     sample.add_argument("--ell", type=int, default=1 << 12,
@@ -292,7 +295,8 @@ def _make_parser() -> argparse.ArgumentParser:
     ensemble.add_argument("--n", type=int, default=32)
     ensemble.add_argument("--samples", type=int, default=100)
     ensemble.add_argument(
-        "--variant", default="approximate", choices=["approximate", "exact"]
+        "--variant", default="approximate",
+        choices=list(ensemble_variant_names()),
     )
     ensemble.add_argument("--seed", type=int, default=0)
     ensemble.add_argument("--ell", type=int, default=1 << 12)
@@ -479,6 +483,10 @@ def _cmd_rounds(args: argparse.Namespace) -> int:
         print(f"{'exact':<14s} {bill.exact_rounds:>8d} "
               f"{bill.exact_phases:>7d}")
         print(f"{'fastcover':<14s} {bill.fastcover_rounds:>8d} {'-':>7s}")
+        # Broadcast CC rounds are a different bandwidth regime from the
+        # unicast rows above; shown side by side, never summed.
+        print(f"{'broadcast':<14s} {bill.broadcast_rounds:>8d} "
+              f"{bill.broadcast_phases:>7d}")
 
     return _emit(response, args.json, render)
 

@@ -77,6 +77,28 @@ class CostModel:
         base = self.matmul_constant * float(n) ** self.alpha
         return max(1, math.ceil(base)) * max(1, entry_words)
 
+    def broadcast_matmul_rounds(
+        self, n: int, *, entry_words: int | None = None
+    ) -> int:
+        """Broadcast-CC rounds for one n x n product (Anari-Haqi, Lemma 2).
+
+        The Broadcast Congested Clique has no private lanes, so the [17]
+        routing-based multiplication does not apply. Anari-Haqi instead
+        decompose each squaring into O(log^2 n) rank-one sketch rounds:
+        every machine broadcasts one word of its sketch per round and
+        reconstructs its row block locally. We charge
+        ``ceil(log2 n)^2 * entry_words`` rounds per product, with
+        ``entry_words`` defaulting to the Lemma 7 entry width
+        ``ceil(log2 n)`` -- polylog per product, against the unicast
+        model's ``O~(n^alpha)``.
+        """
+        if n <= 0:
+            raise ModelError(f"matmul requires n >= 1, got {n}")
+        if entry_words is None:
+            entry_words = max(1, math.ceil(math.log2(max(n, 2))))
+        base = max(1, math.ceil(math.log2(max(n, 2))) ** 2)
+        return base * max(1, entry_words)
+
     def power_ladder_rounds(self, n: int, ell: int) -> int:
         """Rounds to compute P, P^2, ..., P^ell by repeated squaring.
 

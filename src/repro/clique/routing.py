@@ -21,7 +21,12 @@ from typing import Iterable, Mapping
 
 from repro.errors import BandwidthError
 
-__all__ = ["lenzen_rounds", "words_for_vertices", "WORD_BITS_FACTOR"]
+__all__ = [
+    "lenzen_rounds",
+    "broadcast_cc_rounds",
+    "words_for_vertices",
+    "WORD_BITS_FACTOR",
+]
 
 # How many O(log n)-bit quantities fit in one model word. The model permits
 # any constant; we use 1 for conservative (upper bound) round counts.
@@ -107,6 +112,39 @@ def broadcast_rounds(words: int, n: int) -> int:
         return 0
     fragments = math.ceil(words / n)
     return 2 * fragments
+
+
+def broadcast_cc_rounds(
+    total_words: int, n: int, *, max_machine_words: int | None = None
+) -> int:
+    """Rounds to disseminate a payload in the *Broadcast* Congested Clique.
+
+    In the broadcast model each machine broadcasts one word per round
+    that every machine sees -- an aggregate budget of n words per round
+    and a per-machine budget of one. Publishing ``total_words`` words
+    spread over the machines therefore takes
+    ``max(ceil(total_words / n), max_machine_words)`` rounds: the
+    aggregate bound when the payload is balanced, the per-machine bound
+    when one machine holds more than its share. This is the broadcast
+    analogue of :func:`lenzen_rounds` and feeds the
+    ``"broadcast-bandwidth"`` ledger category
+    (:data:`repro.core.variants.BROADCAST_BANDWIDTH`).
+    """
+    if n <= 0:
+        raise BandwidthError(f"invalid machine count n={n}")
+    if total_words < 0 or (
+        max_machine_words is not None and max_machine_words < 0
+    ):
+        raise BandwidthError(
+            f"invalid broadcast accounting: total={total_words}, "
+            f"per-machine={max_machine_words}"
+        )
+    if total_words == 0 and not max_machine_words:
+        return 0
+    rounds = math.ceil(total_words / n)
+    if max_machine_words is not None:
+        rounds = max(rounds, max_machine_words)
+    return max(1, rounds)
 
 
 def summary(loads: Mapping[int, int]) -> dict[str, float]:

@@ -10,6 +10,9 @@ Public entry points:
 - :func:`~repro.core.fastcover.sample_tree_fast_cover` -- Corollary 1's
   O~(tau / n)-round sampler for small-cover-time graphs;
 - :class:`~repro.core.config.SamplerConfig` -- every tunable;
+- :mod:`repro.core.variants` -- the :class:`~repro.core.variants.VariantSpec`
+  registry every layer derives its variant lists from (including the
+  Anari-Haqi ``"broadcast"`` Broadcast Congested Clique sampler);
 - :mod:`repro.core.rounds` -- the closed-form round bounds the
   benchmarks regress against.
 """
@@ -25,12 +28,23 @@ from repro.core.exact import (
 from repro.core.fastcover import FastCoverResult, sample_tree_fast_cover
 from repro.core.phase import PhaseStats, run_phase_walk
 from repro.core.rounds import (
+    broadcast_variant_rounds,
     corollary1_rounds,
     exact_variant_rounds,
     expected_phases,
     fitted_exponent,
     theorem1_rounds,
     theorem2_rounds,
+)
+from repro.core.variants import (
+    BROADCAST_BANDWIDTH,
+    VARIANTS,
+    VariantSpec,
+    engine_variant_names,
+    ensemble_variant_names,
+    get_variant,
+    sample_variant_names,
+    variant_names,
 )
 from repro.core.sampler import (
     CongestedCliqueTreeSampler,
@@ -50,6 +64,15 @@ __all__ = [
     "sample_tree_fast_cover",
     "PhaseStats",
     "run_phase_walk",
+    "BROADCAST_BANDWIDTH",
+    "VARIANTS",
+    "VariantSpec",
+    "engine_variant_names",
+    "ensemble_variant_names",
+    "get_variant",
+    "sample_variant_names",
+    "variant_names",
+    "broadcast_variant_rounds",
     "corollary1_rounds",
     "exact_variant_rounds",
     "expected_phases",

@@ -302,17 +302,30 @@ class SamplerConfig:
             return "v2"
         return "v1"
 
-    def resolve_rho(self, n: int, *, exact_variant: bool = False) -> int:
+    def resolve_rho(
+        self,
+        n: int,
+        *,
+        exact_variant: bool = False,
+        variant: str | None = None,
+    ) -> int:
         """The per-phase distinct-vertex quota for an n-vertex input.
 
-        Approximate variant: ``floor(sqrt(n))`` (Section 2.1); exact
-        variant: ``floor(n^(1/3))`` (Appendix 5.3). Never below 2.
+        An explicit ``rho`` always wins; otherwise the variant's
+        registered policy applies (``floor(sqrt(n))`` for the
+        approximate sampler, ``floor(n^(1/3))`` for the exact one, the
+        full vertex set for the broadcast sampler -- see
+        :mod:`repro.core.variants`). Never below 2. ``exact_variant`` is
+        the legacy boolean spelling, kept for callers predating the
+        registry; ``variant`` takes precedence when both are given.
         """
         if self.rho is not None:
             return self.rho
-        if exact_variant:
-            return max(2, int(round(n ** (1.0 / 3.0))))
-        return max(2, int(math.isqrt(n)))
+        from repro.core.variants import get_variant
+
+        if variant is None:
+            variant = "exact" if exact_variant else "approximate"
+        return get_variant(variant).resolve_rho(n)
 
     def resolve_ell(self, n: int) -> int:
         """The nominal walk target length (Section 2.1's ell)."""

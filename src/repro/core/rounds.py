@@ -15,6 +15,7 @@ from repro.clique.cost import ALPHA
 __all__ = [
     "theorem1_rounds",
     "exact_variant_rounds",
+    "broadcast_variant_rounds",
     "theorem2_rounds",
     "corollary1_rounds",
     "expected_phases",
@@ -35,6 +36,17 @@ def theorem1_rounds(n: int, *, alpha: float = ALPHA, polylog: int = 2) -> float:
 def exact_variant_rounds(n: int, *, alpha: float = ALPHA, polylog: int = 2) -> float:
     """Appendix: ``O~(n^{2/3 + alpha})`` rounds for exact sampling."""
     return n ** (2.0 / 3.0 + alpha) * math.log2(max(n, 2)) ** polylog
+
+
+def broadcast_variant_rounds(n: int, *, polylog: int = 4) -> float:
+    """Anari-Haqi: ``O~(log^polylog n)`` Broadcast-CC rounds.
+
+    One full-cover phase whose ladder costs ``O(log n)`` squarings of
+    ``O(log^3 n)`` sketch rounds each (log^2 n sketch rounds x log n
+    entry words), i.e. ``polylog = 4`` by default. The walk-layer
+    collection terms are lower order once ``tau / n = O(log n)``.
+    """
+    return math.log2(max(n, 2)) ** polylog
 
 
 def theorem2_rounds(n: int, tau: int) -> float:

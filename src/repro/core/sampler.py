@@ -42,8 +42,6 @@ here remain supported as thin shims over the same
 
 from __future__ import annotations
 
-from typing import Literal
-
 import numpy as np
 
 from repro.core.config import SamplerConfig
@@ -53,7 +51,9 @@ from repro.graphs.spanning import TreeKey
 
 __all__ = ["SampleResult", "CongestedCliqueTreeSampler", "sample_spanning_tree"]
 
-Variant = Literal["approximate", "exact"]
+# Engine-driven variant names come from the repro.core.variants registry;
+# the alias survives for type annotations in downstream code.
+Variant = str
 
 
 class CongestedCliqueTreeSampler:
@@ -69,9 +69,12 @@ class CongestedCliqueTreeSampler:
     config:
         Algorithm knobs; see :class:`~repro.core.config.SamplerConfig`.
     variant:
-        ``"approximate"`` -- Theorem 1, rho = floor(sqrt(n)), matching-
-        based placement; ``"exact"`` -- Appendix 5, rho = floor(n^(1/3)),
-        per-pair multiset placement.
+        Any engine-driven name from the :mod:`repro.core.variants`
+        registry: ``"approximate"`` (Theorem 1, rho = floor(sqrt(n)),
+        matching-based placement), ``"exact"`` (Appendix 5,
+        rho = floor(n^(1/3)), per-pair multiset placement), or
+        ``"broadcast"`` (Anari-Haqi, one full-cover phase billed in the
+        Broadcast Congested Clique).
     """
 
     def __init__(

@@ -33,9 +33,15 @@ import numpy as np
 
 from repro.clique.cost import RoundLedger
 from repro.clique.matmul3d import SimulatedMatmul
+from repro.core.variants import BROADCAST_BANDWIDTH
 from repro.errors import ConfigError
 
-__all__ = ["MatmulBackend", "AnalyticMatmul", "make_matmul_backend"]
+__all__ = [
+    "MatmulBackend",
+    "AnalyticMatmul",
+    "BroadcastCollectiveMatmul",
+    "make_matmul_backend",
+]
 
 
 @runtime_checkable
@@ -119,6 +125,64 @@ class AnalyticMatmul:
             )
 
 
+class BroadcastCollectiveMatmul:
+    """Broadcast-CC accounting: numpy numerics + polylog sketch charges.
+
+    The Broadcast Congested Clique variant runs the same floating-point
+    products as :class:`AnalyticMatmul` but bills them in the broadcast
+    model: each product charges
+    :meth:`~repro.clique.cost.CostModel.broadcast_matmul_rounds` to the
+    dedicated ``"broadcast-bandwidth"`` category instead of a unicast
+    matmul charge. Satisfies the same :class:`MatmulBackend` protocol, so
+    cache replay (:meth:`charge_replay`) works identically -- the charge
+    is a closed form of the matrix size, never of the numerics.
+    """
+
+    name = "broadcast-collective"
+    category = BROADCAST_BANDWIDTH
+
+    def __init__(self, ledger: RoundLedger | None = None) -> None:
+        self.ledger = ledger
+        self.calls = 0
+
+    def multiply(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        entry_words: int | None = None,
+        note: str = "",
+    ) -> np.ndarray:
+        """``a @ b`` plus one broadcast sketch charge at size ``a.shape[0]``."""
+        self.calls += 1
+        if self.ledger is not None:
+            rounds = self.ledger.model.broadcast_matmul_rounds(
+                a.shape[0], entry_words=entry_words
+            )
+            self.ledger.charge(self.category, rounds, note)
+        return a @ b
+
+    def charge_replay(
+        self,
+        size: int | None = None,
+        *,
+        count: int = 1,
+        entry_words: int | None = None,
+        note: str = "",
+    ) -> None:
+        """Charge ``count`` broadcast products of dimension ``size``."""
+        if size is None:
+            raise ConfigError("broadcast replay requires an explicit size")
+        if self.ledger is not None and count >= 1:
+            rounds = (
+                self.ledger.model.broadcast_matmul_rounds(
+                    size, entry_words=entry_words
+                )
+                * count
+            )
+            self.ledger.charge(self.category, rounds, note)
+
+
 def make_matmul_backend(
     name: str, size: int, ledger: RoundLedger | None = None
 ) -> MatmulBackend:
@@ -127,4 +191,6 @@ def make_matmul_backend(
         return AnalyticMatmul(ledger)
     if name == "simulated-3d":
         return SimulatedMatmul(size, ledger=ledger)
+    if name == "broadcast-collective":
+        return BroadcastCollectiveMatmul(ledger)
     raise ConfigError(f"unknown matmul backend {name!r}")

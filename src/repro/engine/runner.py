@@ -26,9 +26,11 @@ import numpy as np
 
 from repro.clique.cost import RoundLedger
 from repro.clique.network import CongestedClique
+from repro.clique.routing import broadcast_cc_rounds
 from repro.core.config import SamplerConfig
 from repro.core.phase import PhaseStats, run_phase_walk
 from repro.core.placement_plan import PlacementPlan
+from repro.core.variants import get_variant
 from repro.engine.backends import MatmulBackend, make_matmul_backend
 from repro.engine.cache import (
     DerivedGraphCache,
@@ -37,7 +39,7 @@ from repro.engine.cache import (
 )
 from repro.engine.store import TieredPhaseStore, open_phase_store
 from repro.engine.results import SampleResult
-from repro.errors import GraphError, SamplingError
+from repro.errors import ConfigError, GraphError, SamplingError
 from repro.graphs.core import WeightedGraph
 from repro.graphs.spanning import is_spanning_tree, tree_key
 from repro.linalg.backend import resolve_linalg_backend
@@ -58,7 +60,10 @@ class SamplerEngine:
     config:
         Algorithm knobs; see :class:`~repro.core.config.SamplerConfig`.
     variant:
-        ``"approximate"`` (Theorem 1) or ``"exact"`` (Appendix 5).
+        Any engine-driven name from the :mod:`repro.core.variants`
+        registry: ``"approximate"`` (Theorem 1), ``"exact"``
+        (Appendix 5), or ``"broadcast"`` (the Anari-Haqi Broadcast
+        Congested Clique sampler).
     cache:
         Optional externally owned cache: a :class:`DerivedGraphCache`
         or a :class:`~repro.engine.store.TieredPhaseStore` (both expose
@@ -78,11 +83,33 @@ class SamplerEngine:
         graph.require_connected()
         if graph.n < 2:
             raise GraphError("sampling needs at least 2 vertices")
-        if variant not in ("approximate", "exact"):
-            raise GraphError(f"unknown variant {variant!r}")
+        # The registry is the single source of truth for what a variant
+        # name means (rho policy, placement discipline, communication
+        # model); the engine only accepts specs it can drive. Unknown
+        # names keep the engine's historical GraphError contract;
+        # ConfigError stays the registry/request-layer type.
+        try:
+            spec = get_variant(variant)
+        except ConfigError as exc:
+            raise GraphError(str(exc)) from None
+        if not spec.engine_driven:
+            raise GraphError(
+                f"variant {variant!r} has a standalone driver and is not "
+                "run by SamplerEngine (see repro.core.fastcover)"
+            )
         self.graph = graph
         self.config = config if config is not None else SamplerConfig()
         self.variant = variant
+        self.spec = spec
+        if spec.comm_model == "broadcast" and (
+            self.config.matmul_backend != "analytic"
+        ):
+            raise ConfigError(
+                "the broadcast variant bills rounds in the Broadcast "
+                "Congested Clique; the unicast matmul protocol "
+                f"{self.config.matmul_backend!r} cannot realize it "
+                "(use matmul_backend='analytic')"
+            )
         if not (0 <= self.config.start_vertex < graph.n):
             raise GraphError(
                 f"start vertex {self.config.start_vertex} out of range"
@@ -139,8 +166,7 @@ class SamplerEngine:
         config = self.config
         clique = CongestedClique(n)
         ledger = clique.ledger
-        exact = self.variant == "exact"
-        rho = config.resolve_rho(n, exact_variant=exact)
+        rho = config.resolve_rho(n, variant=self.variant)
         ell = config.resolve_ell(n)
 
         # The unvisited set is maintained incrementally as a boolean mask:
@@ -220,6 +246,12 @@ class SamplerEngine:
         plan = numerics.plan if self.placement_mode == "batched" else None
 
         # --- Steps 4-5: distributed truncated walk. ---------------------
+        # Broadcast variant: the walk machinery consumes the identical
+        # RNG stream but issues no unicast charges (clique=None); the
+        # phase's Broadcast-CC bill is charged analytically below from
+        # the realized walk statistics, which are seed-deterministic --
+        # so cached, cold, and cross-host runs bill identically.
+        broadcast = self.spec.comm_model == "broadcast"
         rho_eff = min(rho, len(subset))
         stats = PhaseStats(subset_size=len(subset), rho_eff=rho_eff)
         local_walk = run_phase_walk(
@@ -228,9 +260,9 @@ class SamplerEngine:
             rho_eff,
             config,
             rng,
-            clique=clique,
+            clique=None if broadcast else clique,
             ladder=numerics.ladder,
-            exact_placement=(self.variant == "exact"),
+            exact_placement=self.spec.exact_placement,
             stats=stats,
             plan=plan,
             contract=self.rng_contract,
@@ -296,15 +328,66 @@ class SamplerEngine:
                 )
                 edges.append((u, v))
                 stats.new_vertices.append(v)
-        # Algorithm 4's communication: O(1) rounds for the whole phase
-        # (each new vertex's machine gathers its neighbors' Q-entries).
-        clique.charge_step(
-            "first-visit-edges",
-            n,
-            n,
-            total_words=len(edges) * 2 + n,
-        )
+        if broadcast:
+            self._charge_broadcast_phase(ledger, n, stats, len(edges))
+        else:
+            # Algorithm 4's communication: O(1) rounds for the whole phase
+            # (each new vertex's machine gathers its neighbors' Q-entries).
+            clique.charge_step(
+                "first-visit-edges",
+                n,
+                n,
+                total_words=len(edges) * 2 + n,
+            )
         return edges, walk_orig, stats
+
+    def _charge_broadcast_phase(
+        self,
+        ledger: RoundLedger,
+        n: int,
+        stats: PhaseStats,
+        num_edges: int,
+    ) -> None:
+        """One phase's Broadcast-CC walk-layer bill (Anari-Haqi, Sec. 3).
+
+        Everything here is a closed form of the realized walk statistics
+        (segment count, level count, fallback count, edge count), which
+        are functions of the RNG stream alone -- never of cache state --
+        so warm and cold runs charge byte-identical ledgers. The ladder
+        squarings are billed separately through the
+        broadcast-collective matmul backend.
+        """
+        category = self.spec.bandwidth_category
+        log_n = max(1, math.ceil(math.log2(max(n, 2))))
+        # Each fill segment's leader announces its end-law draw: one
+        # word per segment (1 nominal + one per Las-Vegas extension).
+        ledger.charge(
+            category,
+            broadcast_cc_rounds(1 + stats.extensions, n),
+            note="segment end draws",
+        )
+        # Per doubling level, machines publish their midpoint sketches
+        # and the leader announces the truncation index: O(log n)
+        # broadcast rounds per level in the Anari-Haqi accounting.
+        if stats.levels:
+            ledger.charge(
+                category, stats.levels * log_n, note="level sketches"
+            )
+        # Section 5.2 precision fallback: the leader collects the whole
+        # network -- n^2 words through the aggregate n-words-per-round
+        # broadcast budget.
+        if stats.brute_force_fallbacks:
+            ledger.charge(
+                category,
+                stats.brute_force_fallbacks * broadcast_cc_rounds(n * n, n),
+                note="precision fallback (collect network)",
+            )
+        # Algorithm 4's first-visit edges, announced to everyone.
+        ledger.charge(
+            category,
+            broadcast_cc_rounds(2 * num_edges + n, n),
+            note="first-visit edges",
+        )
 
     # ------------------------------------------------------------------
 
@@ -320,9 +403,17 @@ class SamplerEngine:
         Either way the per-run ledger receives the full charges of a cold
         build.
         """
-        backend = make_matmul_backend(
-            self.config.matmul_backend, len(subset), ledger
+        # The communication model picks the charging backend: broadcast
+        # variants bill every product as polylog sketch rounds in the
+        # broadcast-bandwidth category; unicast variants use whichever
+        # protocol the config names. Numerics are identical either way,
+        # which is what lets all engine variants share cache entries.
+        backend_name = (
+            "broadcast-collective"
+            if self.spec.comm_model == "broadcast"
+            else self.config.matmul_backend
         )
+        backend = make_matmul_backend(backend_name, len(subset), ledger)
         key = (self._cache_token, tuple(subset))
         cached = self.cache.lookup(key) if self.cache is not None else None
         if cached is not None:
@@ -420,13 +511,16 @@ class SamplerEngine:
         """Charge a cache hit exactly what a cold build would have charged."""
         n = self.graph.n
         if numerics.shortcut_squarings:
-            ledger.charge_matmul(
+            self._charge_derived_matmul(
+                ledger,
                 2 * n,
                 count=numerics.shortcut_squarings,
                 note="shortcut graph (cached numerics)",
             )
         if not numerics.is_phase_one:
-            ledger.charge_matmul(n, count=1, note="schur graph (cached numerics)")
+            self._charge_derived_matmul(
+                ledger, n, count=1, note="schur graph (cached numerics)"
+            )
         backend.charge_replay(
             numerics.ladder_size,
             count=numerics.ladder_squarings,
@@ -458,10 +552,27 @@ class SamplerEngine:
                     )
                 ),
             )
-            ledger.charge_matmul(
-                2 * self.graph.n, count=squarings, note="shortcut graph"
+            self._charge_derived_matmul(
+                ledger, 2 * self.graph.n, count=squarings, note="shortcut graph"
             )
         return shortcut, squarings
+
+    def _charge_derived_matmul(
+        self, ledger: RoundLedger, size: int, *, count: int, note: str
+    ) -> None:
+        """Bill derived-graph products in the variant's comm model.
+
+        Unicast variants keep the analytic matmul charge they always
+        had; broadcast variants bill the same product count as sketch
+        rounds in the broadcast-bandwidth category (these only arise
+        when an explicit ``rho`` override forces later phases -- the
+        default full-cover policy never builds a Schur phase).
+        """
+        if self.spec.comm_model == "broadcast":
+            rounds = ledger.model.broadcast_matmul_rounds(size) * count
+            ledger.charge(self.spec.bandwidth_category, rounds, note)
+        else:
+            ledger.charge_matmul(size, count=count, note=note)
 
     def _compute_schur(
         self,
@@ -474,5 +585,7 @@ class SamplerEngine:
             self.graph, subset, shortcut, method=self.config.schur_method
         )
         # Corollary 3: one extra product (QR) on top of the shortcut work.
-        ledger.charge_matmul(self.graph.n, count=1, note="schur graph")
+        self._charge_derived_matmul(
+            ledger, self.graph.n, count=1, note="schur graph"
+        )
         return transition, order

@@ -999,30 +999,40 @@ def expand_table_to_assignment(
     table = np.asarray(table)
     row_labels = instance.row_labels
     num_rows = table.shape[0]
+    num_cols = table.shape[1]
+    col_counts = np.asarray(instance.col_counts, dtype=np.int64)
+    col_sums = table.sum(axis=0).astype(np.int64)
+    bad = np.nonzero(col_sums != col_counts)[0]
+    if bad.size:
+        c = int(bad[0])
+        raise MatchingError(
+            f"table column {c} sums to {int(col_sums[c])}, "
+            f"expected {int(col_counts[c])}"
+        )
+    # Row-class index of every position, columns concatenated in order
+    # (identical to the label list the per-row extend loop used to build).
     class_of_slot = np.repeat(
-        np.tile(np.arange(num_rows), table.shape[1]), table.T.reshape(-1)
+        np.tile(np.arange(num_rows), num_cols), table.T.reshape(-1)
     )
-    block = (
-        rng.random(int(sum(instance.col_counts)))
-        if rng_contract == "v2"
-        else None
-    )
+    starts = np.concatenate(([0], np.cumsum(col_counts)))
+    if rng_contract == "v2":
+        block = rng.random(int(starts[-1]))
+        col_of_slot = np.repeat(np.arange(num_cols), col_counts)
+        # One stable sort by (column, key) orders every column at once:
+        # within a column it is exactly the argsort of its block slice
+        # (iid uniform keys are a.s. distinct, so any correct sort gives
+        # the same permutation the per-column argsort did).
+        ordered = class_of_slot[np.lexsort((block, col_of_slot))]
+        return [
+            [row_labels[k] for k in ordered[starts[c]:starts[c + 1]]]
+            for c in range(num_cols)
+        ]
+    # v1 draws one Generator.permutation per column class; the stream
+    # position of each draw is the contract, so this loop stays.
     assignment: list[list[Hashable]] = []
-    cursor = 0
-    for c, count in enumerate(instance.col_counts):
-        if int(table[:, c].sum()) != count:
-            raise MatchingError(
-                f"table column {c} sums to {int(table[:, c].sum())}, "
-                f"expected {count}"
-            )
-        # This column's row-class indices in enumeration order (identical
-        # to the label list the per-row extend loop used to build).
-        classes = class_of_slot[cursor:cursor + count]
-        if block is None:
-            order = rng.permutation(count)
-        else:
-            order = np.argsort(block[cursor:cursor + count])
-        cursor += count
+    for c in range(num_cols):
+        classes = class_of_slot[starts[c]:starts[c + 1]]
+        order = rng.permutation(int(col_counts[c]))
         assignment.append([row_labels[classes[i]] for i in order])
     return assignment
 

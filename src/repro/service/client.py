@@ -130,6 +130,20 @@ class ServiceClient:
         finally:
             conn.close()
 
+    def _get_text(self, path: str) -> str:
+        conn = self._connect()
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            payload = response.read()
+            if response.status != 200:
+                self._raise_for_status(
+                    response.status, response.headers, payload
+                )
+            return payload.decode()
+        finally:
+            conn.close()
+
     # -- endpoints ------------------------------------------------------
 
     def healthz(self) -> dict:
@@ -137,6 +151,10 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._get_json("/stats")
+
+    def metrics(self) -> str:
+        """``GET /metrics``: Prometheus text exposition of the counters."""
+        return self._get_text("/metrics")
 
     def run(
         self, graph: dict, request: dict, *,

@@ -21,6 +21,7 @@ calls byte-identical across workers and hosts.
 
 from __future__ import annotations
 
+import os
 import secrets
 import threading
 from collections import OrderedDict
@@ -108,7 +109,21 @@ _WORKER_POOL: SessionPool | None = None
 
 
 def init_worker(cache_dir: str | None, limit: int) -> None:
-    """ProcessPoolExecutor initializer: build this worker's session pool."""
+    """ProcessPoolExecutor initializer: build this worker's session pool.
+
+    The worker also becomes its own process-group leader: ensemble
+    requests fork a nested worker pool, and those grandchildren inherit
+    this process's death-signal pipe. A timed-out worker is recycled
+    with ``killpg`` (see the server's ``_recycle_workers``) so the whole
+    subtree dies with it -- orphaned grandchildren would otherwise hold
+    the sentinel open forever, pinning the old executor's manager thread
+    and blocking interpreter exit.
+    """
+    if hasattr(os, "setpgid"):
+        try:
+            os.setpgid(0, 0)
+        except OSError:  # already a leader, or the platform refuses
+            pass
     global _WORKER_POOL
     _WORKER_POOL = SessionPool(limit=limit, cache_dir=cache_dir)
 

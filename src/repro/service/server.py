@@ -14,7 +14,7 @@ Topology::
                 |                       (NDJSON chunks in draw order;
                 |                        request.jobs fans the draws
                 |                        over processes underneath)
-                |-- GET  /healthz, /stats
+                |-- GET  /healthz, /stats, /metrics
 
 Admission control happens in two layers, both *before* any sampling:
 
@@ -33,8 +33,12 @@ server-process session pool (logged, surfaced as
 ``meta["service_degraded"]``); a client that disconnects mid-stream
 frees its slot as soon as the next chunk write fails; per-request
 wall-clock budgets cut batches with 504 and streams with a terminal
-``error`` record. A batch worker that blows past the budget cannot be
-killed mid-C-call -- its slot is released and its result discarded.
+``error`` record. A batch worker that blows past the budget is not
+abandoned-but-busy: the whole shard pool is killed and respawned
+(``worker_recycles`` counts it), so a runaway request cannot pin a
+worker slot for the rest of the server's life. Observability rides on
+``GET /stats`` (JSON) and ``GET /metrics`` (the same counters in
+Prometheus text exposition format, scrape-ready).
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import os
 import signal
 import threading
 import time
@@ -146,6 +151,7 @@ class TreeService:
             "client_disconnects": 0,
             "degraded_batches": 0,
             "degraded_streams": 0,
+            "worker_recycles": 0,
         }
 
     # -- lifecycle ------------------------------------------------------
@@ -232,11 +238,14 @@ class TreeService:
             await self._send_json(writer, 400, {"error": "malformed request"})
             return
 
-        if method == "GET" and target in ("/healthz", "/stats"):
-            payload = (
-                self._healthz() if target == "/healthz" else self._stats()
-            )
-            await self._send_json(writer, 200, payload)
+        if method == "GET" and target in ("/healthz", "/stats", "/metrics"):
+            if target == "/metrics":
+                await self._send_text(writer, 200, self._metrics())
+            else:
+                payload = (
+                    self._healthz() if target == "/healthz" else self._stats()
+                )
+                await self._send_json(writer, 200, payload)
             return
         if target not in ("/v1/run", "/v1/stream"):
             await self._send_json(
@@ -353,6 +362,19 @@ class TreeService:
         writer.write(head.encode() + b"\r\n" + body)
         await writer.drain()
 
+    async def _send_text(self, writer, status: int, text: str) -> None:
+        body = text.encode()
+        headers = {
+            # The Prometheus text exposition format's canonical type.
+            "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+            "Content-Length": str(len(body)),
+            "Connection": "close",
+        }
+        head = f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        head += "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+        writer.write(head.encode() + b"\r\n" + body)
+        await writer.drain()
+
     async def _send_error(self, writer, error: ServiceError) -> None:
         extra = {}
         if error.retry_after is not None:
@@ -385,7 +407,72 @@ class TreeService:
             },
         }
 
+    def _metrics(self) -> str:
+        """The ``/stats`` counters in Prometheus text exposition format.
+
+        Same numbers, scrape-ready: every lifetime counter becomes a
+        ``counter`` sample named ``repro_service_<name>``, plus the two
+        live gauges (``inflight``, ``draining``). Counter order follows
+        the ``counters`` dict (fixed at construction), so the output is
+        byte-deterministic for a given state -- the golden test pins it.
+        """
+        lines: list[str] = []
+
+        def sample(name: str, kind: str, help_text: str, value) -> None:
+            metric = f"repro_service_{name}"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric} {int(value)}")
+
+        for name, value in self.counters.items():
+            sample(name, "counter",
+                   f"Lifetime count of {name.replace('_', ' ')}.", value)
+        sample("inflight", "gauge",
+               "Requests currently admitted and running.", self._inflight)
+        sample("draining", "gauge",
+               "1 while the server is draining, else 0.",
+               1 if self._draining.is_set() else 0)
+        return "\n".join(lines) + "\n"
+
     # -- batch path -----------------------------------------------------
+
+    def _recycle_workers(self) -> None:
+        """Kill and respawn the batch shard pool.
+
+        A worker that blew past ``max_seconds`` is busy inside a C call
+        and cannot be interrupted politely; leaving it running would pin
+        one of ``workers`` slots forever. SIGKILL the pool's processes,
+        discard the executor, and stand up a fresh one (workers re-warm
+        from the shared ``cache_dir``, so the cost is a cold start, not
+        lost state).
+
+        Workers are killed by process *group* (init_worker makes each
+        one a leader): an ensemble task forks grandchildren that inherit
+        the worker's death-signal pipe, and any survivor would keep the
+        dead worker's sentinel open -- leaving the old executor's
+        manager thread waiting forever and wedging interpreter exit on
+        its join.
+        """
+        pool, self._proc_pool = self._proc_pool, None
+        self.counters["worker_recycles"] += 1
+        if pool is not None:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    os.killpg(proc.pid, signal.SIGKILL)
+                except (OSError, AttributeError):
+                    try:
+                        proc.kill()  # not a group leader; best effort
+                    except (OSError, AttributeError):  # already gone
+                        pass
+            pool.shutdown(wait=False, cancel_futures=True)
+        # Construction is lazy (no processes until the first submit), so
+        # respawning here never blocks the event loop.
+        self._proc_pool = ProcessPoolExecutor(
+            max_workers=self.config.workers,
+            initializer=init_worker,
+            initargs=(self.config.cache_dir, self.config.session_cap),
+        )
+        self._proc_pool_broken = False
 
     def _run_inline(self, task: ServiceTask) -> dict:
         """Degraded batch path: serve from the front end's own pool."""
@@ -408,6 +495,10 @@ class TreeService:
             )
         except (asyncio.TimeoutError, TimeoutError):
             self.counters["timeouts"] += 1
+            # The worker holding this task is still busy (cancellation
+            # cannot reach into a C call): recycle the pool so the slot
+            # comes back instead of staying pinned by abandoned work.
+            self._recycle_workers()
             await self._send_json(writer, 504, {
                 "error": (
                     f"request exceeded max_seconds = "

@@ -25,6 +25,17 @@ Threshold policy (documented here, referenced from tests/README.md):
 
 Both gates must pass: chi-square is sensitive to concentrated bias on a
 few trees, TV to diffuse bias across many.
+
+Beyond Kirchhoff enumeration the exact law is unavailable (too many
+trees to list), so the harness falls back to *two-sample* comparison
+against a cheap sequential oracle: :func:`draw_oracle_trees` draws from
+the classical exact samplers in :mod:`repro.walks.sequential` (Wilson's
+loop-erased walks, Aldous-Broder) and
+:func:`assert_same_tree_law` runs a chi-square homogeneity test over
+the pooled support of the two samples, with the same fixed-seed
+``P_FLOOR`` policy. A two-sample test cannot certify exactness the way
+the enumeration gate does, but any placement/variant bug that skews the
+sampled law shows up against an oracle known exact by construction.
 """
 
 from __future__ import annotations
@@ -39,18 +50,27 @@ from repro.analysis.tv import expected_tv_noise, tv_distance
 from repro.engine.ensemble import EnsembleEngine
 from repro.graphs.core import WeightedGraph
 from repro.graphs.spanning import TreeKey, uniform_tree_distribution
+from repro.walks.sequential import aldous_broder_tree, wilson_tree
 
 P_FLOOR = 1e-4
 TV_SLACK = 2.0
 
+ORACLES = {
+    "wilson": wilson_tree,
+    "aldous_broder": aldous_broder_tree,
+}
+
 __all__ = [
     "P_FLOOR",
     "TV_SLACK",
+    "ORACLES",
     "exact_tree_law",
     "chi_square_vs_law",
     "empirical_tv_vs_law",
     "assert_matches_tree_law",
+    "assert_same_tree_law",
     "draw_trees",
+    "draw_oracle_trees",
 ]
 
 
@@ -119,6 +139,46 @@ def assert_matches_tree_law(
     )
 
 
+def assert_same_tree_law(
+    trees_a: list[TreeKey],
+    trees_b: list[TreeKey],
+    *,
+    p_floor: float = P_FLOOR,
+    label: str = "",
+) -> None:
+    """Two-sample gate: chi-square homogeneity over the pooled support.
+
+    For graphs past exact enumeration, compares a sampler's draws
+    against an oracle's draws (both from the same law iff the sampler is
+    correct). Uses the 2 x K contingency chi-square without continuity
+    correction; the fixed-seed ``P_FLOOR`` policy from the module
+    docstring applies unchanged.
+    """
+    assert trees_a and trees_b, "both samples must be non-empty"
+    support = sorted(set(trees_a) | set(trees_b))
+    context = f" [{label}]" if label else ""
+    if len(support) == 1:
+        return  # one tree class in both samples: trivially homogeneous
+    counts_a = Counter(trees_a)
+    counts_b = Counter(trees_b)
+    table = np.array(
+        [
+            [counts_a.get(t, 0) for t in support],
+            [counts_b.get(t, 0) for t in support],
+        ],
+        dtype=np.float64,
+    )
+    statistic, p_value, _, _ = scipy_stats.chi2_contingency(
+        table, correction=False
+    )
+    assert p_value >= p_floor, (
+        f"chi-square rejects sample homogeneity{context}: "
+        f"p={p_value:.3e} (stat={statistic:.2f}, "
+        f"{len(trees_a)}+{len(trees_b)} draws over {len(support)} "
+        f"observed trees)"
+    )
+
+
 def draw_trees(
     graph: WeightedGraph,
     count: int,
@@ -133,3 +193,28 @@ def draw_trees(
         count, seed=seed, jobs=jobs
     )
     return result.trees
+
+
+def draw_oracle_trees(
+    graph: WeightedGraph,
+    count: int,
+    *,
+    oracle: str = "wilson",
+    seed: int = 0,
+) -> list[TreeKey]:
+    """``count`` i.i.d. trees from a sequential exact sampler (seeded).
+
+    ``oracle`` names one of :data:`ORACLES` -- Wilson's loop-erased
+    walks (the fast default) or Aldous-Broder. Both are exact for the
+    weight-proportional tree law by classical results, which is what
+    makes them usable as the reference arm of
+    :func:`assert_same_tree_law` on graphs too large to enumerate.
+    """
+    try:
+        draw = ORACLES[oracle]
+    except KeyError:
+        raise ValueError(
+            f"unknown oracle {oracle!r}; choose from {sorted(ORACLES)}"
+        ) from None
+    rng = np.random.default_rng(seed)
+    return [draw(graph, rng) for _ in range(count)]

@@ -282,6 +282,33 @@ class TestEndpoints:
         assert stats["limits"]["max_inflight"] == 4
         assert "counters" in stats and "sessions" in stats
 
+    def test_metrics_prometheus_text_format(self, server):
+        """Golden format: HELP/TYPE/sample triples, counters == /stats."""
+        text = server.metrics()
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert lines and len(lines) % 3 == 0
+        names = []
+        for i in range(0, len(lines), 3):
+            help_line, type_line, sample = lines[i:i + 3]
+            match = re.match(r"# HELP (repro_service_\w+) \S", help_line)
+            assert match, help_line
+            name = match.group(1)
+            assert type_line.startswith(f"# TYPE {name} ")
+            assert type_line.rsplit(" ", 1)[1] in ("counter", "gauge")
+            assert re.fullmatch(rf"{re.escape(name)} \d+", sample), sample
+            names.append(name)
+        # Exposition covers every /stats counter (same order) plus the
+        # two live gauges, and the values agree with the JSON view.
+        stats = server.stats()
+        expected = [f"repro_service_{key}" for key in stats["counters"]]
+        expected += ["repro_service_inflight", "repro_service_draining"]
+        assert names == expected
+        for key, value in stats["counters"].items():
+            assert f"repro_service_{key} {int(value)}" in lines
+        assert f"repro_service_inflight {stats['inflight']}" in lines
+        assert "repro_service_draining 0" in lines
+
     def test_unknown_path_404(self, server):
         with pytest.raises(ServiceRequestError) as info:
             server._get_json("/v2/nothing")
@@ -462,6 +489,41 @@ class TestAdmissionAndFaults:
             assert "max_seconds" in str(info.value)
         finally:
             stop_server(proc)
+
+    def test_timeout_recycles_worker_pool(self, tmp_path):
+        """A worker past max_seconds is killed and respawned, not pinned.
+
+        With one worker and a budget nothing can meet, every batch 504s;
+        pre-recycle each timeout left the lone worker abandoned-but-busy
+        (the second request would have queued behind dead work). The
+        recycle policy kills + respawns the pool per timeout: the
+        counter tracks it, the degraded path never triggers, and the
+        server stays healthy through repeated blows and a clean drain.
+        """
+        proc, port = start_server(
+            "--workers", "1", "--max-seconds", "0.02",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        client = ServiceClient(port=port)
+        try:
+            wait_until_ready(client)
+            for expected_recycles in (1, 2):
+                with pytest.raises(ServiceRequestError) as info:
+                    client.run(
+                        {"family": "cycle", "n": 32},
+                        {"request": "ensemble", "count": 8, "seed": 0},
+                    )
+                assert info.value.status == 504
+                stats = client.stats()
+                assert (
+                    stats["counters"]["worker_recycles"] == expected_recycles
+                ), stats["counters"]
+                # Respawn, not degradation: the inline fallback that a
+                # broken pool forces was never needed.
+                assert stats["counters"]["degraded_batches"] == 0
+            assert client.healthz()["status"] == "ok"
+        finally:
+            assert stop_server(proc) == 0
 
     def test_sigterm_drains_and_exits_zero(self, tmp_path):
         proc, port = start_server(

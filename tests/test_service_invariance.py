@@ -10,8 +10,13 @@ direct in-process Session. One server is cold and populates the shared
 disk tier; the other warm-starts from it; invariance holding *across*
 that asymmetry is precisely the cache-correctness property.
 
-Swept over both sampler variants x both RNG contracts (the two axes
-that change how randomness is consumed), batch and streamed delivery.
+Swept over every engine variant (approximate, exact, broadcast) x both
+RNG contracts (the two axes that change how randomness is consumed),
+batch and streamed delivery. For the broadcast variant the invariant
+additionally covers ``rounds_by_category()`` carrying the
+broadcast-bandwidth category: its charges are an analytic recipe over
+seed-deterministic walk statistics, so warm and cold workers on any
+host bill identical category totals.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from tests.test_service import start_server, stop_server
 GRAPH = {"family": "cycle", "n": 8, "seed": 0}
 CELLS = [
     pytest.param(variant, contract, id=f"{variant}-{contract}")
-    for variant in ("approximate", "exact")
+    for variant in ("approximate", "exact", "broadcast")
     for contract in ("v1", "v2")
 ]
 
@@ -95,6 +100,11 @@ def test_two_servers_match_each_other_and_local(
         ]
 
     reference = bill(local)
+    if variant == "broadcast":
+        # Every charge lands in the Broadcast CC bandwidth category --
+        # the new accounting regime the registry routes this variant to.
+        for _, _, categories in reference:
+            assert set(categories) == {"broadcast-bandwidth"}
     for label, results in (
         ("server A batch", batch_a),
         ("server B batch", batch_b),

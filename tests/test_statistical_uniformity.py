@@ -12,6 +12,13 @@ documented in
 ``tests/statutil.py`` (fixed seeds, chi-square p-floor AND exact-TV
 noise bound).
 
+The Broadcast CC variant gets its own class: exact-law cells on three
+enumerable families for every (mode, contract) cell, two-sample
+homogeneity against the unicast variants, and oracle cross-validation
+(Wilson / Aldous-Broder from :mod:`repro.walks.sequential`) on a wheel
+graph past practical enumeration -- the two-sample extension of the
+harness documented in ``tests/statutil.py``.
+
 Fast cases run in tier-1; the heavier sweeps (K5's 125-tree support,
 weighted chord cycles, full mode x variant cross) carry the ``slow``
 marker and are additionally gated on ``REPRO_SLOW_TESTS=1`` -- the
@@ -22,12 +29,19 @@ from __future__ import annotations
 
 import os
 
+import numpy as np
 import pytest
 
 from repro import graphs
 from repro.core.config import SamplerConfig
+from repro.graphs.families import build_family
 
-from statutil import assert_matches_tree_law, draw_trees
+from statutil import (
+    assert_matches_tree_law,
+    assert_same_tree_law,
+    draw_oracle_trees,
+    draw_trees,
+)
 
 # Short nominal walks keep draws fast; the Appendix 5.1 Las-Vegas
 # extension keeps the output law exact regardless of ell.
@@ -104,6 +118,89 @@ class TestTier1Uniformity:
         )
         assert_matches_tree_law(
             graph, trees, label=f"wsquare/{mode}/{contract}"
+        )
+
+
+FAMILIES = {
+    "k4": lambda: graphs.complete_graph(4),
+    "cycle4": lambda: graphs.cycle_graph(4),
+    "wsquare": weighted_square,
+}
+
+
+class TestBroadcastUniformity:
+    """The Broadcast CC variant samples the same weight-proportional law.
+
+    The broadcast driver is one full-cover phase whose first-visit edges
+    are Aldous-Broder -- exact by construction -- but these draws go
+    through the entire engine stack (registry dispatch, phase numerics,
+    placement plans, broadcast charging), so the harness gates the
+    wiring, not just the math: exact-law cells on three enumerable
+    families x every (mode, contract) cell, plus two-sample
+    cross-validation against the unicast variants and the sequential
+    oracles on a wheel past practical enumeration.
+    """
+
+    @pytest.mark.parametrize("mode,contract", MODE_CONTRACT)
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_broadcast_matches_exact_law(self, family, mode, contract):
+        graph = FAMILIES[family]()
+        trees = draw_trees(
+            graph, 1500, config=_config(mode, contract),
+            variant="broadcast", seed=48,
+        )
+        assert_matches_tree_law(
+            graph, trees, label=f"{family}/broadcast/{mode}/{contract}"
+        )
+
+    @pytest.mark.parametrize("variant", ["approximate", "exact"])
+    def test_broadcast_vs_unicast_variants(self, variant):
+        """Cross-variant two-sample gate on K4's 16-tree support."""
+        graph = graphs.complete_graph(4)
+        broadcast = draw_trees(
+            graph, 1500, config=_config("batched"), variant="broadcast",
+            seed=53,
+        )
+        unicast = draw_trees(
+            graph, 1500, config=_config("batched"), variant=variant,
+            seed=54,
+        )
+        assert_same_tree_law(
+            broadcast, unicast, label=f"k4/broadcast-vs-{variant}"
+        )
+
+    @pytest.mark.parametrize("contract", ["v1", "v2"])
+    def test_broadcast_vs_wilson_beyond_enumeration(self, contract):
+        """Oracle arm on a wheel whose tree count defeats enumeration.
+
+        ``ell`` is raised past FAST_ELL here: a full-cover (rho = n)
+        walk on 10 weighted vertices needs headroom beyond the nominal
+        64-step walk or the Las-Vegas extension cap can trip.
+        """
+        graph, _ = build_family("wheel", 10, np.random.default_rng(3))
+        config = SamplerConfig(
+            ell=1 << 8, placement_mode="batched", rng_contract=contract
+        )
+        sampled = draw_trees(
+            graph, 300, config=config, variant="broadcast", seed=49,
+        )
+        oracle = draw_oracle_trees(graph, 300, oracle="wilson", seed=50)
+        assert_same_tree_law(
+            sampled, oracle, label=f"wheel10/broadcast-vs-wilson/{contract}"
+        )
+
+    def test_approximate_vs_aldous_broder_beyond_enumeration(self):
+        """The unicast default against the other sequential oracle."""
+        graph, _ = build_family("wheel", 10, np.random.default_rng(3))
+        sampled = draw_trees(
+            graph, 300, config=_config("batched"), variant="approximate",
+            seed=51,
+        )
+        oracle = draw_oracle_trees(
+            graph, 300, oracle="aldous_broder", seed=52
+        )
+        assert_same_tree_law(
+            sampled, oracle, label="wheel10/approx-vs-aldous-broder"
         )
 
 
