@@ -1,0 +1,315 @@
+"""Overload behavior of the admission queue: shed accurately, never late.
+
+The fault-tolerance tentpole claims the deadline-aware admission queue
+turns overload into *accurate* load shedding: when offered load exceeds
+capacity, excess requests are refused up front with 429 + Retry-After,
+and every request the queue *accepts* still completes inside its
+deadline -- bounded p99, no accepted-but-late stragglers.
+
+This bench drives a real ``python -m repro serve`` subprocess at
+controlled overload factors (1x / 2x / 4x the single slot's service
+rate) and in two admission modes:
+
+- **queue** -- the bounded deadline-aware queue (``--queue-depth 8``):
+  bursts are absorbed up to the deadline's wait budget, the rest shed;
+- **reject** -- the pre-queue policy (``--queue-depth 0``): anything
+  arriving while the slot is busy is refused immediately (the
+  comparison shows what the queue buys at 1x: near-zero shedding where
+  pure reject refuses roughly half the burst's jittered arrivals).
+
+Service time is pinned by the chaos harness rather than by real
+numerics: a ``worker.task=delay`` fault pads every (warm, cached) batch
+task to SERVICE_DELAY seconds. That makes the capacity -- and therefore
+the *ideal* shed rate ``max(0, 1 - 1/factor)`` -- analytic and
+host-independent, so the headline **shed-accuracy ratio**
+(observed shed rate / ideal shed rate at 2x, queue mode) is
+dimensionless: machine speed cancels, admission-policy drift does not.
+
+Acceptance (full mode / pytest wrapper): at 2x overload in queue mode,
+zero accepted responses finish past their deadline (beyond a small
+client-side measurement grace) and the shed-accuracy ratio stays near
+1. ``--gate BASELINE`` fails when the ratio grows >40% over the
+checked-in baseline -- i.e. the queue started shedding work it used to
+serve. Smoke mode keeps the same request count and deadline so the
+gated cell (2x, queue) is like-for-like against a full-mode baseline.
+
+Runs standalone (the CI smoke job) or under pytest-benchmark::
+
+    PYTHONPATH=src python benchmarks/bench_service_overload.py --smoke
+    pytest benchmarks/bench_service_overload.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceUnavailable,
+    wait_until_ready,
+)
+
+GRAPH = {"family": "cycle", "n": 8, "seed": 0}
+SERVICE_DELAY = 0.15  # injected per-task floor: capacity = 1/0.15 req/s
+DEADLINE_MS = 600  # wait budget ~3 queue positions at SERVICE_DELAY
+GRACE_MS = 100  # client-side measurement slack (connect + parse)
+REQUESTS = 12  # per pass; identical in smoke so the gate compares equals
+FULL_FACTORS = [1, 2, 4]
+SMOKE_FACTORS = [1, 2]
+QUEUE_DEPTHS = {"queue": 8, "reject": 0}
+OUTPUT = Path(__file__).resolve().parent / "BENCH_service_overload.json"
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def start_server(cache_dir: str, queue_depth: int):
+    env = {
+        **os.environ,
+        "PYTHONPATH": str(SRC),
+        # The chaos delay fault is the service-time shim (see module
+        # docstring); unlimited rule, no token dir needed.
+        "REPRO_FAULTS": f"worker.task=delay:{SERVICE_DELAY}",
+    }
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--port", "0",
+            "--workers", "1", "--max-inflight", "1",
+            "--queue-depth", str(queue_depth),
+            "--cache-dir", cache_dir,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env, text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"listening on http://[^:]+:(\d+)", line)
+    if not match:
+        proc.kill()
+        raise RuntimeError(f"server failed to start: {line!r}")
+    port = int(match.group(1))
+    client = ServiceClient(port=port, retries=0)
+    wait_until_ready(client)
+    # Warm-ups: populate the cache (so real compute ~0 and service time
+    # ~= the injected delay plus fixed serving overhead) and converge
+    # the service-time EWMA that both the admission queue's deadline
+    # estimates and this bench's offered-load calibration are built
+    # from. Several passes so the cold first sample's weight decays.
+    for seed in range(1, 7):
+        client.run(GRAPH, {"request": "sample", "seed": seed})
+    service = client.stats()["queue"]["service_ewma_seconds"]
+    return proc, port, float(service or SERVICE_DELAY)
+
+
+def stop_server(proc) -> None:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+
+
+def load_pass(port: int, factor: float, service: float) -> dict:
+    """Offer REQUESTS at ``factor`` x capacity; classify every outcome.
+
+    ``service`` is the *measured* per-request service time (the
+    server's own EWMA after warm-up: injected delay + fixed serving
+    overhead), so "factor x" is relative to true capacity and the
+    ideal shed rate ``1 - 1/factor`` is meaningful on any host.
+    """
+    period = service / factor
+
+    def one(seed: int):
+        client = ServiceClient(port=port, retries=0)
+        start = time.perf_counter()
+        try:
+            response = client.run(
+                GRAPH, {"request": "sample", "seed": seed},
+                deadline_ms=DEADLINE_MS,
+            )
+            assert response.kind == "sample"
+            return ("ok", time.perf_counter() - start)
+        except ServiceUnavailable as error:
+            assert error.retry_after is not None and error.retry_after > 0
+            return ("shed", time.perf_counter() - start)
+
+    with ThreadPoolExecutor(max_workers=REQUESTS) as pool:
+        futures = []
+        for index in range(REQUESTS):
+            futures.append(pool.submit(one, 1000 + index))
+            time.sleep(period)
+        outcomes = [future.result() for future in futures]
+
+    accepted = sorted(lat for kind, lat in outcomes if kind == "ok")
+    shed = [lat for kind, lat in outcomes if kind == "shed"]
+    violations = sum(
+        1 for lat in accepted if lat * 1e3 > DEADLINE_MS + GRACE_MS
+    )
+    shed_rate = len(shed) / REQUESTS
+    ideal = max(0.0, 1.0 - 1.0 / factor)
+    return {
+        "factor": factor,
+        "accepted": len(accepted),
+        "shed": len(shed),
+        "shed_rate": round(shed_rate, 3),
+        "ideal_shed_rate": round(ideal, 3),
+        # observed/ideal, the dimensionless gated quantity; None at 1x
+        # where the ideal is zero (nothing to normalize by).
+        "shed_accuracy": round(shed_rate / ideal, 3) if ideal else None,
+        "p50_ms": round(statistics.median(accepted) * 1e3, 1)
+        if accepted else None,
+        "p99_ms": round(accepted[-1] * 1e3, 1) if accepted else None,
+        "deadline_violations": violations,
+    }
+
+
+def run_benchmark(factors: list[float]) -> dict:
+    results = []
+    for mode, depth in QUEUE_DEPTHS.items():
+        cache_dir = tempfile.mkdtemp(prefix="bench-overload-")
+        proc = None
+        try:
+            proc, port, service = start_server(cache_dir, depth)
+            for factor in factors:
+                row = load_pass(port, factor, service)
+                row["mode"] = mode
+                row["service_ewma_ms"] = round(service * 1e3, 1)
+                results.append(row)
+                time.sleep(2 * service)  # drain between passes
+        finally:
+            if proc is not None:
+                stop_server(proc)
+            shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "bench": "service_overload",
+        "graph": GRAPH,
+        "service_delay_s": SERVICE_DELAY,
+        "deadline_ms": DEADLINE_MS,
+        "grace_ms": GRACE_MS,
+        "requests": REQUESTS,
+        "factors": factors,
+        "results": results,
+    }
+
+
+def _row(payload: dict, mode: str, factor: float) -> dict:
+    for row in payload["results"]:
+        if row["mode"] == mode and row["factor"] == factor:
+            return row
+    raise KeyError(f"no cell mode={mode} factor={factor} in payload")
+
+
+def check_regression(
+    payload: dict, baseline: dict, tolerance: float = 0.40
+) -> tuple[bool, str]:
+    """Gate the dimensionless shed-accuracy ratio at (2x, queue).
+
+    A growing ratio means the queue sheds requests it used to serve
+    within deadline -- admission-accuracy regression. Lower (closer to
+    the analytic ideal of 1.0) is better, so the gate is one-sided.
+    """
+    cell = _row(payload, "queue", 2)
+    current = cell["shed_accuracy"]
+    reference = _row(baseline, "queue", 2)["shed_accuracy"]
+    if current is None or reference is None:
+        return False, "shed_accuracy missing at the gated (2x, queue) cell"
+    # One-request counting slack: with REQUESTS-sized passes a single
+    # jittered shed moves the ratio by 1/(ideal * REQUESTS), which is
+    # noise, not policy drift.
+    slack = 1.0 / (cell["ideal_shed_rate"] * payload["requests"])
+    limit = reference * (1.0 + tolerance) + slack
+    verdict = "ok" if current <= limit else "REGRESSION"
+    return current <= limit, (
+        f"shed-accuracy at 2x (queue): {current:.3f} vs baseline "
+        f"{reference:.3f} (limit {limit:.3f}): {verdict}"
+    )
+
+
+def _render(payload: dict) -> list[str]:
+    lines = [
+        f"{'mode':>7s} {'factor':>6s} {'acc':>4s} {'shed':>4s} "
+        f"{'shed%':>6s} {'ideal%':>6s} {'p50':>7s} {'p99':>7s} {'late':>4s}"
+    ]
+    for row in payload["results"]:
+        p50 = f"{row['p50_ms']:.0f}ms" if row["p50_ms"] is not None else "-"
+        p99 = f"{row['p99_ms']:.0f}ms" if row["p99_ms"] is not None else "-"
+        lines.append(
+            f"{row['mode']:>7s} {row['factor']:>5.0f}x {row['accepted']:>4d} "
+            f"{row['shed']:>4d} {100 * row['shed_rate']:>5.0f}% "
+            f"{100 * row['ideal_shed_rate']:>5.0f}% {p50:>7s} {p99:>7s} "
+            f"{row['deadline_violations']:>4d}"
+        )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"factors {SMOKE_FACTORS} only for CI (same request count, "
+             "so the gated 2x cell is comparable to a full baseline)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=OUTPUT,
+        help="output JSON path (default: BENCH_service_overload.json)",
+    )
+    parser.add_argument(
+        "--gate", type=Path, metavar="BASELINE",
+        help="fail (exit 1) if the (2x, queue) shed-accuracy ratio "
+             "regresses >40%% vs this baseline JSON",
+    )
+    args = parser.parse_args(argv)
+    factors = SMOKE_FACTORS if args.smoke else FULL_FACTORS
+    payload = run_benchmark(factors)
+    payload["mode"] = "smoke" if args.smoke else "full"
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    for line in _render(payload):
+        print(line)
+    print(f"wrote {args.out}")
+    late = sum(row["deadline_violations"] for row in payload["results"])
+    if late:
+        print(f"FAIL: {late} accepted response(s) finished past deadline")
+        return 1
+    if args.gate is not None:
+        baseline = json.loads(args.gate.read_text())
+        passed, message = check_regression(payload, baseline)
+        print(message)
+        if not passed:
+            return 1
+    return 0
+
+
+def test_service_overload(benchmark, report):
+    """Pytest-benchmark wrapper with the acceptance assertions."""
+    payload = {}
+
+    def experiment():
+        payload.update(run_benchmark(FULL_FACTORS))
+        return payload
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    payload["mode"] = "full"
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    report("service overload shedding (queue vs reject)", _render(payload))
+
+    # Acceptance: at 2x overload the queue sheds (capacity is exceeded),
+    # every accepted response lands inside its deadline, and accuracy
+    # stays near the analytic ideal.
+    cell = _row(payload, "queue", 2)
+    assert cell["shed"] >= 1, cell
+    assert cell["deadline_violations"] == 0, cell
+    assert cell["shed_accuracy"] is not None and cell["shed_accuracy"] < 2.0
+    for row in payload["results"]:
+        assert row["deadline_violations"] == 0, row
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

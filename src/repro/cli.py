@@ -435,6 +435,34 @@ def _make_parser() -> argparse.ArgumentParser:
         "--session-cap", dest="session_cap", type=int, default=8,
         help="live sessions kept warm per worker process (LRU)",
     )
+    serve.add_argument(
+        "--queue-depth", dest="queue_depth", type=int, default=16,
+        help="admission queue slots past max_inflight (0 = hard-reject "
+             "with 429 instead of queueing)",
+    )
+    serve.add_argument(
+        "--queue-wait-seconds", dest="queue_wait_seconds", type=float,
+        default=30.0,
+        help="longest a deadline-less request may wait in the admission "
+             "queue before it is shed with 429",
+    )
+    serve.add_argument(
+        "--max-redispatch", dest="max_redispatch", type=int, default=2,
+        help="re-dispatch attempts for a batch task whose worker "
+             "crashed (idempotent by the pinned-seed contract)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", dest="breaker_threshold", type=int,
+        default=5,
+        help="consecutive worker crashes that trip the circuit breaker "
+             "(/healthz degraded, in-process serving)",
+    )
+    serve.add_argument(
+        "--breaker-reset-seconds", dest="breaker_reset_seconds",
+        type=float, default=30.0,
+        help="cooldown between shard-pool probes while the breaker is "
+             "open",
+    )
 
     families = sub.add_parser("families", help="list graph families")
     families.add_argument("--json", action="store_true",
@@ -691,8 +719,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         session_cap=args.session_cap,
         drain_seconds=args.drain_seconds,
+        queue_depth=args.queue_depth,
+        queue_wait_seconds=args.queue_wait_seconds,
+        max_redispatch=args.max_redispatch,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_seconds=args.breaker_reset_seconds,
     )
-    return serve(config)
+    try:
+        return serve(config)
+    except OSError as error:
+        # Bind failures (EADDRINUSE, bad host) are operator errors, not
+        # crashes: one line on stderr, non-zero exit, no traceback.
+        print(
+            f"error: cannot serve on {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 2
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:

@@ -103,6 +103,44 @@ def key_digest(key: Hashable) -> str:
     return hashlib.sha1(repr(key).encode()).hexdigest()
 
 
+def _fault_hook(point: str, **payload) -> None:
+    """Service-layer chaos hook, reachable only when faults are armed.
+
+    Env-guarded so the engine never imports the service package on the
+    production path (no layering inversion, no import cost): with
+    ``REPRO_FAULTS`` unset this is one dict probe.
+    """
+    if not os.environ.get("REPRO_FAULTS"):
+        return
+    from repro.service.faults import fire
+
+    fire(point, **payload)
+
+
+def _fsync_file(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_entry(directory: Path) -> None:
+    """fsync every blob in ``directory``, then the directory itself.
+
+    The atomic-rename publish protocol makes an entry visible all at
+    once, but rename alone orders nothing on disk: after a host crash
+    the journal may replay the rename *before* the data blocks of the
+    files inside, surfacing a truncated-but-renamed blob that lookup
+    trusts (meta.json present). Durability before visibility: flush the
+    bytes, flush the tmp dir's entries, then rename.
+    """
+    for path in directory.iterdir():
+        if path.is_file():
+            _fsync_file(path)
+    _fsync_file(directory)
+
+
 def _save_matrix(directory: Path, stem: str, matrix) -> dict:
     """Write one matrix blob; returns its index record for ``meta.json``."""
     if is_sparse_matrix(matrix):
@@ -311,9 +349,11 @@ class DiskTier:
     def store(self, key: Hashable, numerics: PhaseNumerics) -> bool:
         """Persist an entry atomically; returns True on a fresh write.
 
-        The entry is assembled in a private tmp directory and published
-        with a single ``os.rename``, so concurrent readers and writers
-        either see the complete entry or none of it. Losing the rename
+        The entry is assembled in a private tmp directory, fsynced
+        (blobs, then the tmp dir -- see :func:`_fsync_entry`), and
+        published with a single ``os.rename``, so concurrent readers
+        and writers either see the complete, *durable* entry or none of
+        it -- even across a host crash mid-publish. Losing the rename
         race (another worker published the same digest first) and any
         I/O failure are silent non-events: the disk tier is best-effort,
         and a failed spill only costs a future recompute.
@@ -343,7 +383,12 @@ class DiskTier:
                 # cache value.
                 shutil.rmtree(tmp_dir, ignore_errors=True)
                 return False
+            _fault_hook("store.publish", dir=str(tmp_dir))
+            _fsync_entry(tmp_dir)
             os.rename(tmp_dir, final_dir)
+            # Make the rename itself durable: the parent directory entry
+            # is what a crash-recovering journal replays.
+            _fsync_file(self.blobs)
         except OSError:
             shutil.rmtree(tmp_dir, ignore_errors=True)
             return False
@@ -411,7 +456,10 @@ class DiskTier:
         try:
             with open(tmp, "wb") as handle:
                 np.savez(handle, **arrays)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, entry_dir / PLAN_BLOB)
+            _fsync_file(entry_dir)  # durability for the replace itself
         except OSError:
             tmp.unlink(missing_ok=True)
             return False

@@ -13,10 +13,21 @@ worker shards): no web framework, no new dependencies.
   and the worker entry points batch requests execute on;
 - :mod:`~repro.service.server` -- the asyncio HTTP front end
   (``python -m repro serve``): batch ``POST /v1/run``, NDJSON streaming
-  ``POST /v1/stream``, admission control (429 + Retry-After past
-  ``max_inflight``), and graceful SIGTERM drain;
+  ``POST /v1/stream``, a bounded deadline-aware admission queue (shed
+  with 429 + an estimate-backed Retry-After the moment a ``deadline_ms``
+  cannot be met), and graceful SIGTERM drain;
+- :mod:`~repro.service.pool` also hosts :class:`ShardSupervisor`: crash
+  supervision for the batch worker shards -- bounded respawn with
+  exponential backoff, idempotent re-dispatch of the lost task, and a
+  circuit breaker that flips ``/healthz`` to ``degraded`` instead of
+  silently absorbing a crash loop;
 - :mod:`~repro.service.client` -- :class:`ServiceClient`, the stdlib
-  client the load generator, tests, and examples drive the server with.
+  client the load generator, tests, and examples drive the server with;
+  retries idempotent-safe failures (429/503, pre-response connection
+  loss) with jittered backoff honoring ``Retry-After``;
+- :mod:`~repro.service.faults` -- chaos fault-injection hook points
+  (env-armed, zero-cost when off) the chaos suite uses to kill workers
+  mid-draw, truncate blobs mid-publish, and stall streams.
 
 Reproducibility contract: a request with a pinned ``seed`` returns
 byte-identical trees and round ledgers no matter which server, worker
@@ -26,24 +37,32 @@ is jobs- and host-invariant by construction; property-tested in
 worker session's own entropy and are deliberately non-reproducible.
 """
 
-from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.client import (
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceUnavailable,
+)
+from repro.service.faults import FaultInjected
 from repro.service.protocol import (
     ServiceError,
     ServiceLimits,
     ServiceTask,
     parse_service_envelope,
 )
-from repro.service.pool import SessionPool
+from repro.service.pool import SessionPool, ShardSupervisor
 from repro.service.server import ServerConfig, TreeService, serve
 
 __all__ = [
     "ServiceClient",
+    "ServiceConnectionError",
     "ServiceUnavailable",
     "ServiceError",
     "ServiceLimits",
     "ServiceTask",
     "parse_service_envelope",
     "SessionPool",
+    "ShardSupervisor",
+    "FaultInjected",
     "ServerConfig",
     "TreeService",
     "serve",

@@ -9,18 +9,25 @@ API returns: :func:`run` a :class:`~repro.api.responses.Response`,
 from the NDJSON chunks as they arrive.
 
 Overload is a typed outcome, not a generic failure: 429/503 raise
-:class:`ServiceUnavailable` carrying the server's ``Retry-After`` hint,
-so callers can implement backoff without parsing error strings. Every
-call opens a fresh connection (the server is one-request-per-connection
-by design), which also means abandoning a ``stream`` generator closes
-the socket -- exactly the disconnect signal the server's slot-release
-path listens for.
+:class:`ServiceUnavailable` carrying the server's ``Retry-After`` hint.
+The client retries *idempotent-safe* failures itself -- 429/503 and
+connection failures that happen before any response bytes arrive --
+with jittered exponential backoff that honors ``Retry-After``
+(``retries`` attempts, 0 disables). Failures after a response begins
+are never retried here: a batch body is parsed or it isn't, and a
+half-consumed stream must surface mid-stream death to the caller, who
+can re-issue the whole (idempotent, pinned-seed) request if desired.
+Every call opens a fresh connection (the server is
+one-request-per-connection by design), which also means abandoning a
+``stream`` generator closes the socket -- exactly the disconnect signal
+the server's slot-release path listens for.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
 from dataclasses import dataclass
@@ -31,11 +38,17 @@ from repro.errors import ReproError
 
 __all__ = [
     "ServiceClient",
+    "ServiceConnectionError",
     "ServiceRequestError",
     "ServiceUnavailable",
     "StreamSummary",
     "wait_until_ready",
 ]
+
+# Connection failures that can precede any response byte. Everything
+# here is idempotent-safe to retry when it fires *before* a response:
+# the server either never saw the request or never started answering.
+_RETRYABLE_CONN = (ConnectionError, http.client.RemoteDisconnected)
 
 
 class ServiceRequestError(ReproError):
@@ -56,26 +69,57 @@ class ServiceUnavailable(ServiceRequestError):
         self.retry_after = retry_after
 
 
+class ServiceConnectionError(ReproError):
+    """The connection failed before any response arrived.
+
+    Raised once the client's own retry budget is spent (or immediately
+    with ``retries=0``). Always idempotent-safe to retry from outside:
+    the server never began answering.
+    """
+
+
 @dataclass(frozen=True)
 class StreamSummary:
-    """The terminal NDJSON record of a completed stream."""
+    """The terminal NDJSON record of a completed stream.
+
+    ``attempts`` counts connection attempts the client spent getting
+    this stream open (1 = first try); retries only ever happen before
+    the first record, so a summary's records arrived in one unbroken
+    response.
+    """
 
     count: int
     seconds: float
     degraded: bool
     cache: dict
+    attempts: int = 1
 
 
 class ServiceClient:
-    """One service endpoint; stateless between calls."""
+    """One service endpoint; stateless between calls.
+
+    ``retries`` bounds how many times :func:`run` / :func:`stream`
+    re-attempt after an idempotent-safe failure (``retries=2`` means up
+    to 3 attempts); ``backoff_base``/``backoff_cap`` shape the jittered
+    exponential delay between them. :attr:`last_attempts` reports the
+    attempt count of the most recent :func:`run` call (streams carry
+    theirs on :class:`StreamSummary`).
+    """
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 8437, *,
-        timeout: float = 300.0,
+        timeout: float = 300.0, retries: int = 2,
+        backoff_base: float = 0.25, backoff_cap: float = 8.0,
     ) -> None:
+        if retries < 0:
+            raise ReproError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.last_attempts = 0
 
     # -- plumbing -------------------------------------------------------
 
@@ -83,6 +127,22 @@ class ServiceClient:
         return http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
+
+    def _backoff_delay(
+        self, attempt: int, retry_after: float | None
+    ) -> float:
+        """Jittered exponential delay before retry number ``attempt + 1``.
+
+        The jitter (uniform over [0.5x, 1x]) decorrelates a herd of
+        clients all shed at the same instant; a server ``Retry-After``
+        is a floor, never shortened -- the server's estimate knows the
+        queue, the client's backoff doesn't.
+        """
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        delay *= 0.5 + 0.5 * random.random()
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return delay
 
     @staticmethod
     def _raise_for_status(status: int, headers, body: bytes) -> None:
@@ -102,11 +162,18 @@ class ServiceClient:
         body = json.dumps(envelope, allow_nan=False).encode()
         conn = self._connect()
         try:
-            conn.request("POST", path, body=body, headers={
-                "Content-Type": "application/json",
-                "Content-Length": str(len(body)),
-            })
-            response = conn.getresponse()
+            try:
+                conn.request("POST", path, body=body, headers={
+                    "Content-Type": "application/json",
+                    "Content-Length": str(len(body)),
+                })
+                response = conn.getresponse()
+            except _RETRYABLE_CONN as error:
+                # No response byte arrived: typed, idempotent-safe.
+                raise ServiceConnectionError(
+                    f"connection to {self.host}:{self.port} failed before "
+                    f"a response: {error}"
+                ) from error
             payload = response.read()
             if response.status != 200:
                 self._raise_for_status(
@@ -159,16 +226,40 @@ class ServiceClient:
     def run(
         self, graph: dict, request: dict, *,
         preset: str | None = None, config: dict | None = None,
+        deadline_ms: int | None = None,
     ) -> Response:
-        """Batch execution: one envelope in, one typed Response out."""
-        payload = self._post_json("/v1/run", _envelope(
-            graph, request, preset=preset, config=config
-        ))
-        return response_from_dict(payload)
+        """Batch execution: one envelope in, one typed Response out.
+
+        Retries 429/503 and pre-response connection failures up to
+        ``self.retries`` times (idempotent-safe by the service's
+        pinned-seed contract); :attr:`last_attempts` records how many
+        attempts this call used.
+        """
+        envelope = _envelope(
+            graph, request, preset=preset, config=config,
+            deadline_ms=deadline_ms,
+        )
+        attempt = 0
+        while True:
+            attempt += 1
+            self.last_attempts = attempt
+            try:
+                payload = self._post_json("/v1/run", envelope)
+                return response_from_dict(payload)
+            except ServiceUnavailable as error:
+                if attempt > self.retries:
+                    raise
+                time.sleep(self._backoff_delay(attempt - 1,
+                                               error.retry_after))
+            except ServiceConnectionError:
+                if attempt > self.retries:
+                    raise
+                time.sleep(self._backoff_delay(attempt - 1, None))
 
     def stream(
         self, graph: dict, request: dict, *,
         preset: str | None = None, config: dict | None = None,
+        deadline_ms: int | None = None,
     ):
         """Yield ``(index, SampleResult)`` as the server emits them.
 
@@ -177,21 +268,53 @@ class ServiceClient:
         StopIteration value: ``summary = yield from client.stream(...)``
         inside a generator, or use :func:`stream_collect` for the common
         collect-everything case. Server-side ``error`` records raise.
+
+        Retries (429/503, pre-response connection failures) happen only
+        while *opening* the stream -- before the first record -- so
+        yielded results are never duplicated. Once records flow, a death
+        mid-stream raises; the caller may re-issue the whole request
+        (idempotent for pinned seeds). The terminal
+        :class:`StreamSummary` carries the attempt count.
         """
-        envelope = _envelope(graph, request, preset=preset, config=config)
+        envelope = _envelope(
+            graph, request, preset=preset, config=config,
+            deadline_ms=deadline_ms,
+        )
         body = json.dumps(envelope, allow_nan=False).encode()
-        conn = self._connect()
+        attempt = 0
+        while True:  # connection attempts; breaks once 200 arrives
+            attempt += 1
+            conn = self._connect()
+            try:
+                conn.request("POST", "/v1/stream", body=body, headers={
+                    "Content-Type": "application/json",
+                    "Content-Length": str(len(body)),
+                })
+                response = conn.getresponse()
+                if response.status != 200:
+                    payload = response.read()
+                    self._raise_for_status(
+                        response.status, response.headers, payload
+                    )
+                break
+            except ServiceUnavailable as error:
+                conn.close()
+                if attempt > self.retries:
+                    raise
+                time.sleep(self._backoff_delay(attempt - 1,
+                                               error.retry_after))
+            except _RETRYABLE_CONN as error:
+                conn.close()
+                if attempt > self.retries:
+                    raise ServiceConnectionError(
+                        f"stream to {self.host}:{self.port} failed before "
+                        f"a response after {attempt} attempt(s): {error}"
+                    ) from error
+                time.sleep(self._backoff_delay(attempt - 1, None))
+            except BaseException:
+                conn.close()
+                raise
         try:
-            conn.request("POST", "/v1/stream", body=body, headers={
-                "Content-Type": "application/json",
-                "Content-Length": str(len(body)),
-            })
-            response = conn.getresponse()
-            if response.status != 200:
-                payload = response.read()
-                self._raise_for_status(
-                    response.status, response.headers, payload
-                )
             # http.client undoes the chunked framing; readline() hands
             # back exactly the NDJSON records the server wrote.
             summary: StreamSummary | None = None
@@ -212,6 +335,7 @@ class ServiceClient:
                         seconds=float(record["seconds"]),
                         degraded=bool(record.get("degraded", False)),
                         cache=dict(record.get("cache", {})),
+                        attempts=attempt,
                     )
                 elif kind == "error":
                     raise ServiceRequestError(
@@ -225,11 +349,13 @@ class ServiceClient:
     def stream_collect(
         self, graph: dict, request: dict, *,
         preset: str | None = None, config: dict | None = None,
+        deadline_ms: int | None = None,
     ) -> tuple[list[SampleResult], StreamSummary | None]:
         """Drain a stream into ``(results_in_draw_order, summary)``."""
         results: list[SampleResult] = []
         iterator = self.stream(
-            graph, request, preset=preset, config=config
+            graph, request, preset=preset, config=config,
+            deadline_ms=deadline_ms,
         )
         summary = None
         while True:
@@ -246,12 +372,15 @@ class ServiceClient:
 def _envelope(
     graph: dict, request: dict, *,
     preset: str | None, config: dict | None,
+    deadline_ms: int | None = None,
 ) -> dict:
     envelope: dict = {"graph": graph, "request": request}
     if preset is not None:
         envelope["preset"] = preset
     if config:
         envelope["config"] = config
+    if deadline_ms is not None:
+        envelope["deadline_ms"] = deadline_ms
     return envelope
 
 

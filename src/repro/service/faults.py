@@ -1,0 +1,211 @@
+"""Chaos fault-injection hook points for the serving stack.
+
+Fault tolerance that is only exercised by real outages is decorative.
+This module gives the serving stack *named hook points* -- places where
+production code asks "should a fault fire here?" -- and a tiny plan
+language for wiring faults into them from tests, so the chaos suite
+(``tests/test_chaos.py`` via ``tests/chaosutil.py``) can kill workers
+mid-draw, crash or truncate disk-tier publishes, delay shard responses
+past deadlines, and so on, against *real* server subprocesses.
+
+Activation is environment-driven so it crosses process boundaries the
+same way the failures it simulates do: the server front end, its batch
+worker shards, and any ensemble grandchildren all inherit
+``REPRO_FAULTS`` and fire the same plan. With the variable unset every
+hook is a single cached dict probe returning instantly -- production
+cost is nil -- and the engine-layer hooks (:mod:`repro.engine.store`)
+don't even import this module.
+
+Plan grammar (``REPRO_FAULTS``)::
+
+    point=action[:arg][#limit] [; point=action ...]
+
+- ``point`` names a hook site: ``worker.task`` (batch worker shard, at
+  task pickup), ``store.publish`` (disk tier, just before the atomic
+  rename), ``stream.chunk`` (front end, before each streamed record).
+- ``action`` is one of ``kill`` (SIGKILL own process -- a crashed
+  worker), ``exit[:code]`` (``os._exit``, default 17 -- a dying
+  process that skips cleanup), ``delay:seconds`` (a stalled shard or
+  slow disk), ``error[:message]`` (raise :class:`FaultInjected`), or
+  ``truncate`` (chop bytes off the largest blob the hook is publishing
+  -- a torn write).
+- ``#limit`` fires the rule at most ``limit`` times. With
+  ``REPRO_FAULTS_DIR`` set the budget is shared *across processes* via
+  atomically-claimed token files (so "kill exactly one worker, then
+  heal" is expressible against a respawning pool); without it the
+  count is per-process.
+
+Example -- kill exactly one batch worker, fleet-wide::
+
+    REPRO_FAULTS="worker.task=kill#1" REPRO_FAULTS_DIR=/tmp/tokens \
+        python -m repro serve ...
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "ENV_FAULTS",
+    "ENV_TOKEN_DIR",
+    "FaultInjected",
+    "FaultRule",
+    "fire",
+    "parse_plan",
+]
+
+ENV_FAULTS = "REPRO_FAULTS"
+ENV_TOKEN_DIR = "REPRO_FAULTS_DIR"
+
+_ACTIONS = ("kill", "exit", "delay", "error", "truncate")
+
+
+class FaultInjected(RuntimeError):
+    """An ``error``-action fault fired.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    faults must travel the unexpected-failure paths (500s, degradation,
+    supervision), never the typed client-error ones.
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed ``point=action[:arg][#limit]`` clause."""
+
+    point: str
+    action: str
+    arg: str | None = None
+    limit: int | None = None
+
+
+def parse_plan(spec: str) -> dict[str, list[FaultRule]]:
+    """Parse a plan string into ``{point: [rules...]}``.
+
+    Raises ``ValueError`` on malformed clauses -- a chaos test with a
+    typo'd plan must fail loudly, not run fault-free and pass.
+    """
+    plan: dict[str, list[FaultRule]] = {}
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        point, sep, spec_part = clause.partition("=")
+        if not sep or not point:
+            raise ValueError(f"fault clause {clause!r} is not point=action")
+        limit: int | None = None
+        if "#" in spec_part:
+            spec_part, _, raw_limit = spec_part.rpartition("#")
+            limit = int(raw_limit)
+            if limit < 1:
+                raise ValueError(f"fault limit must be >= 1, got {limit}")
+        action, _, arg = spec_part.partition(":")
+        if action not in _ACTIONS:
+            raise ValueError(
+                f"unknown fault action {action!r}; choose from {_ACTIONS}"
+            )
+        plan.setdefault(point.strip(), []).append(
+            FaultRule(point.strip(), action, arg or None, limit)
+        )
+    return plan
+
+
+# Parsed-plan cache keyed by the raw env value, so each process parses
+# once and monkeypatched env changes (in-process tests) are picked up.
+_cache: tuple[str | None, dict[str, list[FaultRule]]] = (None, {})
+# Per-process fallback budgets when no token directory is configured.
+_local_claims: dict[tuple[str, int], int] = {}
+
+
+def _plan() -> dict[str, list[FaultRule]]:
+    global _cache
+    spec = os.environ.get(ENV_FAULTS)
+    if spec == _cache[0]:
+        return _cache[1]
+    _cache = (spec, parse_plan(spec) if spec else {})
+    return _cache[1]
+
+
+def _claim(rule: FaultRule, index: int) -> bool:
+    """Claim one firing of a limited rule; True when the budget allows.
+
+    With ``REPRO_FAULTS_DIR`` the budget is a set of token files claimed
+    with ``O_CREAT | O_EXCL`` -- atomic on POSIX, so concurrent workers
+    (or a respawned pool) can never over-fire a ``#limit`` rule.
+    """
+    assert rule.limit is not None
+    token_dir = os.environ.get(ENV_TOKEN_DIR)
+    if not token_dir:
+        key = (f"{rule.point}={rule.action}", index)
+        fired = _local_claims.get(key, 0)
+        if fired >= rule.limit:
+            return False
+        _local_claims[key] = fired + 1
+        return True
+    root = Path(token_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    stem = f"{rule.point}.{rule.action}.{index}"
+    for slot in range(rule.limit):
+        try:
+            fd = os.open(
+                root / f"{stem}.{slot}.token",
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            continue
+        except OSError:
+            return False
+        os.close(fd)
+        return True
+    return False
+
+
+def _truncate_blobs(payload: dict) -> None:
+    """Chop the tail off the largest payload blob (a simulated torn write)."""
+    directory = payload.get("dir")
+    if directory is None:
+        return
+    blobs = [
+        path
+        for path in Path(directory).iterdir()
+        if path.is_file() and path.name != "meta.json"
+    ]
+    if not blobs:
+        return
+    victim = max(blobs, key=lambda path: path.stat().st_size)
+    size = victim.stat().st_size
+    with open(victim, "r+b") as handle:
+        handle.truncate(max(0, size // 2))
+
+
+def _execute(rule: FaultRule, payload: dict) -> None:
+    if rule.action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif rule.action == "exit":
+        os._exit(int(rule.arg or 17))
+    elif rule.action == "delay":
+        time.sleep(float(rule.arg or 0.1))
+    elif rule.action == "error":
+        raise FaultInjected(rule.arg or f"injected fault at {rule.point}")
+    elif rule.action == "truncate":
+        _truncate_blobs(payload)
+
+
+def fire(point: str, **payload) -> None:
+    """Run every active fault rule registered at ``point``.
+
+    ``payload`` gives context-dependent actions their target (e.g.
+    ``dir=`` for ``truncate``). No-op (one dict probe) when no plan
+    names the point.
+    """
+    rules = _plan().get(point)
+    if not rules:
+        return
+    for index, rule in enumerate(rules):
+        if rule.limit is not None and not _claim(rule, index):
+            continue
+        _execute(rule, payload)

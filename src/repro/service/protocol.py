@@ -157,6 +157,11 @@ class ServiceTask:
     preset: str
     overrides: dict = field(default_factory=dict)
     request: object = None
+    # Client deadline for the whole request (queue wait + service) in
+    # milliseconds; None means "wait as long as the server allows". An
+    # admission-queue hint, deliberately excluded from session_key --
+    # two requests differing only in deadline share a session.
+    deadline_ms: int | None = None
 
     def build_graph(self) -> tuple[WeightedGraph, dict]:
         """Construct the task's graph; returns ``(graph, meta)``.
@@ -311,12 +316,22 @@ def parse_service_envelope(
     :class:`ServiceError` (with its HTTP status) otherwise.
     """
     payload = _require_dict(payload, "request body")
-    unknown = set(payload) - {"graph", "preset", "config", "request"}
+    unknown = set(payload) - {
+        "graph", "preset", "config", "request", "deadline_ms"
+    }
     if unknown:
         raise ServiceError(
             f"unknown envelope field(s) {sorted(unknown)}; expected "
-            "'graph', 'request', optional 'preset' and 'config'"
+            "'graph', 'request', optional 'preset', 'config', and "
+            "'deadline_ms'"
         )
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        deadline_ms = _parse_int(deadline_ms, "'deadline_ms'")
+        if deadline_ms < 1:
+            raise ServiceError(
+                f"'deadline_ms' must be >= 1, got {deadline_ms}"
+            )
     if "graph" not in payload:
         raise ServiceError("envelope needs a 'graph' spec")
     if "request" not in payload:
@@ -381,4 +396,5 @@ def parse_service_envelope(
         preset=preset,
         overrides=overrides,
         request=request,
+        deadline_ms=deadline_ms,
     )

@@ -22,23 +22,38 @@ Admission control happens in two layers, both *before* any sampling:
   draw counts, graph size, fan-out, body bytes -- violations are 400/413
   at validation time, never mid-stream;
 - concurrency: past ``max_inflight`` admitted requests the server
-  answers 429 with a ``Retry-After`` hint instead of queueing unbounded
-  work. While draining (SIGTERM/SIGINT) new work gets 503 and in-flight
-  requests finish; queued-but-unstarted chunks are cancelled through
-  ``iter_ensemble``'s shutdown contract (``cancel_futures=True``), so
-  drain never hangs behind work nobody will receive.
+  queues up to ``queue_depth`` waiters in FIFO order rather than
+  hard-rejecting. Requests may carry a ``deadline_ms``; a waiter whose
+  deadline cannot be met (predicted from an EWMA of observed slot-hold
+  times) is shed *immediately* with 429 and a ``Retry-After`` computed
+  from that same estimate -- at enqueue, at grant, or mid-wait,
+  whichever comes first -- so clients learn "come back in N seconds"
+  instead of burning their budget in a hopeless line. ``queue_depth=0``
+  restores the PR 7 pure-reject behavior. While draining
+  (SIGTERM/SIGINT) new work gets 503, queued waiters are flushed with
+  503, and in-flight requests finish; queued-but-unstarted chunks are
+  cancelled through ``iter_ensemble``'s shutdown contract
+  (``cancel_futures=True``), so drain never hangs behind work nobody
+  will receive.
 
-Failure surface: a broken process pool degrades batch requests to the
-server-process session pool (logged, surfaced as
-``meta["service_degraded"]``); a client that disconnects mid-stream
-frees its slot as soon as the next chunk write fails; per-request
-wall-clock budgets cut batches with 504 and streams with a terminal
-``error`` record. A batch worker that blows past the budget is not
-abandoned-but-busy: the whole shard pool is killed and respawned
-(``worker_recycles`` counts it), so a runaway request cannot pin a
-worker slot for the rest of the server's life. Observability rides on
-``GET /stats`` (JSON) and ``GET /metrics`` (the same counters in
-Prometheus text exposition format, scrape-ready).
+Failure surface: a crashed batch worker (``BrokenProcessPool``) is
+*supervised*, not silently absorbed -- the shard pool respawns with
+capped exponential backoff and the lost task is re-dispatched, which is
+safe because service draws are idempotent (a pinned seed reproduces the
+same bytes; a seedless request never delivered its first result).
+Repeated consecutive crashes trip the supervisor's circuit breaker:
+``/healthz`` flips to ``degraded``, batches are served from the front
+end's own session pool (``meta["service_degraded"]``, counted once per
+request in ``degraded_batches`` no matter how many attempts crashed),
+and one probe per cooldown window tests whether the pool healed. A
+client that disconnects mid-stream frees its slot as soon as the next
+chunk write fails; per-request wall-clock budgets cut batches with 504
+and streams with a terminal ``error`` record. A batch worker that blows
+past the budget is not abandoned-but-busy: the whole shard pool is
+killed and respawned (``worker_recycles`` counts it), so a runaway
+request cannot pin a worker slot for the rest of the server's life.
+Observability rides on ``GET /stats`` (JSON) and ``GET /metrics`` (the
+same counters in Prometheus text exposition format, scrape-ready).
 """
 
 from __future__ import annotations
@@ -46,18 +61,19 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
-import os
 import signal
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.api.requests import EnsembleRequest
 from repro.api.responses import sanitize_nonfinite
 from repro.errors import ConfigError, ReproError
-from repro.service.pool import SessionPool, init_worker, run_task
+from repro.service import faults
+from repro.service.pool import SessionPool, ShardSupervisor, run_task
 from repro.service.protocol import (
     ServiceError,
     ServiceLimits,
@@ -86,9 +102,14 @@ class ServerConfig:
     :attr:`TreeService.port` report the real one -- how tests and the
     load generator avoid collisions). ``workers`` sizes the batch
     process pool; ``max_inflight`` caps *admitted* requests of both
-    kinds. ``cache_dir`` is the shared warm-start volume every session
-    pool points at; ``preset`` the default config recipe requests build
-    on.
+    kinds, and ``queue_depth`` bounds how many more may wait in the
+    admission queue (0 = reject instead of queueing, the pre-queue
+    behavior). ``cache_dir`` is the shared warm-start volume every
+    session pool points at; ``preset`` the default config recipe
+    requests build on. ``max_redispatch`` bounds how many times one
+    batch request may be re-dispatched after worker crashes before it
+    degrades in-process; ``breaker_threshold`` consecutive crashes trip
+    the shard circuit breaker for ``breaker_reset_seconds`` per probe.
     """
 
     host: str = "127.0.0.1"
@@ -101,6 +122,11 @@ class ServerConfig:
     session_cap: int = 8
     drain_seconds: float = 10.0
     retry_after: float = 1.0
+    queue_depth: int = 16
+    queue_wait_seconds: float = 30.0
+    max_redispatch: int = 2
+    breaker_threshold: int = 5
+    breaker_reset_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -117,6 +143,38 @@ class ServerConfig:
             raise ConfigError(
                 f"drain_seconds must be >= 0, got {self.drain_seconds}"
             )
+        if self.queue_depth < 0:
+            raise ConfigError(
+                f"queue_depth must be >= 0, got {self.queue_depth}"
+            )
+        if self.queue_wait_seconds <= 0:
+            raise ConfigError(
+                f"queue_wait_seconds must be > 0, got "
+                f"{self.queue_wait_seconds}"
+            )
+        if self.max_redispatch < 0:
+            raise ConfigError(
+                f"max_redispatch must be >= 0, got {self.max_redispatch}"
+            )
+        if self.breaker_threshold < 1:
+            raise ConfigError(
+                f"breaker_threshold must be >= 1, got "
+                f"{self.breaker_threshold}"
+            )
+        if self.breaker_reset_seconds < 0:
+            raise ConfigError(
+                f"breaker_reset_seconds must be >= 0, got "
+                f"{self.breaker_reset_seconds}"
+            )
+
+
+@dataclass
+class _Waiter:
+    """One queued admission: a future granted a slot or shed with 429."""
+
+    future: asyncio.Future
+    enqueued: float  # monotonic
+    deadline: float | None  # monotonic, from deadline_ms
 
 
 class TreeService:
@@ -129,13 +187,24 @@ class TreeService:
         self._sessions = SessionPool(
             limit=config.session_cap, cache_dir=config.cache_dir
         )
-        self._proc_pool: ProcessPoolExecutor | None = None
-        self._proc_pool_broken = False
+        self._shards = ShardSupervisor(
+            workers=config.workers,
+            cache_dir=config.cache_dir,
+            session_cap=config.session_cap,
+            breaker_threshold=config.breaker_threshold,
+            breaker_reset_seconds=config.breaker_reset_seconds,
+        )
         self._stream_threads = ThreadPoolExecutor(
             max_workers=config.max_inflight,
             thread_name_prefix="repro-stream",
         )
         self._inflight = 0
+        self._waiters: deque[_Waiter] = deque()
+        # EWMA of slot-hold seconds: the service-time estimate behind
+        # deadline shedding and Retry-After hints. None until the first
+        # completion (cold servers neither shed on prediction nor
+        # promise sharp hints).
+        self._service_ewma: float | None = None
         self._draining = asyncio.Event()
         self._active_stops: set[threading.Event] = set()
         self.counters = {
@@ -152,18 +221,20 @@ class TreeService:
             "degraded_batches": 0,
             "degraded_streams": 0,
             "worker_recycles": 0,
+            "worker_crashes": 0,
+            "redispatches": 0,
+            "breaker_trips": 0,
+            "queued": 0,
+            "shed_deadline": 0,
+            "shed_queue_timeout": 0,
+            "queue_wait_ms": 0,
         }
 
     # -- lifecycle ------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the listener and spin up the worker shards."""
+        """Bind the listener; worker shards spawn on first dispatch."""
         config = self.config
-        self._proc_pool = ProcessPoolExecutor(
-            max_workers=config.workers,
-            initializer=init_worker,
-            initargs=(config.cache_dir, config.session_cap),
-        )
         self._server = await asyncio.start_server(
             self._handle_connection, config.host, config.port
         )
@@ -172,9 +243,20 @@ class TreeService:
     def begin_drain(self, reason: str = "signal") -> None:
         """Flip into draining: stop admitting, let in-flight work finish."""
         if not self._draining.is_set():
-            _LOG.warning("draining on %s (%d in flight)",
-                         reason, self._inflight)
+            _LOG.warning("draining on %s (%d in flight, %d queued)",
+                         reason, self._inflight, len(self._waiters))
             self._draining.set()
+            # Flush the admission queue: waiters get the same typed 503
+            # a fresh request would, not a silent hang until timeout.
+            while self._waiters:
+                entry = self._waiters.popleft()
+                if entry.future.done():
+                    continue
+                self.counters["rejected_draining"] += 1
+                entry.future.set_exception(ServiceError(
+                    "server is draining", status=503,
+                    retry_after=self.config.retry_after,
+                ))
 
     async def wait_closed(self) -> int:
         """Block until drained and torn down; returns the exit code (0)."""
@@ -195,8 +277,7 @@ class TreeService:
         # cancel_futures: queued-but-unstarted chunks are dropped -- the
         # iter_ensemble shutdown contract, now load-bearing. Never wait
         # on work nobody will receive.
-        if self._proc_pool is not None:
-            self._proc_pool.shutdown(wait=False, cancel_futures=True)
+        self._shards.shutdown()
         self._stream_threads.shutdown(wait=False, cancel_futures=True)
         return 0
 
@@ -293,17 +374,19 @@ class TreeService:
 
         # -- concurrency admission ---------------------------------------
         try:
-            self._admit()
+            await self._admit(task)
         except ServiceError as error:
             await self._send_error(writer, error)
             return
+        held = time.monotonic()
         try:
             if target == "/v1/run":
                 await self._run_batch(writer, task)
             else:
                 await self._run_stream(writer, task)
         finally:
-            self._inflight -= 1
+            self._observe_service(time.monotonic() - held)
+            self._release_slot()
 
     @staticmethod
     def _parse_head(blob: bytes) -> tuple[str, dict[str, str]]:
@@ -326,23 +409,141 @@ class TreeService:
             payload, self.config.limits, default_preset=self.config.preset
         )
 
-    def _admit(self) -> None:
-        """One slot, or the typed refusal the front end should send."""
+    # -- admission queue ------------------------------------------------
+
+    def _observe_service(self, seconds: float) -> None:
+        """Fold one observed slot-hold time into the EWMA estimate."""
+        if self._service_ewma is None:
+            self._service_ewma = seconds
+        else:
+            self._service_ewma = 0.7 * self._service_ewma + 0.3 * seconds
+
+    def _estimate_wait(self, position: int) -> float:
+        """Predicted seconds until queue position ``position`` is granted.
+
+        Under saturation a slot frees roughly every ``ewma /
+        max_inflight`` seconds; position ``p`` needs ``p + 1`` frees.
+        """
+        service = self._service_ewma
+        if service is None:
+            return self.config.retry_after
+        return service * (position + 1) / self.config.max_inflight
+
+    def _retry_after(self, position: int) -> float:
+        """The Retry-After hint for a shed request at ``position``."""
+        return max(self.config.retry_after, self._estimate_wait(position))
+
+    def _grant(self) -> None:
+        self._inflight += 1
+        self.counters["admitted"] += 1
+
+    def _release_slot(self) -> None:
+        self._inflight -= 1
+        self._dispatch_waiters()
+
+    def _shed(self, message: str, *, position: int) -> ServiceError:
+        return ServiceError(
+            message, status=429, retry_after=self._retry_after(position)
+        )
+
+    def _dispatch_waiters(self) -> None:
+        """Grant freed slots to queue heads; shed newly hopeless waiters."""
+        while self._waiters and self._inflight < self.config.max_inflight:
+            entry = self._waiters.popleft()
+            if entry.future.done():  # already timed out / flushed
+                continue
+            now = time.monotonic()
+            service = self._service_ewma or 0.0
+            if entry.deadline is not None and now + service > entry.deadline:
+                # Granting would start work that cannot finish in time:
+                # shed at the last responsible moment instead.
+                self.counters["shed_deadline"] += 1
+                entry.future.set_exception(self._shed(
+                    "deadline_ms cannot be met (service estimate "
+                    f"{service:.3f}s exceeds the remaining budget)",
+                    position=0,
+                ))
+                continue
+            self._grant()
+            entry.future.set_result(None)
+
+    async def _admit(self, task: ServiceTask) -> None:
+        """One slot -- immediately, after a bounded deadline-aware wait,
+        or the typed refusal the front end should send."""
         if self._draining.is_set():
             self.counters["rejected_draining"] += 1
             raise ServiceError(
                 "server is draining", status=503,
                 retry_after=self.config.retry_after,
             )
-        if self._inflight >= self.config.max_inflight:
+        if self._inflight < self.config.max_inflight and not self._waiters:
+            self._grant()
+            return
+        config = self.config
+        position = len(self._waiters)
+        if config.queue_depth == 0 or position >= config.queue_depth:
             self.counters["rejected_overload"] += 1
             raise ServiceError(
-                f"at max_inflight = {self.config.max_inflight} admitted "
-                "requests", status=429,
-                retry_after=self.config.retry_after,
+                f"at max_inflight = {config.max_inflight} admitted "
+                f"requests with {position} queued", status=429,
+                retry_after=self._retry_after(position),
             )
-        self._inflight += 1
-        self.counters["admitted"] += 1
+        budget = (
+            task.deadline_ms / 1000.0 if task.deadline_ms is not None
+            else None
+        )
+        service = self._service_ewma
+        if budget is not None and service is not None:
+            # Shed the moment the deadline is known hopeless: predicted
+            # queue wait plus one service time must fit in the budget.
+            eta = self._estimate_wait(position) + service
+            if eta > budget:
+                self.counters["shed_deadline"] += 1
+                raise self._shed(
+                    f"deadline_ms = {task.deadline_ms} cannot be met "
+                    f"(estimated {eta:.3f}s to completion)",
+                    position=position,
+                )
+        loop = asyncio.get_running_loop()
+        entry = _Waiter(
+            future=loop.create_future(),
+            enqueued=time.monotonic(),
+            deadline=(
+                time.monotonic() + budget if budget is not None else None
+            ),
+        )
+        self._waiters.append(entry)
+        self.counters["queued"] += 1
+        # A deadline-carrying waiter may linger only while starting now
+        # could still finish in time; deadline-less waiters are bounded
+        # by the operator's queue_wait_seconds.
+        if budget is not None:
+            timeout = max(0.0, budget - (service or 0.0))
+        else:
+            timeout = config.queue_wait_seconds
+        try:
+            await asyncio.wait_for(entry.future, timeout=timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            try:  # dead waiters must not hold queue positions
+                self._waiters.remove(entry)
+            except ValueError:
+                pass
+            position = len(self._waiters)
+            if budget is not None:
+                self.counters["shed_deadline"] += 1
+                raise self._shed(
+                    f"deadline_ms = {task.deadline_ms} expired while "
+                    "queued", position=position,
+                ) from None
+            self.counters["shed_queue_timeout"] += 1
+            raise self._shed(
+                f"queued past queue_wait_seconds = "
+                f"{config.queue_wait_seconds}", position=position,
+            ) from None
+        finally:
+            self.counters["queue_wait_ms"] += int(
+                (time.monotonic() - entry.enqueued) * 1000
+            )
 
     # -- responses ------------------------------------------------------
 
@@ -385,10 +586,20 @@ class TreeService:
         )
 
     def _healthz(self) -> dict:
+        if self._draining.is_set():
+            status = "draining"
+        elif self._shards.breaker_open:
+            # The shard pool is crash-looping and the breaker is open:
+            # the service still answers (in-process, degraded), but an
+            # orchestrator should route new traffic elsewhere.
+            status = "degraded"
+        else:
+            status = "ok"
         return {
-            "status": "draining" if self._draining.is_set() else "ok",
+            "status": status,
             "inflight": self._inflight,
             "workers": self.config.workers,
+            "shards": self._shards.state(),
         }
 
     def _stats(self) -> dict:
@@ -397,6 +608,12 @@ class TreeService:
             "draining": self._draining.is_set(),
             "counters": dict(self.counters),
             "sessions": self._sessions.stats(),
+            "queue": {
+                "depth": len(self._waiters),
+                "capacity": self.config.queue_depth,
+                "service_ewma_seconds": self._service_ewma,
+            },
+            "shards": self._shards.state(),
             "limits": {
                 "max_inflight": self.config.max_inflight,
                 "max_draws": self.config.limits.max_draws,
@@ -411,10 +628,11 @@ class TreeService:
         """The ``/stats`` counters in Prometheus text exposition format.
 
         Same numbers, scrape-ready: every lifetime counter becomes a
-        ``counter`` sample named ``repro_service_<name>``, plus the two
-        live gauges (``inflight``, ``draining``). Counter order follows
-        the ``counters`` dict (fixed at construction), so the output is
-        byte-deterministic for a given state -- the golden test pins it.
+        ``counter`` sample named ``repro_service_<name>``, plus the live
+        gauges (``inflight``, ``draining``, ``queue_depth``,
+        ``breaker_open``). Counter order follows the ``counters`` dict
+        (fixed at construction), so the output is byte-deterministic for
+        a given state -- the golden test pins it.
         """
         lines: list[str] = []
 
@@ -432,47 +650,15 @@ class TreeService:
         sample("draining", "gauge",
                "1 while the server is draining, else 0.",
                1 if self._draining.is_set() else 0)
+        sample("queue_depth", "gauge",
+               "Requests currently waiting in the admission queue.",
+               len(self._waiters))
+        sample("breaker_open", "gauge",
+               "1 while the shard circuit breaker is open, else 0.",
+               1 if self._shards.breaker_open else 0)
         return "\n".join(lines) + "\n"
 
     # -- batch path -----------------------------------------------------
-
-    def _recycle_workers(self) -> None:
-        """Kill and respawn the batch shard pool.
-
-        A worker that blew past ``max_seconds`` is busy inside a C call
-        and cannot be interrupted politely; leaving it running would pin
-        one of ``workers`` slots forever. SIGKILL the pool's processes,
-        discard the executor, and stand up a fresh one (workers re-warm
-        from the shared ``cache_dir``, so the cost is a cold start, not
-        lost state).
-
-        Workers are killed by process *group* (init_worker makes each
-        one a leader): an ensemble task forks grandchildren that inherit
-        the worker's death-signal pipe, and any survivor would keep the
-        dead worker's sentinel open -- leaving the old executor's
-        manager thread waiting forever and wedging interpreter exit on
-        its join.
-        """
-        pool, self._proc_pool = self._proc_pool, None
-        self.counters["worker_recycles"] += 1
-        if pool is not None:
-            for proc in list(getattr(pool, "_processes", {}).values()):
-                try:
-                    os.killpg(proc.pid, signal.SIGKILL)
-                except (OSError, AttributeError):
-                    try:
-                        proc.kill()  # not a group leader; best effort
-                    except (OSError, AttributeError):  # already gone
-                        pass
-            pool.shutdown(wait=False, cancel_futures=True)
-        # Construction is lazy (no processes until the first submit), so
-        # respawning here never blocks the event loop.
-        self._proc_pool = ProcessPoolExecutor(
-            max_workers=self.config.workers,
-            initializer=init_worker,
-            initargs=(self.config.cache_dir, self.config.session_cap),
-        )
-        self._proc_pool_broken = False
 
     def _run_inline(self, task: ServiceTask) -> dict:
         """Degraded batch path: serve from the front end's own pool."""
@@ -483,78 +669,116 @@ class TreeService:
         payload.setdefault("meta", {})["service_degraded"] = True
         return payload
 
-    async def _run_batch(self, writer, task: ServiceTask) -> None:
+    async def _send_timeout(self, writer) -> None:
+        self.counters["timeouts"] += 1
+        await self._send_json(writer, 504, {
+            "error": (
+                f"request exceeded max_seconds = "
+                f"{self.config.limits.max_seconds}"
+            ),
+            "status": 504,
+        })
+
+    async def _run_degraded(self, writer, task: ServiceTask) -> dict | None:
+        """In-process fallback once supervision gives up on the pool.
+
+        Counts ``degraded_batches`` exactly once per *request*, however
+        many crashed dispatch attempts led here. Returns the payload, or
+        ``None`` when an error response was already written.
+        """
+        self.counters["degraded_batches"] += 1
         loop = asyncio.get_running_loop()
-        start = time.perf_counter()
         try:
-            if self._proc_pool_broken:
-                raise BrokenProcessPool("pool marked broken")
-            future = loop.run_in_executor(self._proc_pool, run_task, task)
-            payload = await asyncio.wait_for(
-                future, timeout=self.config.limits.max_seconds
+            return await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._stream_threads, self._run_inline, task
+                ),
+                timeout=self.config.limits.max_seconds,
             )
         except (asyncio.TimeoutError, TimeoutError):
-            self.counters["timeouts"] += 1
-            # The worker holding this task is still busy (cancellation
-            # cannot reach into a C call): recycle the pool so the slot
-            # comes back instead of staying pinned by abandoned work.
-            self._recycle_workers()
-            await self._send_json(writer, 504, {
-                "error": (
-                    f"request exceeded max_seconds = "
-                    f"{self.config.limits.max_seconds}"
-                ),
-                "status": 504,
-            })
-            return
-        except (BrokenProcessPool, OSError) as error:
-            # Same degradation contract as the ensemble engine: process
-            # machinery failed, the request is still served -- loudly.
-            self._proc_pool_broken = True
-            self.counters["degraded_batches"] += 1
-            _LOG.warning(
-                "worker pool degraded to in-process serving after %s: %s",
-                type(error).__name__, error,
-            )
-            try:
-                payload = await asyncio.wait_for(
-                    loop.run_in_executor(
-                        self._stream_threads, self._run_inline, task
-                    ),
-                    timeout=self.config.limits.max_seconds,
-                )
-            except (asyncio.TimeoutError, TimeoutError):
-                self.counters["timeouts"] += 1
-                await self._send_json(writer, 504, {
-                    "error": (
-                        f"request exceeded max_seconds = "
-                        f"{self.config.limits.max_seconds}"
-                    ),
-                    "status": 504,
-                })
-                return
-            except ReproError as inner:
-                self.counters["failed"] += 1
-                await self._send_json(
-                    writer, 400, {"error": str(inner), "status": 400}
-                )
-                return
+            await self._send_timeout(writer)
+            return None
         except ReproError as error:
-            # The task validated but still failed in execution (e.g. an
-            # audit over an enumeration-intractable graph): client error.
             self.counters["failed"] += 1
             await self._send_json(
                 writer, 400, {"error": str(error), "status": 400}
             )
-            return
-        except Exception as error:
-            self.counters["failed"] += 1
-            _LOG.exception("batch task failed")
-            await self._send_json(writer, 500, {
-                "error": f"internal error: {type(error).__name__}",
-                "status": 500,
-            })
-            return
+            return None
+
+    async def _run_batch(self, writer, task: ServiceTask) -> None:
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        shards = self._shards
+        attempt = 0
+        while True:
+            if shards.breaker_open and not shards.breaker_allows_probe():
+                # Breaker open, no probe due: don't feed the crash loop.
+                payload = await self._run_degraded(writer, task)
+                if payload is None:
+                    return
+                break
+            try:
+                future = loop.run_in_executor(
+                    shards.executor(), run_task, task
+                )
+                payload = await asyncio.wait_for(
+                    future, timeout=self.config.limits.max_seconds
+                )
+                shards.note_success()
+                break
+            except (asyncio.TimeoutError, TimeoutError):
+                # The worker holding this task is still busy
+                # (cancellation cannot reach into a C call): recycle the
+                # pool so the slot comes back instead of staying pinned
+                # by abandoned work.
+                self.counters["worker_recycles"] += 1
+                shards.respawn(kill=True)
+                await self._send_timeout(writer)
+                return
+            except (BrokenProcessPool, OSError) as error:
+                # A worker died under the task. Respawn the pool and
+                # re-dispatch: service draws are idempotent (pinned
+                # seeds reproduce byte-identical results; a seedless
+                # request never delivered anything), so a retry is
+                # always safe. Bounded by max_redispatch and the
+                # breaker -- a crash-looping input degrades in-process
+                # instead of spinning forever.
+                self.counters["worker_crashes"] += 1
+                if shards.note_crash():
+                    self.counters["breaker_trips"] += 1
+                _LOG.warning(
+                    "worker shard crashed under a batch task (%s: %s)",
+                    type(error).__name__, error,
+                )
+                shards.respawn()
+                if (
+                    shards.breaker_open
+                    or attempt >= self.config.max_redispatch
+                ):
+                    payload = await self._run_degraded(writer, task)
+                    if payload is None:
+                        return
+                    break
+                self.counters["redispatches"] += 1
+                await asyncio.sleep(shards.backoff_seconds(attempt))
+                attempt += 1
+            except ReproError as error:
+                # The task validated but still failed in execution (e.g.
+                # an audit over an enumeration-intractable graph):
+                # client error.
+                self.counters["failed"] += 1
+                await self._send_json(
+                    writer, 400, {"error": str(error), "status": 400}
+                )
+                return
+            except Exception as error:
+                self.counters["failed"] += 1
+                _LOG.exception("batch task failed")
+                await self._send_json(writer, 500, {
+                    "error": f"internal error: {type(error).__name__}",
+                    "status": 500,
+                })
+                return
         payload.setdefault("meta", {})["service_seconds"] = round(
             time.perf_counter() - start, 6
         )
@@ -650,6 +874,7 @@ class TreeService:
                 stream = session.stream(task.request, stats=stats)
                 index = 0
                 for result in stream:
+                    faults.fire("stream.chunk")
                     if stop.is_set():
                         emit("aborted", None)
                         return

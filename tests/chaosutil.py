@@ -1,0 +1,107 @@
+"""Driving helpers for the chaos fault-injection suite.
+
+The harness has two halves: :mod:`repro.service.faults` provides the
+hook points and the plan language (armed via ``REPRO_FAULTS`` /
+``REPRO_FAULTS_DIR``); this module provides the test-side plumbing --
+composing the environment for faulty server subprocesses, counting how
+often limited rules actually fired (their claimed token files), and a
+canned "crash a process mid-cache-publish" subprocess scenario the
+crash-consistency tests reuse.
+
+Everything here is deliberately environment-based rather than
+monkeypatch-based: the failures under test (killed workers, torn disk
+writes) cross process boundaries, so the injection machinery must too.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def fault_env(spec: str, token_dir: Path | str) -> dict:
+    """Environment overlay arming fault plan ``spec`` across processes.
+
+    Pass as ``env_extra`` to ``test_service.start_server`` (or merge
+    into any subprocess env). ``token_dir`` makes ``#limit`` budgets
+    fleet-wide: every process sharing it draws from one pool of token
+    files.
+    """
+    return {
+        "REPRO_FAULTS": spec,
+        "REPRO_FAULTS_DIR": str(token_dir),
+    }
+
+
+def tokens_fired(token_dir: Path | str) -> int:
+    """How many limited-rule firings were claimed under ``token_dir``."""
+    root = Path(token_dir)
+    if not root.is_dir():
+        return 0
+    return sum(1 for p in root.iterdir() if p.name.endswith(".token"))
+
+
+# One pinned-seed draw against a disk-tier cache root: the subprocess
+# body for crash-consistency scenarios. With a `store.publish` fault
+# armed the process dies (or corrupts the blob) exactly at the publish
+# window; without one it populates the cache and prints the tree edges,
+# so callers can byte-compare runs.
+_STORE_SCRIPT = """
+import sys
+from repro.api import SampleRequest, Session
+from repro.api.presets import preset_config
+from repro.service.protocol import ServiceLimits, parse_service_envelope
+
+task = parse_service_envelope(
+    {"graph": {"family": "cycle", "n": 8, "seed": 0},
+     "request": {"request": "sample", "seed": 7}},
+    ServiceLimits(),
+)
+graph, meta = task.build_graph()
+config = preset_config("fast-bench", cache_dir=sys.argv[1])
+session = Session(graph, config, seed=0, meta=meta)
+response = session.run(task.request)
+print(sorted(response.result.tree))
+"""
+
+
+def run_pinned_draw(
+    cache_root: Path | str, *, faults: dict | None = None, timeout: float = 120
+) -> subprocess.CompletedProcess:
+    """Run the pinned-seed draw subprocess against ``cache_root``.
+
+    ``faults`` is an environment overlay from :func:`fault_env` (or
+    None for a clean run). Returns the completed process; callers
+    assert on ``returncode`` (e.g. ``-9`` for a SIGKILL mid-publish)
+    and compare ``stdout`` tree lines across runs.
+    """
+    env = {**os.environ, "PYTHONPATH": str(SRC), **(faults or {})}
+    env.pop("REPRO_CACHE_DIR", None)  # the explicit root must win
+    return subprocess.run(
+        [sys.executable, "-c", _STORE_SCRIPT, str(cache_root)],
+        capture_output=True, text=True, env=env, timeout=timeout,
+    )
+
+
+def published_entries(cache_root: Path | str) -> list[Path]:
+    """Published (meta.json-bearing) blob dirs under a DiskTier root."""
+    blobs = Path(cache_root) / "blobs"
+    if not blobs.is_dir():
+        return []
+    return sorted(
+        path for path in blobs.iterdir()
+        if path.is_dir() and not path.name.startswith(".tmp-")
+        and (path / "meta.json").exists()
+    )
+
+
+def tmp_debris(cache_root: Path | str) -> list[Path]:
+    """Leftover unpublished tmp dirs/files (crash residue) under a root."""
+    blobs = Path(cache_root) / "blobs"
+    if not blobs.is_dir():
+        return []
+    return sorted(p for p in blobs.iterdir() if p.name.startswith(".tmp-"))

@@ -1,0 +1,368 @@
+"""Chaos suite: injected failures end in correct bytes or typed errors.
+
+Property under test, from the fault-tolerance contract: for every
+injected failure mode -- a worker SIGKILLed mid-draw, a process dying
+or tearing a write mid-cache-publish, shard responses delayed past the
+wall-clock budget, crash loops that trip the circuit breaker -- a
+request ends in either a byte-identical correct response (the
+pinned-seed contract survives the failure) or a clean typed error
+(429/503/504), never a corrupt tree, a wedged inflight slot, or a
+poisoned shared cache.
+
+Faults are injected through :mod:`repro.service.faults` hook points,
+armed via environment (``tests/chaosutil.py``) so they fire inside real
+server subprocesses and their worker shards -- the same process
+boundaries real failures cross.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import EnsembleRequest, Session
+from repro.api.presets import preset_config
+from repro.service import faults
+from repro.service.client import (
+    ServiceClient,
+    ServiceRequestError,
+    wait_until_ready,
+)
+from repro.service.protocol import ServiceLimits, parse_service_envelope
+
+from tests.chaosutil import (
+    fault_env,
+    published_entries,
+    run_pinned_draw,
+    tmp_debris,
+    tokens_fired,
+)
+from tests.test_service import start_server, stop_server
+
+GRAPH = {"family": "cycle", "n": 8, "seed": 0}
+ENSEMBLE = {"request": "ensemble", "count": 3, "seed": 99, "jobs": 2}
+
+
+def local_bill(count: int = 3, jobs: int = 1):
+    """Reference draws for GRAPH under the server's default config."""
+    task = parse_service_envelope(
+        {"graph": GRAPH, "request": {"request": "sample"}}, ServiceLimits()
+    )
+    graph, meta = task.build_graph()
+    session = Session(
+        graph, preset_config("fast-bench"), seed=0, meta=meta
+    )
+    response = session.run(EnsembleRequest(count=count, seed=99, jobs=jobs))
+    return [(r.tree, r.rounds) for r in response.result.results]
+
+
+def served_bill(response):
+    return [(r.tree, r.rounds) for r in response.result.results]
+
+
+# ---------------------------------------------------------------------------
+# Plan language and budgets (no processes).
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_parse_clauses(self):
+        plan = faults.parse_plan(
+            "worker.task=kill#1; store.publish=truncate;"
+            "stream.chunk=delay:0.25#3"
+        )
+        assert set(plan) == {"worker.task", "store.publish", "stream.chunk"}
+        (kill,) = plan["worker.task"]
+        assert (kill.action, kill.arg, kill.limit) == ("kill", None, 1)
+        (delay,) = plan["stream.chunk"]
+        assert (delay.action, delay.arg, delay.limit) == ("delay", "0.25", 3)
+        assert plan["store.publish"][0].limit is None
+
+    def test_malformed_plans_fail_loudly(self):
+        with pytest.raises(ValueError):
+            faults.parse_plan("worker.task")  # no action
+        with pytest.raises(ValueError):
+            faults.parse_plan("worker.task=explode")  # unknown action
+        with pytest.raises(ValueError):
+            faults.parse_plan("worker.task=kill#0")  # nonsense budget
+
+    def test_limited_rule_fires_exactly_once(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "unit.point=error:boom#1")
+        monkeypatch.setenv("REPRO_FAULTS_DIR", str(tmp_path))
+        with pytest.raises(faults.FaultInjected, match="boom"):
+            faults.fire("unit.point")
+        # Budget spent: the same point is now a no-op, and the claim is
+        # visible as a token file (the cross-process ledger).
+        faults.fire("unit.point")
+        assert tokens_fired(tmp_path) == 1
+
+    def test_unarmed_fire_is_noop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        faults.fire("worker.task")  # nothing configured, nothing happens
+
+
+# ---------------------------------------------------------------------------
+# Worker crash supervision (real server subprocesses).
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerCrashSupervision:
+    def test_kill_one_worker_redispatch_byte_identical(self, tmp_path):
+        """One SIGKILLed worker: respawn + re-dispatch, same bytes.
+
+        The first batch task to reach a shard kills its worker. The
+        supervisor must respawn the pool and re-dispatch, and the
+        response must be byte-identical to an uninterrupted local run
+        -- the idempotence claim that makes re-dispatch safe, observed
+        end-to-end.
+        """
+        tokens = tmp_path / "tokens"
+        proc, port = start_server(
+            "--workers", "1", "--cache-dir", str(tmp_path / "cache"),
+            env_extra=fault_env("worker.task=kill#1", tokens),
+        )
+        client = ServiceClient(port=port, retries=0)
+        try:
+            wait_until_ready(client)
+            response = client.run(GRAPH, ENSEMBLE)
+            assert served_bill(response) == local_bill(jobs=2)
+            # Supervised, not degraded: the crash was absorbed by the
+            # shard layer, never the in-process fallback.
+            assert response.meta.get("service_degraded") is None
+            counters = client.stats()["counters"]
+            assert tokens_fired(tokens) == 1
+            assert counters["worker_crashes"] == 1
+            assert counters["redispatches"] == 1
+            assert counters["degraded_batches"] == 0
+            assert counters["completed"] == 1
+            assert client.healthz()["status"] == "ok"
+            assert client.stats()["inflight"] == 0  # no wedged slot
+        finally:
+            assert stop_server(proc) == 0
+
+    def test_crash_loop_trips_breaker_and_degrades(self, tmp_path):
+        """A crash loop: bounded respawns, breaker, degraded /healthz,
+        and in-process correctness while the breaker holds.
+
+        Also the per-request dedupe regression: a degraded ensemble that
+        jobs=2 splits into chunks -- and whose pool crashed on multiple
+        dispatch attempts -- must bump ``degraded_batches`` exactly once
+        per request.
+        """
+        tokens = tmp_path / "tokens"
+        # Cooldown far beyond the test's lifetime: the breaker, once
+        # open, must short-circuit every later request in-process.
+        proc, port = start_server(
+            "--workers", "1", "--cache-dir", str(tmp_path / "cache"),
+            "--breaker-threshold", "2", "--max-redispatch", "3",
+            "--breaker-reset-seconds", "300",
+            env_extra=fault_env("worker.task=kill#3", tokens),
+        )
+        client = ServiceClient(port=port, retries=0)
+        try:
+            wait_until_ready(client)
+            # Request 1: crash, re-dispatch, crash again -> threshold 2
+            # trips the breaker mid-request -> served in-process. One
+            # request, two crashed attempts, multiple ensemble chunks:
+            # degraded_batches must still read exactly 1.
+            response = client.run(GRAPH, ENSEMBLE)
+            assert served_bill(response) == local_bill(jobs=2)
+            assert response.meta.get("service_degraded") is True
+            counters = client.stats()["counters"]
+            assert counters["worker_crashes"] == 2
+            assert counters["breaker_trips"] == 1
+            assert counters["degraded_batches"] == 1, counters
+            assert client.healthz()["status"] == "degraded"
+            # Request 2, inside the cooldown: breaker short-circuits to
+            # in-process -- no new crash, one more degraded request.
+            response = client.run(GRAPH, {"request": "sample", "seed": 5})
+            assert response.meta.get("service_degraded") is True
+            counters = client.stats()["counters"]
+            assert counters["worker_crashes"] == 2
+            assert counters["degraded_batches"] == 2
+            assert counters["completed"] == 2
+            assert counters["failed"] == 0
+            assert client.healthz()["status"] == "degraded"
+            assert client.stats()["inflight"] == 0
+        finally:
+            assert stop_server(proc) == 0
+
+    def test_breaker_heals_via_cooldown_probe(self, tmp_path):
+        """Once the crash budget is spent, a cooldown probe closes the
+        breaker and /healthz recovers to "ok" end-to-end."""
+        tokens = tmp_path / "tokens"
+        proc, port = start_server(
+            "--workers", "1", "--cache-dir", str(tmp_path / "cache"),
+            "--breaker-threshold", "2", "--max-redispatch", "3",
+            "--breaker-reset-seconds", "0.3",
+            env_extra=fault_env("worker.task=kill#2", tokens),
+        )
+        client = ServiceClient(port=port, retries=0)
+        try:
+            wait_until_ready(client)
+            # Two crashes spend the kill budget and trip the breaker.
+            response = client.run(GRAPH, {"request": "sample", "seed": 5})
+            assert response.meta.get("service_degraded") is True
+            assert client.healthz()["status"] == "degraded"
+            assert tokens_fired(tokens) == 2
+            # Past the cooldown the next request probes the pool; the
+            # fault budget is spent, so the probe succeeds, the breaker
+            # closes, and the service heals.
+            time.sleep(0.4)
+            response = client.run(GRAPH, {"request": "sample", "seed": 6})
+            assert response.meta.get("service_degraded") is None
+            assert client.healthz()["status"] == "ok"
+            counters = client.stats()["counters"]
+            assert counters["worker_crashes"] == 2
+            assert counters["breaker_trips"] == 1
+            assert counters["completed"] == 2
+            assert counters["failed"] == 0
+            assert client.stats()["inflight"] == 0
+        finally:
+            assert stop_server(proc) == 0
+
+
+# ---------------------------------------------------------------------------
+# Disk-tier crash consistency (kill / torn write mid-publish).
+# ---------------------------------------------------------------------------
+
+
+class TestStoreCrashConsistency:
+    def test_kill_mid_publish_never_surfaces_partial_entry(self, tmp_path):
+        """SIGKILL at the publish window: no entry, no wedge, same bytes.
+
+        The fsync-before-rename fix means the only states a crash can
+        leave behind are "entry fully published and durable" or "tmp
+        debris, no entry". A later clean run over the same root must
+        neither trip over the debris nor read partial state -- and must
+        produce the identical pinned-seed tree a fresh-cache run does.
+        """
+        root = tmp_path / "cache"
+        tokens = tmp_path / "tokens"
+        crashed = run_pinned_draw(
+            root, faults=fault_env("store.publish=kill#1", tokens)
+        )
+        assert crashed.returncode == -9, crashed.stderr
+        assert tokens_fired(tokens) == 1
+        assert published_entries(root) == []  # nothing half-published
+        assert tmp_debris(root), "crash should leave tmp residue, not entries"
+
+        healed = run_pinned_draw(root)
+        assert healed.returncode == 0, healed.stderr
+        assert published_entries(root), "clean run must publish"
+
+        fresh = run_pinned_draw(tmp_path / "fresh-cache")
+        assert healed.stdout == fresh.stdout  # byte-identical pinned draw
+
+    def test_torn_write_is_discarded_not_served(self, tmp_path):
+        """A truncated-but-published blob is a miss, never poisoned state.
+
+        The truncate fault fires inside the publish window (before the
+        fsync barrier), modelling exactly the torn write a crashing
+        host could have produced pre-fix. The read path must treat the
+        corrupt entry as a miss, recompute, and still produce the
+        byte-identical pinned-seed tree.
+        """
+        root = tmp_path / "cache"
+        tokens = tmp_path / "tokens"
+        torn = run_pinned_draw(
+            root, faults=fault_env("store.publish=truncate#1", tokens)
+        )
+        assert torn.returncode == 0, torn.stderr
+        assert tokens_fired(tokens) == 1
+        assert published_entries(root), "torn entry should be published"
+
+        reread = run_pinned_draw(root)
+        assert reread.returncode == 0, reread.stderr
+
+        fresh = run_pinned_draw(tmp_path / "fresh-cache")
+        assert torn.stdout == fresh.stdout
+        assert reread.stdout == fresh.stdout  # cache never poisons draws
+
+
+# ---------------------------------------------------------------------------
+# Delay faults: budgets cut streams with typed errors, slots come back.
+# ---------------------------------------------------------------------------
+
+
+class TestDelayedShards:
+    def test_stream_delayed_past_budget_gets_typed_504(self, tmp_path):
+        proc, port = start_server(
+            "--workers", "1", "--max-seconds", "0.3",
+            "--cache-dir", str(tmp_path / "cache"),
+            env_extra=fault_env(
+                "stream.chunk=delay:0.05", tmp_path / "tokens"
+            ),
+        )
+        client = ServiceClient(port=port, retries=0)
+        try:
+            wait_until_ready(client)
+            with pytest.raises(ServiceRequestError) as info:
+                client.stream_collect(
+                    {"family": "cycle", "n": 16},
+                    {"request": "ensemble", "count": 40, "seed": 0},
+                )
+            assert info.value.status == 504
+            assert "max_seconds" in str(info.value)
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                if client.stats()["inflight"] == 0:
+                    break
+                time.sleep(0.1)
+            assert client.stats()["inflight"] == 0  # slot came back
+        finally:
+            assert stop_server(proc) == 0
+
+
+# ---------------------------------------------------------------------------
+# Client-side retry under overload.
+# ---------------------------------------------------------------------------
+
+
+class TestClientRetry:
+    def test_run_retries_429_until_slot_frees(self, tmp_path):
+        import threading
+
+        proc, port = start_server(
+            "--workers", "1", "--max-inflight", "1", "--queue-depth", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        holder = ServiceClient(port=port, retries=0)
+        client = ServiceClient(port=port, retries=4, backoff_base=0.2)
+        try:
+            wait_until_ready(holder)
+            stream = holder.stream(
+                {"family": "cycle", "n": 16},
+                {"request": "ensemble", "count": 40, "seed": 0},
+            )
+            next(stream)  # the only slot is now held
+            release = threading.Timer(0.5, stream.close)
+            release.start()
+            try:
+                response = client.run(GRAPH, {"request": "sample", "seed": 3})
+            finally:
+                release.cancel()
+            assert response.kind == "sample"
+            # The first attempt hit 429; at least one jittered,
+            # Retry-After-honoring retry landed after the slot freed.
+            assert client.last_attempts >= 2
+            counters = client.stats()["counters"]
+            assert counters["rejected_overload"] >= 1
+        finally:
+            assert stop_server(proc) == 0
+
+    def test_stream_summary_counts_attempts(self, tmp_path):
+        proc, port = start_server(
+            "--workers", "1", "--cache-dir", str(tmp_path / "cache"),
+        )
+        client = ServiceClient(port=port)
+        try:
+            wait_until_ready(client)
+            results, summary = client.stream_collect(
+                GRAPH, {"request": "ensemble", "count": 2, "seed": 1}
+            )
+            assert len(results) == 2
+            assert summary is not None and summary.attempts == 1
+        finally:
+            assert stop_server(proc) == 0

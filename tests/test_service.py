@@ -23,6 +23,7 @@ import socket
 import subprocess
 import sys
 import time
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 import numpy as np
@@ -299,10 +300,15 @@ class TestEndpoints:
             assert re.fullmatch(rf"{re.escape(name)} \d+", sample), sample
             names.append(name)
         # Exposition covers every /stats counter (same order) plus the
-        # two live gauges, and the values agree with the JSON view.
+        # live gauges, and the values agree with the JSON view.
         stats = server.stats()
         expected = [f"repro_service_{key}" for key in stats["counters"]]
-        expected += ["repro_service_inflight", "repro_service_draining"]
+        expected += [
+            "repro_service_inflight",
+            "repro_service_draining",
+            "repro_service_queue_depth",
+            "repro_service_breaker_open",
+        ]
         assert names == expected
         for key, value in stats["counters"].items():
             assert f"repro_service_{key} {int(value)}" in lines
@@ -421,11 +427,13 @@ class TestEndpoints:
 
 class TestAdmissionAndFaults:
     def test_overload_429_with_retry_after(self, tmp_path):
+        # --queue-depth 0 restores the pure-reject admission policy this
+        # test pins; retries=0 keeps the client from absorbing the 429.
         proc, port = start_server(
-            "--workers", "1", "--max-inflight", "1",
+            "--workers", "1", "--max-inflight", "1", "--queue-depth", "0",
             "--cache-dir", str(tmp_path / "cache"),
         )
-        client = ServiceClient(port=port)
+        client = ServiceClient(port=port, retries=0)
         try:
             wait_until_ready(client)
             # Occupy the only slot with a stream held open mid-flight:
@@ -538,6 +546,84 @@ class TestAdmissionAndFaults:
             socket.create_connection(("127.0.0.1", port), timeout=2).close()
 
 
+class TestAdmissionQueue:
+    def test_burst_queues_and_completes(self, tmp_path):
+        """Past max_inflight a burst waits in the queue, not a 429.
+
+        Four concurrent batch requests against one slot: with the queue
+        enabled every one of them completes, the overflow shows up in
+        the ``queued`` counter, and nothing was hard-rejected.
+        """
+        proc, port = start_server(
+            "--workers", "1", "--max-inflight", "1", "--queue-depth", "8",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        client = ServiceClient(port=port, retries=0)
+        try:
+            wait_until_ready(client)
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [
+                    pool.submit(
+                        client.run, GRAPH, {"request": "sample", "seed": s}
+                    )
+                    for s in range(4)
+                ]
+                responses = [f.result(timeout=60) for f in futures]
+            assert all(r.kind == "sample" for r in responses)
+            counters = client.stats()["counters"]
+            assert counters["completed"] == 4
+            assert counters["queued"] >= 1
+            assert counters["rejected_overload"] == 0
+            assert counters["shed_deadline"] == 0
+        finally:
+            stop_server(proc)
+
+    def test_deadline_shed_with_429_while_queued(self, tmp_path):
+        """A queued request sheds with 429 when its deadline_ms expires."""
+        proc, port = start_server(
+            "--workers", "1", "--max-inflight", "1", "--queue-depth", "8",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        client = ServiceClient(port=port, retries=0)
+        try:
+            wait_until_ready(client)
+            # Hold the only slot open mid-stream, then race a deadline
+            # request into the queue: it must come back 429, promptly.
+            stream = client.stream(
+                {"family": "cycle", "n": 16},
+                {"request": "ensemble", "count": 40, "seed": 0},
+            )
+            next(stream)
+            started = time.monotonic()
+            with pytest.raises(ServiceUnavailable) as info:
+                client.run(
+                    GRAPH, {"request": "sample", "seed": 1},
+                    deadline_ms=300,
+                )
+            waited = time.monotonic() - started
+            assert info.value.status == 429
+            assert info.value.retry_after is not None
+            assert "deadline" in str(info.value)
+            assert waited < 5.0  # shed at the deadline, not a long timeout
+            stream.close()
+            counters = client.stats()["counters"]
+            assert counters["shed_deadline"] >= 1
+            assert client.stats()["inflight"] <= 1  # no wedged slot
+        finally:
+            stop_server(proc)
+
+    def test_deadline_ms_validation(self):
+        with pytest.raises(ServiceError):
+            parse_service_envelope(envelope(deadline_ms=0), LIMITS)
+        with pytest.raises(ServiceError):
+            parse_service_envelope(envelope(deadline_ms="soon"), LIMITS)
+        task = parse_service_envelope(envelope(deadline_ms=1500), LIMITS)
+        assert task.deadline_ms == 1500
+        # deadline_ms is an admission hint: same session either way.
+        bare = parse_service_envelope(envelope(), LIMITS)
+        assert task.session_key == bare.session_key
+
+
 class TestServeCLI:
     def test_bad_flags_rejected(self):
         env = {**os.environ, "PYTHONPATH": str(SRC)}
@@ -547,3 +633,34 @@ class TestServeCLI:
         )
         assert result.returncode == 2
         assert "workers" in result.stderr
+
+    def test_eaddrinuse_one_line_error(self):
+        """A taken port exits 2 with one clean line, not a traceback."""
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            env = {**os.environ, "PYTHONPATH": str(SRC)}
+            result = subprocess.run(
+                [sys.executable, "-m", "repro", "serve",
+                 "--port", str(port)],
+                capture_output=True, text=True, env=env, timeout=60,
+            )
+        finally:
+            blocker.close()
+        assert result.returncode == 2
+        assert "cannot serve on" in result.stderr
+        assert "Traceback" not in result.stderr
+        assert len(result.stderr.strip().splitlines()) == 1
+
+    def test_bad_host_one_line_error(self):
+        env = {**os.environ, "PYTHONPATH": str(SRC)}
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "serve",
+             "--host", "no-such-host.invalid", "--port", "0"],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert result.returncode == 2
+        assert "cannot serve on" in result.stderr
+        assert "Traceback" not in result.stderr

@@ -21,13 +21,21 @@ host bill identical category totals.
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
+
 import pytest
 
 from repro.api import EnsembleRequest, Session
 from repro.api.presets import preset_config
-from repro.service.client import ServiceClient, wait_until_ready
+from repro.service.client import (
+    ServiceClient,
+    ServiceUnavailable,
+    wait_until_ready,
+)
 from repro.service.protocol import ServiceLimits, parse_service_envelope
 
+from tests.chaosutil import fault_env, tokens_fired
 from tests.test_service import start_server, stop_server
 
 GRAPH = {"family": "cycle", "n": 8, "seed": 0}
@@ -134,3 +142,108 @@ def test_second_server_warm_starts_from_shared_volume(server_pair):
         assert cache, "stream summaries must carry cache counters"
         total_disk = cache.get("disk_hits", 0) + cache.get("hits", 0)
         assert total_disk > 0, cache
+
+
+def _bill(results):
+    return [(r.tree, r.rounds, r.rounds_by_category()) for r in results]
+
+
+@pytest.mark.parametrize("variant,contract", CELLS)
+def test_killed_worker_redispatch_is_byte_identical(
+    tmp_path, variant, contract
+):
+    """Invariance survives a worker crash: re-dispatch changes nothing.
+
+    The first shard task to run is SIGKILLed mid-draw; the supervisor
+    respawns the pool and re-dispatches. Because every draw's randomness
+    is pinned to its own spawned seed, the retried request must bill
+    exactly what an uninterrupted in-process Session bills -- per
+    variant, per RNG contract. A crash that shifted even one draw's
+    stream would surface here as a tree or ledger diff.
+    """
+    tokens = tmp_path / "tokens"
+    proc, port = start_server(
+        "--workers", "1", "--cache-dir", str(tmp_path / "cache"),
+        env_extra=fault_env("worker.task=kill#1", tokens),
+    )
+    client = ServiceClient(port=port, retries=0)
+    try:
+        wait_until_ready(client)
+        request = {
+            "request": "ensemble", "count": 3, "variant": variant,
+            "seed": 99,
+        }
+        overrides = {"ell": 1024, "rng_contract": contract}
+        response = client.run(GRAPH, request, config=overrides)
+        assert _bill(response.result.results) == _bill(
+            local_draws(variant, contract)
+        ), f"{variant}/{contract} diverged after crash re-dispatch"
+        counters = client.stats()["counters"]
+        assert tokens_fired(tokens) == 1
+        assert counters["worker_crashes"] == 1
+        assert counters["redispatches"] == 1
+        assert counters["degraded_batches"] == 0
+    finally:
+        assert stop_server(proc) == 0
+
+
+def test_overload_sheds_instead_of_missing_deadlines(tmp_path):
+    """Under overload, no accepted request misses its deadline.
+
+    One slot, slowed workers (a delay fault pads every batch task), and
+    a burst of deadline-carrying requests: the admission queue must
+    split the burst into (a) accepted requests that all complete within
+    their deadline and (b) shed requests answered immediately with 429 +
+    Retry-After -- never a request that waits, runs, and lands late.
+    """
+    deadline_ms = 1000
+    proc, port = start_server(
+        "--workers", "1", "--max-inflight", "1", "--queue-depth", "8",
+        "--cache-dir", str(tmp_path / "cache"),
+        env_extra=fault_env(
+            "worker.task=delay:0.3", tmp_path / "tokens"
+        ),
+    )
+    try:
+        client = ServiceClient(port=port, retries=0)
+        wait_until_ready(client)
+        # Warm-up: establishes the cache AND the service-time EWMA the
+        # admission queue's deadline estimates are built from.
+        client.run(GRAPH, {"request": "sample", "seed": 1})
+
+        def attempt(seed: int):
+            local = ServiceClient(port=port, retries=0)
+            start = time.monotonic()
+            try:
+                response = local.run(
+                    GRAPH, {"request": "sample", "seed": seed},
+                    deadline_ms=deadline_ms,
+                )
+            except ServiceUnavailable as error:
+                return ("shed", time.monotonic() - start, error)
+            return ("ok", time.monotonic() - start, response)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            outcomes = list(pool.map(attempt, range(2, 8)))
+
+        accepted = [o for o in outcomes if o[0] == "ok"]
+        shed = [o for o in outcomes if o[0] == "shed"]
+        assert accepted, "overload must not shed everything"
+        assert shed, "6 bursts into a 0.3s/task single slot must shed"
+        for _, elapsed, _ in accepted:
+            # The property under test: accepted => completed in budget
+            # (small client-side slack for connection+parse overhead).
+            assert elapsed <= deadline_ms / 1000 + 0.2, (
+                f"accepted request finished late: {elapsed:.3f}s"
+            )
+        for _, elapsed, error in shed:
+            assert elapsed < deadline_ms / 1000, (
+                "shedding must be prompt, not a timed-out wait"
+            )
+            assert error.retry_after is not None and error.retry_after > 0
+        counters = client.stats()["counters"]
+        assert counters["shed_deadline"] >= 1, counters
+        assert counters["completed"] == 1 + len(accepted)
+        assert client.stats()["inflight"] == 0
+    finally:
+        assert stop_server(proc) == 0
