@@ -1,0 +1,193 @@
+"""MST workload: distributed round bills + wall clock vs sequential oracles.
+
+Closes the ROADMAP's "benchmarked sequential baselines" rider for the
+MST side: the distributed Boruvka runner (billed under both registered
+recipes) against the sequential Kruskal and Boruvka oracles from
+``repro.walks.sequential``, on the same seeded random-weight instances
+the workload serves.
+
+Identity is asserted *in-bench*, not sampled: on every instance all
+three runners must return the identical forest with byte-exact equal
+canonical total weight (the ``(weight, edge index)`` total order makes
+the MSF unique), and each recipe's ledger total must equal its closed
+form in ``repro.core.rounds`` -- ``mst_kkt_rounds(n, m)`` for
+``kkt-o1``, ``mst_node_cc_rounds(n, phases)`` for ``node-cc-msf``. A
+timing row only exists because the correctness gate passed.
+
+The headline columns: the KKT bill stays O(1) (flat in n while
+``2m <= n^2``), the node-CC bill grows ~ ``log^2 n``, and the
+simulated-distributed wall clock is within a small factor of
+sequential Boruvka (same merge schedule, plus billing overhead).
+
+Runs standalone (the CI smoke job) or under pytest-benchmark::
+
+    PYTHONPATH=src python benchmarks/bench_mst_workload.py --smoke
+    pytest benchmarks/bench_mst_workload.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.mst import resolve_weights, run_mst
+from repro.core.rounds import mst_kkt_rounds, mst_node_cc_rounds
+from repro.core.workloads import get_workload
+from repro.graphs.families import build_family
+from repro.walks.sequential import boruvka_forest, kruskal_forest
+
+FAMILY = "gnp"  # sparse-ish: m ~ n log n, the regime the bills separate in
+FULL_NS = [128, 256, 512, 1024]
+SMOKE_NS = [32, 64]
+SEED = 7
+TRIALS = 3  # min-of wall clocks; correctness is asserted on every trial
+OUTPUT = Path(__file__).resolve().parent / "BENCH_mst_workload.json"
+
+_CLOSED_FORMS = {
+    "kkt-o1": lambda n, m, phases: mst_kkt_rounds(n, m),
+    "node-cc-msf": lambda n, m, phases: mst_node_cc_rounds(n, phases),
+}
+
+
+def _timed(fn, *args, **kwargs):
+    best, value = float("inf"), None
+    for __ in range(TRIALS):
+        start = time.perf_counter()
+        value = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def measure_instance(n: int) -> dict:
+    spec = get_workload("mst")
+    graph, __ = build_family(FAMILY, n, np.random.default_rng(SEED))
+    weights = resolve_weights(graph, "random", SEED)
+    m = len(graph.edges())
+
+    kruskal_seconds, (k_forest, k_weight) = _timed(
+        kruskal_forest, graph, weights
+    )
+    boruvka_seconds, (b_forest, b_weight, b_phases) = _timed(
+        boruvka_forest, graph, weights
+    )
+    assert b_forest == k_forest and b_weight == k_weight, (
+        f"sequential oracles disagree at n={graph.n}"
+    )
+
+    recipes = {}
+    for name in spec.recipe_names():
+        seconds, result = _timed(
+            run_mst, graph, recipe=spec.get_recipe(name), weights=weights
+        )
+        # The in-bench identity gate: forest, weight, bill, all exact.
+        assert result.forest == k_forest, f"{name} forest != oracle (n={n})"
+        assert result.total_weight == k_weight, (
+            f"{name} weight != oracle (n={n})"
+        )
+        assert result.phases == b_phases
+        expected = _CLOSED_FORMS[name](graph.n, m, result.phases)
+        assert result.rounds == result.ledger.total_rounds() == expected, (
+            f"{name} bill {result.rounds} != closed form {expected} (n={n})"
+        )
+        recipes[name] = {
+            "rounds": int(result.rounds),
+            "categories": {
+                key: int(value)
+                for key, value in result.ledger.rounds_by_category().items()
+            },
+            "seconds": round(seconds, 5),
+        }
+
+    return {
+        "n": int(graph.n),
+        "m": int(m),
+        "phases": int(b_phases),
+        "total_weight": float(k_weight),
+        "kruskal_seconds": round(kruskal_seconds, 5),
+        "boruvka_seconds": round(boruvka_seconds, 5),
+        "recipes": recipes,
+    }
+
+
+def run_benchmark(ns: list[int]) -> dict:
+    return {
+        "bench": "mst_workload",
+        "family": FAMILY,
+        "seed": SEED,
+        "weights": "random",
+        "ns": ns,
+        "results": [measure_instance(n) for n in ns],
+    }
+
+
+def _render(payload: dict) -> list[str]:
+    lines = [
+        "identity gate: distributed == Kruskal == Boruvka on every row "
+        "(byte-exact weights), ledger totals == closed forms",
+        f"{'n':>6s} {'m':>7s} {'kkt rounds':>10s} {'node-cc':>8s} "
+        f"{'phases':>6s} {'kruskal s':>10s} {'boruvka s':>10s} "
+        f"{'dist s':>8s}",
+    ]
+    for row in payload["results"]:
+        lines.append(
+            f"{row['n']:>6d} {row['m']:>7d} "
+            f"{row['recipes']['kkt-o1']['rounds']:>10d} "
+            f"{row['recipes']['node-cc-msf']['rounds']:>8d} "
+            f"{row['phases']:>6d} {row['kruskal_seconds']:>10.4f} "
+            f"{row['boruvka_seconds']:>10.4f} "
+            f"{row['recipes']['kkt-o1']['seconds']:>8.4f}"
+        )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"small-n grid {SMOKE_NS} for CI",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=OUTPUT,
+        help="output JSON path (default: BENCH_mst_workload.json)",
+    )
+    args = parser.parse_args(argv)
+    ns = SMOKE_NS if args.smoke else FULL_NS
+    payload = run_benchmark(ns)
+    payload["mode"] = "smoke" if args.smoke else "full"
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    for line in _render(payload):
+        print(line)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def test_mst_workload(benchmark, report):
+    """Pytest-benchmark wrapper with the round-bill shape checks."""
+    payload = {}
+
+    def experiment():
+        payload.update(run_benchmark(FULL_NS))
+        return payload
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    payload["mode"] = "full"
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    report(
+        "MST workload: distributed bills vs sequential oracles",
+        _render(payload),
+    )
+    rows = payload["results"]
+    # O(1) line: the KKT bill is flat across the grid while 2m <= n^2.
+    kkt = {row["recipes"]["kkt-o1"]["rounds"] for row in rows}
+    assert kkt == {mst_kkt_rounds(rows[0]["n"], rows[0]["m"])}, kkt
+    # log^2 n line: the node-CC bill strictly grows with n on this grid.
+    node_cc = [row["recipes"]["node-cc-msf"]["rounds"] for row in rows]
+    assert node_cc == sorted(node_cc) and node_cc[0] < node_cc[-1], node_cc
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -9,7 +9,7 @@ builds on (and the CLI's only backend):
 - :mod:`~repro.api.requests` -- frozen, JSON-serializable request
   dataclasses (:class:`SampleRequest`, :class:`EnsembleRequest`,
   :class:`AuditRequest`, :class:`RoundBillRequest`,
-  :class:`PageRankRequest`);
+  :class:`PageRankRequest`, :class:`MSTRequest`);
 - :mod:`~repro.api.responses` -- the uniform :class:`Response` envelope
   with lossless ``to_dict``/:func:`response_from_dict` JSON round trips
   for every result type;
@@ -21,7 +21,9 @@ Variant validation everywhere in this package derives from the
 :mod:`repro.core.variants` registry -- registering a new
 :class:`~repro.core.variants.VariantSpec` makes it addressable from
 requests, presets, sessions, the CLI, and the service envelope without
-further edits.
+further edits. Workload routing (which request kinds exist, which of
+them stream) likewise derives from the :mod:`repro.core.workloads`
+registry.
 
 The pre-session entry points (:func:`repro.sample_spanning_tree`,
 :meth:`~repro.core.sampler.CongestedCliqueTreeSampler.sample_many`,
@@ -40,6 +42,7 @@ from repro.api.requests import (
     REQUEST_TYPES,
     AuditRequest,
     EnsembleRequest,
+    MSTRequest,
     PageRankRequest,
     RoundBillRequest,
     SampleRequest,
@@ -49,6 +52,7 @@ from repro.api.responses import (
     RESULT_TYPES,
     AuditReport,
     FastCoverReport,
+    MSTReport,
     PageRankReport,
     Response,
     RoundBillReport,
@@ -63,6 +67,7 @@ __all__ = [
     "AuditRequest",
     "RoundBillRequest",
     "PageRankRequest",
+    "MSTRequest",
     "request_from_dict",
     "REQUEST_TYPES",
     "Response",
@@ -70,6 +75,7 @@ __all__ = [
     "RoundBillReport",
     "FastCoverReport",
     "PageRankReport",
+    "MSTReport",
     "response_from_dict",
     "RESULT_TYPES",
     "Preset",

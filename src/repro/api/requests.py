@@ -21,6 +21,7 @@ from dataclasses import asdict, dataclass, fields
 from typing import ClassVar
 
 from repro.core.variants import ensemble_variant_names, sample_variant_names
+from repro.core.workloads import get_workload
 from repro.errors import ConfigError
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "AuditRequest",
     "RoundBillRequest",
     "PageRankRequest",
+    "MSTRequest",
     "request_from_dict",
     "REQUEST_TYPES",
 ]
@@ -174,6 +176,39 @@ class PageRankRequest(_RequestBase):
             )
 
 
+@dataclass(frozen=True)
+class MSTRequest(_RequestBase):
+    """Minimum spanning forest over seeded random edge weights.
+
+    ``recipe`` picks the round model to bill under -- any recipe
+    registered on the ``"mst"`` workload spec (``None`` defers to the
+    workload default). ``weights`` picks the instance family:
+    ``"random"`` (i.i.d. uniform, unique MSF), ``"tie-prone"``
+    (quantized draws forcing weight ties), or ``"graph"`` (the graph's
+    own weights). Every result is gated against the sequential Kruskal
+    oracle before it is returned.
+    """
+
+    kind: ClassVar[str] = "mst"
+
+    recipe: str | None = None
+    weights: str = "random"
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        spec = get_workload("mst")
+        if self.recipe is not None and self.recipe not in spec.recipe_names():
+            raise ConfigError(
+                f"unknown mst recipe {self.recipe!r}; "
+                f"choose from {spec.recipe_names()}"
+            )
+        if self.weights not in spec.weight_modes:
+            raise ConfigError(
+                f"unknown weight mode {self.weights!r}; "
+                f"choose from {spec.weight_modes}"
+            )
+
+
 REQUEST_TYPES: dict[str, type] = {
     cls.kind: cls
     for cls in (
@@ -182,6 +217,7 @@ REQUEST_TYPES: dict[str, type] = {
         AuditRequest,
         RoundBillRequest,
         PageRankRequest,
+        MSTRequest,
     )
 }
 

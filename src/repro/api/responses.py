@@ -28,6 +28,7 @@ __all__ = [
     "RoundBillReport",
     "FastCoverReport",
     "PageRankReport",
+    "MSTReport",
     "RESULT_TYPES",
     "response_from_dict",
     "sanitize_nonfinite",
@@ -189,6 +190,35 @@ class PageRankReport(_ReportBase):
     exact_scores: list = field(default_factory=list)
 
 
+@dataclass(frozen=True)
+class MSTReport(_ReportBase):
+    """One oracle-gated minimum spanning forest.
+
+    ``forest`` is the canonical edge list (``(min, max)``-normalized,
+    sorted), ``total_weight`` the canonical total (weights summed in
+    ascending edge-index order, so equal forests report byte-equal
+    floats). ``oracle_weight`` / ``oracle_match`` record the sequential
+    Kruskal cross-validation the session performed before returning:
+    a report only exists because the gate passed, but the fields keep
+    the verdict auditable on the wire.
+    """
+
+    forest: list = field(default_factory=list)
+    total_weight: float = 0.0
+    recipe: str = ""
+    weights: str = "random"
+    phases: int = 0
+    rounds: int = 0
+    categories: dict = field(default_factory=dict)
+    oracle: str = "kruskal"
+    oracle_weight: float = 0.0
+    oracle_match: bool = False
+
+    def rounds_by_category(self) -> dict:
+        """Ledger-style category totals (mirrors engine results)."""
+        return dict(self.categories)
+
+
 RESULT_TYPES: dict[str, type] = {
     cls.__name__: cls
     for cls in (
@@ -198,6 +228,7 @@ RESULT_TYPES: dict[str, type] = {
         RoundBillReport,
         FastCoverReport,
         PageRankReport,
+        MSTReport,
     )
 }
 

@@ -40,6 +40,7 @@ from repro.api.presets import get_preset, resolve_config
 from repro.api.requests import (
     AuditRequest,
     EnsembleRequest,
+    MSTRequest,
     PageRankRequest,
     RoundBillRequest,
     SampleRequest,
@@ -47,11 +48,13 @@ from repro.api.requests import (
 from repro.api.responses import (
     AuditReport,
     FastCoverReport,
+    MSTReport,
     PageRankReport,
     Response,
     RoundBillReport,
 )
 from repro.core.config import SamplerConfig
+from repro.core.workloads import streaming_request_kinds
 from repro.engine.ensemble import EnsembleEngine
 from repro.engine.store import open_phase_store
 from repro.engine.runner import SamplerEngine
@@ -161,16 +164,20 @@ class Session:
 
     # -- execution ------------------------------------------------------
 
-    def run(self, request) -> Response:
-        """Execute one request; returns the uniform response envelope."""
-        handlers = {
+    def _handlers(self) -> dict:
+        """Request type -> handler; one entry per registered wire kind."""
+        return {
             SampleRequest: self._run_sample,
             EnsembleRequest: self._run_ensemble,
             AuditRequest: self._run_audit,
             RoundBillRequest: self._run_roundbill,
             PageRankRequest: self._run_pagerank,
+            MSTRequest: self._run_mst,
         }
-        handler = handlers.get(type(request))
+
+    def run(self, request) -> Response:
+        """Execute one request; returns the uniform response envelope."""
+        handler = self._handlers().get(type(request))
         if handler is None:
             raise ConfigError(
                 f"unsupported request type {type(request).__name__!r}"
@@ -200,26 +207,40 @@ class Session:
         }
         return Response(kind=request.kind, result=result, meta=meta)
 
-    def stream(self, request: EnsembleRequest, *, stats: dict | None = None):
-        """Yield an ensemble's draws incrementally as workers complete.
+    def stream(self, request, *, stats: dict | None = None):
+        """Yield a request's results incrementally.
 
-        Spawns the same per-draw seeds as :meth:`run` on an equal
-        request, so for the same ``request.seed`` the streamed trees and
-        round bills are byte-identical to the batch response's, in the
-        same order -- streaming changes delivery, never outputs. (With
-        ``seed=None`` each call consumes a fresh lineage child, so two
-        calls intentionally draw different ensembles.)
+        Accepts any request whose kind the workload registry marks
+        streamable (:func:`~repro.core.workloads.
+        streaming_request_kinds`). Ensembles yield draw by draw as
+        workers complete; single-result workloads (MST) yield their one
+        result record. Either way the outputs are byte-identical to the
+        batch :meth:`run` response's for the same ``request.seed`` --
+        streaming changes delivery, never outputs. (With ``seed=None``
+        each call consumes a fresh lineage child, so two calls
+        intentionally draw different results.)
 
         ``stats``, when given, is a caller-owned dict filled in as the
         stream completes: aggregated worker cache counters plus a
         ``degraded`` flag if the process pool broke mid-stream (the
         serving layer reports both instead of masking the fallback).
         """
-        if not isinstance(request, EnsembleRequest):
+        kind = getattr(type(request), "kind", None)
+        if kind not in streaming_request_kinds():
             raise ConfigError(
-                f"stream() takes an EnsembleRequest, got "
+                f"stream() takes a streamable request (kinds "
+                f"{streaming_request_kinds()}), got "
                 f"{type(request).__name__!r}"
             )
+        if not isinstance(request, EnsembleRequest):
+            # Single-result workloads: same handler, oracle gate, and
+            # seed derivation as run(); the stream is one record long.
+            result = self.run(request).result
+            if stats is not None:
+                stats.update(self.cache_stats())
+                stats["degraded"] = False
+            yield result
+            return
         if request.leverage_audit:
             # The audit is a batch-level aggregate; silently dropping it
             # would betray the request. Batch via run(), or audit the
@@ -348,6 +369,50 @@ class Session:
             else 0,
         )
         return report, {"m": int(self.graph.m)}
+
+    def _run_mst(self, request: MSTRequest, seed) -> tuple:
+        from repro.core.mst import resolve_weights, run_mst
+        from repro.core.workloads import get_workload
+        from repro.walks.sequential import kruskal_forest
+
+        spec = get_workload("mst")
+        recipe = spec.resolve_recipe(request.recipe)
+        # Weights depend only on (graph edge order, mode, seed) -- never
+        # on the numerics config -- so pinned-seed instances are
+        # host-invariant and identical under either RNG contract.
+        weights = resolve_weights(self.graph, request.weights, seed)
+        result = run_mst(self.graph, recipe=recipe, weights=weights)
+        oracle_forest, oracle_weight = kruskal_forest(self.graph, weights)
+        # The oracle gate: the distributed runner and Kruskal share the
+        # (weight, edge index) total order, under which the MSF is
+        # unique -- so exact edge-set AND weight equality must hold even
+        # on tie-prone instances. Anything else is a bug, not noise.
+        if (
+            result.forest != oracle_forest
+            or result.total_weight != oracle_weight
+        ):
+            raise ReproError(
+                "MST oracle gate failed: distributed forest "
+                f"(weight {result.total_weight!r}) disagrees with the "
+                f"sequential Kruskal oracle (weight {oracle_weight!r})"
+            )
+        report = MSTReport(
+            forest=[[int(u), int(v)] for u, v in result.forest],
+            total_weight=float(result.total_weight),
+            recipe=recipe.name,
+            weights=request.weights,
+            phases=int(result.phases),
+            rounds=int(result.rounds),
+            categories={
+                key: int(value)
+                for key, value in result.ledger.rounds_by_category().items()
+            },
+            oracle=str(spec.oracle),
+            oracle_weight=float(oracle_weight),
+            oracle_match=True,
+        )
+        meta = {"m": int(self.graph.m), "comm_model": recipe.comm_model}
+        return report, meta
 
     def _run_pagerank(self, request: PageRankRequest, seed) -> tuple:
         from repro.walks.pagerank import pagerank_exact, pagerank_via_walks

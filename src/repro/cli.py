@@ -35,6 +35,10 @@ Subcommands:
     bandwidth regime from the unicast rows.
 ``pagerank``
     Walk-based PageRank estimate vs the exact solve.
+``mst``
+    Minimum spanning forest over seeded random edge weights, billed
+    under a registered congested-clique recipe and gated against the
+    sequential Kruskal oracle before anything is printed.
 ``ensemble``
     Draw a batch of trees through the ensemble engine (per-draw spawned
     seeds, ``--jobs`` process fan-out) and report throughput plus the
@@ -75,6 +79,7 @@ import numpy as np
 from repro.api import (
     AuditRequest,
     EnsembleRequest,
+    MSTRequest,
     PageRankRequest,
     Response,
     RoundBillRequest,
@@ -83,6 +88,7 @@ from repro.api import (
     preset_config,
 )
 from repro.core.variants import ensemble_variant_names, sample_variant_names
+from repro.core.workloads import get_workload
 from repro.errors import ReproError
 from repro.graphs.core import WeightedGraph
 from repro.graphs.families import (
@@ -286,6 +292,33 @@ def _make_parser() -> argparse.ArgumentParser:
     pagerank.add_argument("--seed", type=int, default=0)
     pagerank.add_argument("--json", action="store_true",
                           help="machine-readable output")
+
+    mst_spec = get_workload("mst")
+    mst = sub.add_parser(
+        "mst",
+        help="oracle-gated minimum spanning forest over seeded weights",
+    )
+    mst.add_argument("--family", default="gnp", choices=family_names())
+    mst.add_argument("--n", type=int, default=64)
+    mst.add_argument(
+        "--recipe", default=None,
+        choices=list(mst_spec.recipe_names()),
+        help="round model to bill under "
+             f"(default: {mst_spec.default_recipe})",
+    )
+    mst.add_argument(
+        "--weights", default="random",
+        choices=list(mst_spec.weight_modes),
+        help="instance weighting: i.i.d. uniform draws, quantized "
+             "tie-prone draws, or the graph's own weights",
+    )
+    mst.add_argument("--seed", type=int, default=0)
+    mst.add_argument("--json", action="store_true",
+                     help="machine-readable output")
+    _add_linalg_flag(mst)
+    _add_cache_dir_flag(mst)
+    _add_placement_flag(mst)
+    _add_rng_contract_flag(mst)
 
     ensemble = sub.add_parser(
         "ensemble",
@@ -545,6 +578,35 @@ def _cmd_pagerank(args: argparse.Namespace) -> int:
     return _emit(response, args.json, render)
 
 
+def _cmd_mst(args: argparse.Namespace) -> int:
+    session = _open_session(args)
+    response = session.run(
+        MSTRequest(recipe=args.recipe, weights=args.weights, seed=args.seed)
+    )
+
+    def render(response: Response) -> None:
+        meta = response.meta
+        report = response.result
+        print(
+            f"mst ({report.recipe}, {report.weights} weights) on "
+            f"{meta['family']} (n={meta['n']}, m={meta['m']})"
+        )
+        print(f"  rounds: {report.rounds} ({meta['comm_model']}), "
+              f"phases: {report.phases}")
+        for category, count in report.rounds_by_category().items():
+            print(f"    {category:<26s} {count}")
+        print(f"  total weight: {report.total_weight:.6f}")
+        print(
+            f"  oracle ({report.oracle}): weight "
+            f"{report.oracle_weight:.6f}, "
+            f"match: {'yes' if report.oracle_match else 'NO'}"
+        )
+        forest = [list(edge) for edge in report.forest]
+        print(f"  forest: {len(forest)} edges: {forest[:6]}...")
+
+    return _emit(response, args.json, render)
+
+
 def _cmd_ensemble(args: argparse.Namespace) -> int:
     session = _open_session(args, ell=args.ell)
     response = session.run(
@@ -761,6 +823,7 @@ def main(argv: list[str] | None = None) -> int:
         "sample": _cmd_sample,
         "rounds": _cmd_rounds,
         "pagerank": _cmd_pagerank,
+        "mst": _cmd_mst,
         "ensemble": _cmd_ensemble,
         "audit": _cmd_audit,
         "calibrate": _cmd_calibrate,

@@ -1,0 +1,188 @@
+"""Distributed MST/MSF over seeded random edge weights.
+
+The MST workload's engine: a simulated congested-clique Boruvka run
+whose round bill is dispatched per :class:`~repro.core.workloads.
+WorkloadRecipe` -- ``"kkt-o1"`` bills the KKT-style O(1)-round
+Congested Clique algorithm (arXiv:1707.08484), ``"node-cc-msf"`` the
+sampling-based Node Congested Clique MSF (arXiv:1807.08738). The merge
+schedule itself is model-independent: every phase each component claims
+its minimum outgoing edge under the ``(weight, edge index)`` total
+order, which makes the forest unique and therefore edge-for-edge equal
+to the sequential ``tie_break="index"`` Kruskal oracle
+(:func:`repro.walks.sequential.kruskal_forest`) -- the equality
+:meth:`repro.api.session.Session` gates every result on.
+
+Ledger totals are pinned to the closed forms in :mod:`repro.core.rounds`
+(``mst_kkt_rounds`` / ``mst_node_cc_rounds``) by construction; the
+workload tests assert the identity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clique.cost import CostModel, RoundLedger
+from repro.core.workloads import WorkloadRecipe, get_workload
+from repro.errors import ConfigError, GraphError
+from repro.graphs.core import WeightedGraph
+from repro.graphs.spanning import TreeKey, tree_key
+from repro.walks.sequential import forest_weight
+
+__all__ = [
+    "DistributedMSTResult",
+    "resolve_weights",
+    "run_mst",
+]
+
+# Tie-prone instances quantize draws to multiples of 1/8: coarse enough
+# to collide constantly, and exactly representable in binary so partial
+# sums are order-independent (weight equality under ties stays exact).
+_TIE_QUANTUM = 8.0
+
+
+def resolve_weights(graph: WeightedGraph, mode: str, seed) -> np.ndarray:
+    """Per-edge weights for one MST instance, in ``graph.edges()`` order.
+
+    ``"random"`` draws i.i.d. uniform[0, 1) weights from
+    ``np.random.default_rng(seed)`` -- with probability 1 all-distinct,
+    so the MSF is unique outright. ``"tie-prone"`` quantizes the same
+    draws to multiples of 1/8, deliberately forcing weight ties (the
+    tie-handling tests' instance family). ``"graph"`` takes the graph's
+    own edge weights and ignores the seed. The mode list is registered
+    on the ``"mst"`` :class:`~repro.core.workloads.WorkloadSpec`.
+    """
+    modes = get_workload("mst").weight_modes
+    if mode not in modes:
+        raise ConfigError(f"unknown weight mode {mode!r}; choose from {modes}")
+    edges = graph.edges()
+    if not edges:
+        raise GraphError("MST needs at least one edge")
+    if mode == "graph":
+        return np.array(
+            [graph.weight(u, v) for u, v in edges], dtype=np.float64
+        )
+    draws = np.random.default_rng(seed).random(len(edges))
+    if mode == "tie-prone":
+        return np.floor(draws * _TIE_QUANTUM) / _TIE_QUANTUM
+    return draws
+
+
+@dataclass(frozen=True)
+class DistributedMSTResult:
+    """One distributed MSF: forest, canonical weight, phases, bill."""
+
+    forest: TreeKey
+    total_weight: float
+    phases: int
+    rounds: int
+    ledger: RoundLedger
+
+
+def _bill_kkt(ledger: RoundLedger, n: int, m: int, phases: int) -> None:
+    """KKT O(1)-rounds bill: 3 sparsify super-steps + relabeling.
+
+    Each super-step redistributes at most ``m`` edges over the Lenzen
+    fabric's ``n^2`` words-per-round aggregate (``ceil(2m / n^2)``
+    rounds, >= 1); Boruvka merges on the sparsified remainder resolve
+    locally and bill nothing. Matches ``rounds.mst_kkt_rounds(n, m)``.
+    """
+    ship = max(1, math.ceil(2.0 * m / float(n) ** 2))
+    for step in range(1, 4):
+        with ledger.section(f"super-step-{step}"):
+            ledger.charge("mst-sketch", ship, "sample-and-sparsify shipment")
+    ledger.charge("mst-merge", 2, "component relabel announcement")
+
+
+def _bill_node_cc(ledger: RoundLedger, n: int, m: int, phases: int) -> None:
+    """Node-CC bill: one sampling step + per-phase aggregation trees.
+
+    Every node has O(log n) incident words per round, so each Boruvka
+    phase aggregates component minima up an O(log n)-depth tree; the
+    one-time KKT sampling step costs ``2 ceil(log2 n)`` rounds. Matches
+    ``rounds.mst_node_cc_rounds(n, phases)``.
+    """
+    log_n = max(1, math.ceil(math.log2(max(n, 2))))
+    ledger.charge("mst-sampling", 2 * log_n, "KKT edge sampling")
+    for phase in range(1, phases + 1):
+        with ledger.section(f"phase-{phase}"):
+            ledger.charge("mst-aggregation", log_n, "min-edge aggregation tree")
+
+
+_BILLING = {
+    "kkt-o1": _bill_kkt,
+    "node-cc-msf": _bill_node_cc,
+}
+
+
+def run_mst(
+    graph: WeightedGraph,
+    *,
+    recipe: WorkloadRecipe,
+    weights: np.ndarray,
+    model: CostModel | None = None,
+) -> DistributedMSTResult:
+    """Distributed Boruvka MSF billed under ``recipe``'s round model.
+
+    The merge schedule runs phase-synchronously: each phase every
+    component announces its minimum outgoing edge under the
+    ``(weight, edge index)`` total order and all announced edges merge
+    at once. The total order makes the forest unique, so the result is
+    independent of the recipe -- recipes only change the *bill*.
+    """
+    graph.require_connected()
+    edges = graph.edges()
+    array = np.asarray(weights, dtype=np.float64)
+    if array.shape != (len(edges),):
+        raise ConfigError(
+            f"need one weight per edge: expected shape ({len(edges)},), "
+            f"got {array.shape}"
+        )
+    bill = _BILLING.get(recipe.name)
+    if bill is None:
+        raise ConfigError(
+            f"recipe {recipe.name!r} has no registered billing model; "
+            f"implemented: {tuple(sorted(_BILLING))}"
+        )
+
+    parent = list(range(graph.n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    chosen: list[int] = []
+    phases = 0
+    while len(chosen) < graph.n - 1:
+        phases += 1
+        best: dict[int, tuple[float, int]] = {}
+        for i, (u, v) in enumerate(edges):
+            ru, rv = find(u), find(v)
+            if ru == rv:
+                continue
+            candidate = (float(array[i]), i)
+            for root in (ru, rv):
+                if root not in best or candidate < best[root]:
+                    best[root] = candidate
+        if not best:  # pragma: no cover - connected graphs always merge
+            raise GraphError("Boruvka stalled before spanning the graph")
+        for _, i in sorted(set(best.values())):
+            u, v = edges[i]
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[ru] = rv
+                chosen.append(i)
+
+    ledger = RoundLedger(model)
+    bill(ledger, graph.n, len(edges), phases)
+    return DistributedMSTResult(
+        forest=tree_key(edges[i] for i in chosen),
+        total_weight=forest_weight(array, chosen),
+        phases=phases,
+        rounds=ledger.total_rounds(),
+        ledger=ledger,
+    )

@@ -18,6 +18,8 @@ __all__ = [
     "broadcast_variant_rounds",
     "theorem2_rounds",
     "corollary1_rounds",
+    "mst_kkt_rounds",
+    "mst_node_cc_rounds",
     "expected_phases",
     "fitted_exponent",
 ]
@@ -47,6 +49,42 @@ def broadcast_variant_rounds(n: int, *, polylog: int = 4) -> float:
     collection terms are lower order once ``tau / n = O(log n)``.
     """
     return math.log2(max(n, 2)) ** polylog
+
+
+def mst_kkt_rounds(n: int, m: int, *, super_steps: int = 3) -> int:
+    """KKT-style MST in O(1) Congested Clique rounds (arXiv:1707.08484).
+
+    The O(1)-round algorithm alternates a constant number of
+    sample-and-sparsify super-steps, each redistributing at most ``m``
+    edges over the Lenzen fabric's ``n^2`` words-per-round aggregate
+    budget (``ceil(2m / n^2)`` rounds, >= 1 -- constant, since
+    ``m <= n(n-1)/2``), and finishes with two rounds announcing the
+    component relabeling. Boruvka merges on the sparsified remainder
+    resolve locally and bill nothing. Independent of n up to the
+    edge-shipping constant -- the "O(1) rounds" line.
+    """
+    if n < 2 or m < 1:
+        raise ValueError(f"need n >= 2 and m >= 1, got n={n}, m={m}")
+    ship = max(1, math.ceil(2.0 * m / float(n) ** 2))
+    return super_steps * ship + 2
+
+
+def mst_node_cc_rounds(n: int, phases: int) -> int:
+    """Sampling-based MSF in the Node Congested Clique (arXiv:1807.08738).
+
+    The node-capacitated model gives every node O(log n) incident words
+    per round, so component minima cannot be announced flat: each
+    Boruvka phase aggregates its min-weight outgoing edges up an
+    O(log n)-depth tree (``ceil(log2 n)`` rounds per phase), on top of a
+    one-time KKT sampling step billed at ``2 ceil(log2 n)`` rounds.
+    With ``phases = O(log n)`` this is the O(log^2 n) regime.
+    """
+    if n < 2 or phases < 0:
+        raise ValueError(
+            f"need n >= 2 and phases >= 0, got n={n}, phases={phases}"
+        )
+    log_n = max(1, math.ceil(math.log2(max(n, 2))))
+    return phases * log_n + 2 * log_n
 
 
 def theorem2_rounds(n: int, tau: int) -> float:

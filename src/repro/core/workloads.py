@@ -1,0 +1,268 @@
+"""The workload registry: one source of truth for workload dispatch.
+
+PR 8's :mod:`repro.core.variants` made *sampler* dispatch registry-driven
+inside the spanning-tree workload. This module is the sibling registry
+one level up: which **workloads** the stack serves at all. A
+:class:`WorkloadSpec` records everything the surrounding layers need to
+route a workload without hardcoding its name:
+
+- **request kinds** -- the wire tags (``request.kind``) the workload
+  owns, which is how the session and service map an incoming request
+  back to its workload;
+- **streaming kinds** -- the subset of those tags ``Session.stream`` and
+  ``POST /v1/stream`` accept (streaming changes delivery, never
+  outputs: an ensemble streams draw by draw, an MST streams its single
+  result record followed by the summary);
+- **CLI commands** -- the ``python -m repro <cmd>`` subcommands the
+  workload surfaces;
+- **recipes** -- the registered round models (:class:`WorkloadRecipe`)
+  the workload can bill under, each naming the paper line it implements
+  and the ledger categories its charges land in. The spanning-tree
+  workload's "recipes" are the :mod:`repro.core.variants` registry and
+  so are not duplicated here;
+- **weight modes** -- the instance-weighting schemes the workload's
+  requests accept (MST draws i.i.d. seeded weights; tree sampling uses
+  the graph's own);
+- **oracle** -- the sequential reference implementation every result is
+  gated against (Kirchhoff/Wilson for sampled trees, Kruskal for MST).
+
+Registering a new workload (or a new recipe on an existing one) means
+adding one entry here; request validation, CLI choices, the session's
+streaming gate, and the service envelope pick it up without edits --
+the same guarantee ``tests/test_workloads.py`` ghost-registers to prove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "WorkloadRecipe",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "get_workload",
+    "workload_names",
+    "workload_for_request",
+    "workload_request_kinds",
+    "streaming_request_kinds",
+    "workload_recipe_names",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadRecipe:
+    """One registered round model a workload can bill under.
+
+    Attributes
+    ----------
+    name:
+        The wire/CLI identifier (``recipe="..."``).
+    description:
+        One-line human summary (CLI help, round-bill tables).
+    paper_ref:
+        Which result the recipe's round accounting implements.
+    comm_model:
+        The bandwidth regime the bill is honest in (``"unicast"`` for
+        the Lenzen-routed Congested Clique, ``"node-congested-clique"``
+        for the node-capacitated model's log-bounded lanes).
+    rounds_formula:
+        The headline round bound, as prose for docs and reports.
+    categories:
+        The ledger categories this recipe's charges land in. Distinct
+        per communication regime (mirroring the variants registry's
+        ``broadcast-bandwidth`` precedent) so rounds billed under
+        different bandwidth models are never summed as one resource.
+    """
+
+    name: str
+    description: str
+    paper_ref: str
+    comm_model: str
+    rounds_formula: str
+    categories: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything the stack needs to know about one workload.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"spanning-tree"``, ``"mst"``, ...).
+    description:
+        One-line human summary.
+    paper_ref:
+        The line of work the workload reproduces.
+    request_kinds:
+        The request wire tags (``request.kind``) this workload owns.
+    streaming_kinds:
+        The subset of ``request_kinds`` servable via ``stream`` paths.
+    cli_commands:
+        ``python -m repro <cmd>`` subcommands surfacing the workload.
+    recipes:
+        Registered round models (empty when a different registry --
+        the variants registry -- plays that role).
+    default_recipe:
+        Recipe used when a request names none.
+    weight_modes:
+        Instance-weighting schemes the workload's requests accept
+        (empty when the workload takes the graph's weights as-is).
+    oracle:
+        The sequential reference every result is gated against.
+    """
+
+    name: str
+    description: str
+    paper_ref: str
+    request_kinds: tuple[str, ...]
+    streaming_kinds: tuple[str, ...] = ()
+    cli_commands: tuple[str, ...] = ()
+    recipes: tuple[WorkloadRecipe, ...] = ()
+    default_recipe: str | None = None
+    weight_modes: tuple[str, ...] = ()
+    oracle: str | None = None
+
+    def recipe_names(self) -> tuple[str, ...]:
+        """Registered recipe names, in registration order."""
+        return tuple(recipe.name for recipe in self.recipes)
+
+    def get_recipe(self, name: str) -> WorkloadRecipe:
+        """Look up a recipe; raises :class:`ConfigError` when unknown."""
+        for recipe in self.recipes:
+            if recipe.name == name:
+                return recipe
+        raise ConfigError(
+            f"unknown {self.name} recipe {name!r}; "
+            f"choose from {self.recipe_names()}"
+        )
+
+    def resolve_recipe(self, name: str | None) -> WorkloadRecipe:
+        """The named recipe, or the workload default when ``None``."""
+        if name is None:
+            if self.default_recipe is None:
+                raise ConfigError(
+                    f"workload {self.name!r} has no default recipe"
+                )
+            name = self.default_recipe
+        return self.get_recipe(name)
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        WorkloadSpec(
+            name="spanning-tree",
+            description=(
+                "random spanning trees in the Congested Clique "
+                "(sampling, ensembles, uniformity audits, round bills)"
+            ),
+            paper_ref="Pemmaraju-Roy-Sobel (PODC 2025)",
+            request_kinds=("sample", "ensemble", "audit", "roundbill"),
+            streaming_kinds=("ensemble",),
+            cli_commands=("sample", "ensemble", "audit", "rounds"),
+            # Recipes for this workload are the sampler variants --
+            # repro.core.variants is their registry of record.
+            oracle="wilson",
+        ),
+        WorkloadSpec(
+            name="pagerank",
+            description="walk-based PageRank estimates vs the exact solve",
+            paper_ref="classic random-surfer estimation",
+            request_kinds=("pagerank",),
+            cli_commands=("pagerank",),
+            oracle="exact-solve",
+        ),
+        WorkloadSpec(
+            name="mst",
+            description=(
+                "minimum spanning forests over seeded random edge "
+                "weights, every result gated against the Kruskal oracle"
+            ),
+            paper_ref="KKT sampling in the (node) congested clique",
+            request_kinds=("mst",),
+            streaming_kinds=("mst",),
+            cli_commands=("mst",),
+            recipes=(
+                WorkloadRecipe(
+                    name="kkt-o1",
+                    description=(
+                        "KKT sample-and-sparsify super-steps over the "
+                        "Lenzen fabric; Boruvka merges resolve locally"
+                    ),
+                    paper_ref=(
+                        "Jurdzinski-Nowicki, MST in O(1) Rounds of "
+                        "Congested Clique (arXiv:1707.08484)"
+                    ),
+                    comm_model="unicast",
+                    rounds_formula="O(1) rounds",
+                    categories=("mst-sketch", "mst-merge"),
+                ),
+                WorkloadRecipe(
+                    name="node-cc-msf",
+                    description=(
+                        "sampling-based MSF with per-phase aggregation "
+                        "trees in the Node Congested Clique"
+                    ),
+                    paper_ref=(
+                        "Random Sampling Applied to the MSF Problem in "
+                        "the Node Congested Clique (arXiv:1807.08738)"
+                    ),
+                    comm_model="node-congested-clique",
+                    rounds_formula="O(log^2 n) rounds",
+                    categories=("mst-sampling", "mst-aggregation"),
+                ),
+            ),
+            default_recipe="kkt-o1",
+            weight_modes=("random", "tie-prone", "graph"),
+            oracle="kruskal",
+        ),
+    ]
+}
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload spec; raises :class:`ConfigError` when unknown."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; choose from {workload_names()}"
+        ) from None
+
+
+def workload_names() -> tuple[str, ...]:
+    """All registered workload names, in registration order."""
+    return tuple(WORKLOADS)
+
+
+def workload_for_request(kind: str) -> WorkloadSpec:
+    """The workload owning a request wire tag (``request.kind``)."""
+    for spec in WORKLOADS.values():
+        if kind in spec.request_kinds:
+            return spec
+    raise ConfigError(
+        f"no registered workload owns request kind {kind!r}; "
+        f"known kinds: {workload_request_kinds()}"
+    )
+
+
+def workload_request_kinds() -> tuple[str, ...]:
+    """Every request kind owned by some workload, registration order."""
+    return tuple(
+        kind for spec in WORKLOADS.values() for kind in spec.request_kinds
+    )
+
+
+def streaming_request_kinds() -> tuple[str, ...]:
+    """Request kinds the stream paths (session and service) accept."""
+    return tuple(
+        kind for spec in WORKLOADS.values() for kind in spec.streaming_kinds
+    )
+
+
+def workload_recipe_names(workload: str) -> tuple[str, ...]:
+    """Registered recipe names for one workload (request validation)."""
+    return get_workload(workload).recipe_names()

@@ -5,8 +5,9 @@
 service envelope (graph spec + preset + config overrides + request
 envelope) and hands back the same typed objects the in-process session
 API returns: :func:`run` a :class:`~repro.api.responses.Response`,
-:func:`stream` a generator of ``(index, SampleResult)`` pairs decoded
-from the NDJSON chunks as they arrive.
+:func:`stream` a generator of ``(index, typed result)`` pairs decoded
+from the NDJSON chunks as they arrive (``SampleResult`` draws for
+ensembles, the tagged report type for other streamable workloads).
 
 Overload is a typed outcome, not a generic failure: 429/503 raise
 :class:`ServiceUnavailable` carrying the server's ``Retry-After`` hint.
@@ -32,7 +33,12 @@ import socket
 import time
 from dataclasses import dataclass
 
-from repro.api.responses import Response, response_from_dict
+from repro.api.responses import (
+    RESULT_TYPES,
+    Response,
+    response_from_dict,
+    restore_nonfinite,
+)
 from repro.engine.results import SampleResult
 from repro.errors import ReproError
 
@@ -261,7 +267,11 @@ class ServiceClient:
         preset: str | None = None, config: dict | None = None,
         deadline_ms: int | None = None,
     ):
-        """Yield ``(index, SampleResult)`` as the server emits them.
+        """Yield ``(index, typed result)`` as the server emits them.
+
+        Ensemble streams yield :class:`SampleResult` draws; other
+        streamable workloads (MST) yield their report type, resolved
+        from each record's ``result_type`` tag.
 
         The generator's ``.summary`` attribute is unavailable (plain
         generator); instead the terminal summary record is delivered via
@@ -325,9 +335,18 @@ class ServiceClient:
                 record = json.loads(line)
                 kind = record.get("kind")
                 if kind == "result":
+                    # Ensemble records are untagged SampleResults (their
+                    # historical wire form); other workloads name their
+                    # payload type and rebuild through RESULT_TYPES.
+                    result_cls = RESULT_TYPES.get(
+                        record.get("result_type", "SampleResult"),
+                        SampleResult,
+                    )
                     yield (
                         int(record["index"]),
-                        SampleResult.from_dict(record["result"]),
+                        result_cls.from_dict(
+                            restore_nonfinite(record["result"])
+                        ),
                     )
                 elif kind == "summary":
                     summary = StreamSummary(

@@ -71,6 +71,8 @@ from dataclasses import dataclass, field
 
 from repro.api.requests import EnsembleRequest
 from repro.api.responses import sanitize_nonfinite
+from repro.core.workloads import streaming_request_kinds
+from repro.engine.results import SampleResult
 from repro.errors import ConfigError, ReproError
 from repro.service import faults
 from repro.service.pool import SessionPool, ShardSupervisor, run_task
@@ -789,14 +791,18 @@ class TreeService:
 
     async def _run_stream(self, writer, task: ServiceTask) -> None:
         request = task.request
-        if not isinstance(request, EnsembleRequest):
+        # The workload registry decides which request kinds stream;
+        # marking a new workload's kind streamable serves it here with
+        # no server edits.
+        if getattr(request, "kind", None) not in streaming_request_kinds():
             self.counters["rejected_validation"] += 1
             await self._send_error(writer, ServiceError(
-                "/v1/stream takes an ensemble request; use /v1/run for "
+                "/v1/stream takes a streamable request (kinds "
+                f"{streaming_request_kinds()}); use /v1/run for "
                 f"{getattr(request, 'kind', '?')!r}"
             ))
             return
-        if request.leverage_audit:
+        if isinstance(request, EnsembleRequest) and request.leverage_audit:
             self.counters["rejected_validation"] += 1
             await self._send_error(writer, ServiceError(
                 "leverage_audit is a batch aggregate; use /v1/run"
@@ -887,11 +893,17 @@ class TreeService:
                             ),
                         })
                         return
-                    emit("result", {
+                    record = {
                         "kind": "result",
                         "index": index,
                         "result": sanitize_nonfinite(result.to_dict()),
-                    })
+                    }
+                    # Ensemble records stay untagged (their historical
+                    # wire bytes); other workloads' results name their
+                    # payload type so clients rebuild via RESULT_TYPES.
+                    if not isinstance(result, SampleResult):
+                        record["result_type"] = type(result).__name__
+                    emit("result", record)
                     index += 1
                 if stats.get("degraded"):
                     self.counters["degraded_streams"] += 1

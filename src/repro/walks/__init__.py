@@ -15,8 +15,11 @@
 from repro.walks.sequential import (
     aldous_broder_tree,
     aldous_broder_with_stats,
+    boruvka_forest,
     distinct_vertex_count,
     first_visit_edges,
+    forest_weight,
+    kruskal_forest,
     random_walk,
     random_weight_mst_tree,
     walk_until_distinct,
@@ -48,6 +51,9 @@ __all__ = [
     "wilson_tree_with_stats",
     "distinct_vertex_count",
     "first_visit_edges",
+    "boruvka_forest",
+    "forest_weight",
+    "kruskal_forest",
     "random_walk",
     "random_weight_mst_tree",
     "walk_until_distinct",

@@ -10,6 +10,12 @@ These are the classical algorithms the paper builds on or argues against:
 - :func:`random_weight_mst_tree` -- the Section 1.4 strawman: put i.i.d.
   uniform weights on edges and take the MST. *Not* uniform over spanning
   trees [39]; experiment E9 measures the bias.
+- :func:`kruskal_forest` / :func:`boruvka_forest` -- the sequential MST
+  oracles of the first-class MST workload: given explicit edge weights
+  they return the minimum spanning forest and its canonical total
+  weight. Every distributed MST result is cross-validated against
+  Kruskal the same way sampled trees are gated against the Kirchhoff
+  law (see ``repro.core.mst``).
 - :func:`first_visit_edges` -- the Aldous-Broder extraction used by both
   the doubling-based sampler (Corollary 1) and validation tests.
 """
@@ -34,6 +40,9 @@ __all__ = [
     "wilson_tree",
     "wilson_tree_with_stats",
     "random_weight_mst_tree",
+    "kruskal_forest",
+    "boruvka_forest",
+    "forest_weight",
 ]
 
 
@@ -301,3 +310,112 @@ def random_weight_mst_tree(
     if len(tree) != graph.n - 1:
         raise WalkError("Kruskal failed to span the graph")  # pragma: no cover
     return tree_key(tree)
+
+
+def _check_weights(graph: WeightedGraph, weights) -> np.ndarray:
+    """Validate an explicit per-edge weight vector over ``graph.edges()``."""
+    array = np.asarray(weights, dtype=np.float64)
+    m = len(graph.edges())
+    if array.shape != (m,):
+        raise WalkError(
+            f"need one weight per edge: expected shape ({m},), "
+            f"got {array.shape}"
+        )
+    if not np.all(np.isfinite(array)):
+        raise WalkError("edge weights must be finite")
+    return array
+
+
+def forest_weight(weights: np.ndarray, indices) -> float:
+    """Canonical total weight of a forest given by edge *indices*.
+
+    Summed in ascending edge-index order so two algorithms choosing the
+    same edge set report the byte-identical float total regardless of
+    the order they discovered the edges in -- the equality the oracle
+    gate and the service invariance tests rely on.
+    """
+    order = np.sort(np.asarray(list(indices), dtype=np.int64))
+    return float(np.sum(np.asarray(weights, dtype=np.float64)[order]))
+
+
+def kruskal_forest(
+    graph: WeightedGraph,
+    weights,
+    *,
+    tie_break: str = "index",
+) -> tuple[TreeKey, float]:
+    """Sequential Kruskal oracle: ``(forest key, canonical total weight)``.
+
+    Edges are scanned in ascending ``(weight, tie order)``. With
+    ``tie_break="index"`` ties break by ascending edge index -- the same
+    total order the distributed runner uses, under which the MSF is
+    unique and edge-set equality is the oracle gate. With
+    ``tie_break="reverse"`` ties break by *descending* index: a
+    deliberately different-but-valid MSF, so tests can pin the
+    tie-robust invariant (equal total weight) without the tie-break
+    coincidentally matching.
+    """
+    graph.require_connected()
+    edges = graph.edges()
+    array = _check_weights(graph, weights)
+    index = np.arange(len(edges))
+    if tie_break == "index":
+        order = np.lexsort((index, array))
+    elif tie_break == "reverse":
+        order = np.lexsort((-index, array))
+    else:
+        raise WalkError(
+            f"tie_break must be 'index' or 'reverse', got {tie_break!r}"
+        )
+    uf = _UnionFind(graph.n)
+    chosen: list[int] = []
+    for i in order:
+        u, v = edges[int(i)]
+        if uf.union(u, v):
+            chosen.append(int(i))
+            if len(chosen) == graph.n - 1:
+                break
+    if len(chosen) != graph.n - 1:
+        raise WalkError("Kruskal failed to span the graph")  # pragma: no cover
+    forest = tree_key(edges[i] for i in chosen)
+    return forest, forest_weight(array, chosen)
+
+
+def boruvka_forest(
+    graph: WeightedGraph,
+    weights,
+) -> tuple[TreeKey, float, int]:
+    """Sequential Boruvka oracle: ``(forest, total weight, phases)``.
+
+    Each phase every component picks its minimum outgoing edge under the
+    ``(weight, edge index)`` total order -- the order making the MSF
+    unique, so the result is edge-for-edge the ``tie_break="index"``
+    Kruskal forest. The phase count is what the node-CC recipe's
+    per-phase aggregation charges scale with.
+    """
+    graph.require_connected()
+    edges = graph.edges()
+    array = _check_weights(graph, weights)
+    uf = _UnionFind(graph.n)
+    chosen: list[int] = []
+    phases = 0
+    while len(chosen) < graph.n - 1:
+        phases += 1
+        # component root -> best (weight, edge index) leaving it
+        best: dict[int, tuple[float, int]] = {}
+        for i, (u, v) in enumerate(edges):
+            ru, rv = uf.find(u), uf.find(v)
+            if ru == rv:
+                continue
+            candidate = (float(array[i]), i)
+            for root in (ru, rv):
+                if root not in best or candidate < best[root]:
+                    best[root] = candidate
+        if not best:  # pragma: no cover - connected graphs always merge
+            raise WalkError("Boruvka stalled before spanning the graph")
+        for _, i in sorted(set(best.values())):
+            u, v = edges[i]
+            if uf.union(u, v):
+                chosen.append(i)
+    forest = tree_key(edges[i] for i in chosen)
+    return forest, forest_weight(array, chosen), phases

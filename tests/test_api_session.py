@@ -139,8 +139,9 @@ class TestStreaming:
         assert len(first.tree) == 5
         assert len(list(iterator)) == 3
 
-    def test_stream_rejects_non_ensemble_requests(self, session):
-        with pytest.raises(ConfigError, match="EnsembleRequest"):
+    def test_stream_rejects_non_streamable_requests(self, session):
+        """Only kinds the workload registry marks streamable stream."""
+        with pytest.raises(ConfigError, match="streamable"):
             next(session.stream(SampleRequest()))
 
     def test_stream_rejects_leverage_audit(self, session):

@@ -17,6 +17,13 @@ additionally covers ``rounds_by_category()`` carrying the
 broadcast-bandwidth category: its charges are an analytic recipe over
 seed-deterministic walk statistics, so warm and cold workers on any
 host bill identical category totals.
+
+The MST workload gets the same grid: both registered recipes x both
+RNG contracts, two servers over one cache volume, batch == stream ==
+direct local Session with byte-identical forests and identical round
+bills, plus its own kill-a-worker-mid-request chaos cell -- the
+workload registry's promise that a second workload inherits the
+serving substrate (and its invariants) wholesale.
 """
 
 from __future__ import annotations
@@ -26,8 +33,9 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
-from repro.api import EnsembleRequest, Session
+from repro.api import EnsembleRequest, MSTRequest, Session
 from repro.api.presets import preset_config
+from repro.core.workloads import workload_recipe_names
 from repro.service.client import (
     ServiceClient,
     ServiceUnavailable,
@@ -42,6 +50,11 @@ GRAPH = {"family": "cycle", "n": 8, "seed": 0}
 CELLS = [
     pytest.param(variant, contract, id=f"{variant}-{contract}")
     for variant in ("approximate", "exact", "broadcast")
+    for contract in ("v1", "v2")
+]
+MST_CELLS = [
+    pytest.param(recipe, contract, id=f"{recipe}-{contract}")
+    for recipe in workload_recipe_names("mst")
     for contract in ("v1", "v2")
 ]
 
@@ -144,6 +157,47 @@ def test_second_server_warm_starts_from_shared_volume(server_pair):
         assert total_disk > 0, cache
 
 
+def local_mst(recipe: str, contract: str):
+    """The direct in-process MSTReport the served answers must equal."""
+    task = parse_service_envelope(
+        {"graph": GRAPH, "request": {"request": "mst"}}, ServiceLimits()
+    )
+    graph, meta = task.build_graph()
+    config = preset_config("fast-bench", ell=1024, rng_contract=contract)
+    session = Session(graph, config, seed=0, meta=meta)
+    return session.run(MSTRequest(recipe=recipe, seed=99)).result
+
+
+@pytest.mark.parametrize("recipe,contract", MST_CELLS)
+def test_mst_servers_match_each_other_and_local(
+    server_pair, recipe, contract
+):
+    """MST batch == stream == local, byte-identical, both servers.
+
+    The whole report is the invariant -- forest, canonical total
+    weight (byte-exact float), round bill, per-category totals, and
+    the oracle verdict fields -- because MST weights derive from
+    (edge order, mode, seed) alone, independent of which host answers
+    or which RNG contract its session runs.
+    """
+    request = {"request": "mst", "recipe": recipe, "seed": 99}
+    overrides = {"ell": 1024, "rng_contract": contract}
+
+    reference = local_mst(recipe, contract)
+    assert reference.oracle_match and len(reference.forest) == 7
+    server_a, server_b = server_pair
+    batch_a = server_a.run(GRAPH, request, config=overrides).result
+    batch_b = server_b.run(GRAPH, request, config=overrides).result
+    streamed_b, summary = server_b.stream_collect(
+        GRAPH, request, config=overrides
+    )
+    assert batch_a == reference, "server A diverged from local session"
+    assert batch_b == reference, "server B diverged from local session"
+    assert streamed_b == [reference], "stream diverged from local session"
+    assert summary is not None and summary.count == 1
+    assert summary.degraded is False
+
+
 def _bill(results):
     return [(r.tree, r.rounds, r.rounds_by_category()) for r in results]
 
@@ -178,6 +232,40 @@ def test_killed_worker_redispatch_is_byte_identical(
         assert _bill(response.result.results) == _bill(
             local_draws(variant, contract)
         ), f"{variant}/{contract} diverged after crash re-dispatch"
+        counters = client.stats()["counters"]
+        assert tokens_fired(tokens) == 1
+        assert counters["worker_crashes"] == 1
+        assert counters["redispatches"] == 1
+        assert counters["degraded_batches"] == 0
+    finally:
+        assert stop_server(proc) == 0
+
+
+def test_mst_killed_worker_redispatch_is_byte_identical(tmp_path):
+    """The MST chaos cell: a mid-request SIGKILL changes nothing.
+
+    Same harness as the ensemble cell -- the first shard task is killed
+    mid-run, the supervisor respawns and re-dispatches -- but the
+    retried workload is an MSTRequest. Idempotence holds for the same
+    reason: the instance's weights are pinned to the request seed, so
+    the re-dispatched run rebuilds the identical oracle-gated forest
+    and bill.
+    """
+    tokens = tmp_path / "tokens"
+    proc, port = start_server(
+        "--workers", "1", "--cache-dir", str(tmp_path / "cache"),
+        env_extra=fault_env("worker.task=kill#1", tokens),
+    )
+    client = ServiceClient(port=port, retries=0)
+    try:
+        wait_until_ready(client)
+        request = {"request": "mst", "recipe": "node-cc-msf", "seed": 99}
+        response = client.run(GRAPH, request, config={"ell": 1024})
+        reference = local_mst("node-cc-msf", "v2")
+        assert response.result == reference, (
+            "mst diverged after crash re-dispatch"
+        )
+        assert response.result.oracle_match
         counters = client.stats()["counters"]
         assert tokens_fired(tokens) == 1
         assert counters["worker_crashes"] == 1

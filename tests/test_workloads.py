@@ -1,0 +1,238 @@
+"""The WorkloadSpec registry: contents, routing, and layer derivation.
+
+Sibling of ``tests/test_variants.py`` one level up: the workload
+registry is the single source of truth for *which workloads the stack
+serves* -- request-kind ownership, streaming eligibility, CLI
+subcommands, recipes, weight modes, and oracles. These tests pin the
+registered contents, prove the layers (request validation, the session
+and service streaming gates, CLI choices, the service envelope) derive
+from it, ghost-register a workload and a recipe to show one dict entry
+propagates everywhere, and enforce the grep-clean guarantee: no
+hardcoded workload membership tuple survives in ``src/`` outside the
+registry module itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.api.requests import REQUEST_TYPES, MSTRequest
+from repro.core.workloads import (
+    WORKLOADS,
+    WorkloadRecipe,
+    WorkloadSpec,
+    get_workload,
+    streaming_request_kinds,
+    workload_for_request,
+    workload_names,
+    workload_recipe_names,
+    workload_request_kinds,
+)
+from repro.errors import ConfigError
+from repro.service.protocol import (
+    ServiceError,
+    ServiceLimits,
+    parse_service_envelope,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+class TestRegistryContents:
+    def test_registered_names_and_order(self):
+        assert workload_names() == ("spanning-tree", "pagerank", "mst")
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            WORKLOADS["mst"].oracle = "nothing"
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(ConfigError, match="unknown workload 'warp'"):
+            get_workload("warp")
+
+    def test_request_kind_ownership_is_a_partition(self):
+        """Every kind belongs to exactly one workload."""
+        kinds = workload_request_kinds()
+        assert len(kinds) == len(set(kinds))
+        for kind in kinds:
+            assert kind in workload_for_request(kind).request_kinds
+
+    def test_request_types_and_registry_cover_each_other(self):
+        """The wire tag set and the registry's kind set are one set."""
+        assert set(REQUEST_TYPES) == set(workload_request_kinds())
+
+    def test_streaming_kinds_are_a_subset_of_owned_kinds(self):
+        assert streaming_request_kinds() == ("ensemble", "mst")
+        for spec in WORKLOADS.values():
+            assert set(spec.streaming_kinds) <= set(spec.request_kinds)
+
+    def test_unowned_kind_rejected(self):
+        with pytest.raises(ConfigError, match="no registered workload"):
+            workload_for_request("teleport")
+
+    def test_mst_spec_shape(self):
+        spec = get_workload("mst")
+        assert spec.recipe_names() == ("kkt-o1", "node-cc-msf")
+        assert spec.default_recipe == "kkt-o1"
+        assert spec.oracle == "kruskal"
+        assert spec.weight_modes == ("random", "tie-prone", "graph")
+        kkt = spec.get_recipe("kkt-o1")
+        node_cc = spec.get_recipe("node-cc-msf")
+        assert "1707.08484" in kkt.paper_ref
+        assert "1807.08738" in node_cc.paper_ref
+        # Distinct comm regimes keep distinct ledger categories
+        # (mirroring the variants registry's broadcast-bandwidth rule).
+        assert kkt.comm_model != node_cc.comm_model
+        assert not set(kkt.categories) & set(node_cc.categories)
+
+    def test_recipe_resolution(self):
+        spec = get_workload("mst")
+        assert spec.resolve_recipe(None).name == "kkt-o1"
+        assert spec.resolve_recipe("node-cc-msf").name == "node-cc-msf"
+        with pytest.raises(ConfigError, match="unknown mst recipe"):
+            spec.get_recipe("warp")
+        # A workload without recipes has no default to fall back on.
+        with pytest.raises(ConfigError, match="no default recipe"):
+            get_workload("pagerank").resolve_recipe(None)
+        assert workload_recipe_names("spanning-tree") == ()
+
+
+class TestLayersDeriveFromRegistry:
+    def test_mst_request_validates_against_registry(self):
+        for name in workload_recipe_names("mst"):
+            assert MSTRequest(recipe=name).recipe == name
+        with pytest.raises(ConfigError, match="unknown mst recipe"):
+            MSTRequest(recipe="warp")
+        with pytest.raises(ConfigError, match="unknown weight mode"):
+            MSTRequest(weights="warp")
+
+    def test_cli_surfaces_every_registered_command(self, capsys):
+        from repro.cli import _make_parser
+
+        parser = _make_parser()
+        for spec in WORKLOADS.values():
+            for command in spec.cli_commands:
+                args = parser.parse_args([command, "--json"])
+                assert args.command == command
+        args = parser.parse_args(["mst", "--recipe", "node-cc-msf"])
+        assert args.recipe == "node-cc-msf"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["mst", "--recipe", "warp"])
+        capsys.readouterr()  # swallow argparse's usage message
+
+    def test_service_envelope_accepts_every_registered_kind_shape(self):
+        task = parse_service_envelope(
+            {
+                "graph": {"family": "cycle", "n": 8, "seed": 0},
+                "request": {"request": "mst", "recipe": "node-cc-msf"},
+            },
+            ServiceLimits(),
+        )
+        assert isinstance(task.request, MSTRequest)
+        # Validation errors surface as the service's own typed error.
+        with pytest.raises(ServiceError, match="unknown mst recipe"):
+            parse_service_envelope(
+                {
+                    "graph": {"family": "cycle", "n": 8, "seed": 0},
+                    "request": {"request": "mst", "recipe": "warp"},
+                },
+                ServiceLimits(),
+            )
+
+    def test_no_hardcoded_workload_tuples_outside_registry(self):
+        """Grep-clean: recipe/mode/streaming sets live in the registry.
+
+        A literal ``("kkt-o1", "node-cc-msf")``, ``("random",
+        "tie-prone", ...)`` or ``("ensemble", "mst")`` membership tuple
+        anywhere else in ``src/`` would mean a layer stopped deriving
+        from the registry.
+        """
+        patterns = [
+            re.compile(
+                r"""\(\s*['"]kkt-o1['"]\s*,\s*['"]node-cc-msf['"]\s*[,)]"""
+            ),
+            re.compile(
+                r"""\(\s*['"]random['"]\s*,\s*['"]tie-prone['"]\s*[,)]"""
+            ),
+            re.compile(
+                r"""\(\s*['"]ensemble['"]\s*,\s*['"]mst['"]\s*[,)]"""
+            ),
+        ]
+        offenders = []
+        for path in SRC.rglob("*.py"):
+            if path.name == "workloads.py" and path.parent.name == "core":
+                continue
+            text = path.read_text()
+            for pattern in patterns:
+                if pattern.search(text):
+                    offenders.append(str(path.relative_to(SRC)))
+        assert not offenders, (
+            f"hardcoded workload membership tuple in {offenders}; "
+            "derive workload sets from repro.core.workloads instead"
+        )
+
+
+class TestGhostRegistration:
+    def test_registering_a_workload_propagates_everywhere(self):
+        """The tentpole's point: one dict entry, every layer follows."""
+        spec = WorkloadSpec(
+            name="test-ghost",
+            description="registration smoke test",
+            paper_ref="none",
+            request_kinds=("ghostwork",),
+            streaming_kinds=("ghostwork",),
+        )
+        WORKLOADS[spec.name] = spec
+        try:
+            assert "test-ghost" in workload_names()
+            assert workload_for_request("ghostwork") is spec
+            assert "ghostwork" in workload_request_kinds()
+            # Both streaming gates (Session.stream and /v1/stream) call
+            # this helper, so the ghost kind is now stream-eligible with
+            # no session or server edits.
+            assert "ghostwork" in streaming_request_kinds()
+        finally:
+            del WORKLOADS[spec.name]
+        with pytest.raises(ConfigError):
+            workload_for_request("ghostwork")
+
+    def test_registering_a_recipe_propagates_everywhere(self):
+        """One extra recipe on the mst spec reaches request validation,
+        the CLI's --recipe choices, and the service envelope."""
+        original = WORKLOADS["mst"]
+        ghost = WorkloadRecipe(
+            name="ghost-recipe",
+            description="registration smoke test",
+            paper_ref="none",
+            comm_model="unicast",
+            rounds_formula="O(1)",
+            categories=("ghost-rounds",),
+        )
+        WORKLOADS["mst"] = dataclasses.replace(
+            original, recipes=original.recipes + (ghost,)
+        )
+        try:
+            assert "ghost-recipe" in workload_recipe_names("mst")
+            assert MSTRequest(recipe="ghost-recipe").recipe == "ghost-recipe"
+            from repro.cli import _make_parser
+
+            args = _make_parser().parse_args(
+                ["mst", "--recipe", "ghost-recipe"]
+            )
+            assert args.recipe == "ghost-recipe"
+            task = parse_service_envelope(
+                {
+                    "graph": {"family": "cycle", "n": 8, "seed": 0},
+                    "request": {"request": "mst", "recipe": "ghost-recipe"},
+                },
+                ServiceLimits(),
+            )
+            assert task.request.recipe == "ghost-recipe"
+        finally:
+            WORKLOADS["mst"] = original
+        with pytest.raises(ConfigError):
+            MSTRequest(recipe="ghost-recipe")
